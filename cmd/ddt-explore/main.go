@@ -1,0 +1,131 @@
+// Command ddt-explore runs the 3-step DDT refinement methodology for one
+// network application — the reproduction of the paper's automated
+// exploration driver. It prints the step-by-step summary and can write
+// the per-simulation log that ddt-pareto post-processes.
+//
+// Usage:
+//
+//	ddt-explore -app Route [-packets 8000] [-log route.log] [-charts]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/apps/netapps"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+func main() {
+	app := flag.String("app", "", "application to explore: "+strings.Join(netapps.Names(), ", "))
+	packets := flag.Int("packets", 8000, "packets per simulation trace")
+	logPath := flag.String("log", "", "write the exploration log (for ddt-pareto)")
+	csvPath := flag.String("csv", "", "write the exploration results as CSV")
+	charts := flag.Bool("charts", false, "print per-configuration Pareto charts")
+	flag.Parse()
+
+	if err := run(*app, *packets, *logPath, *csvPath, *charts); err != nil {
+		fmt.Fprintln(os.Stderr, "ddt-explore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(appName string, packets int, logPath, csvPath string, charts bool) error {
+	a, err := netapps.ByName(appName)
+	if err != nil {
+		return err
+	}
+	m := core.Methodology{App: a, Opts: explore.Options{TracePackets: packets}}
+
+	start := time.Now()
+	r, err := m.Run()
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("=== %s: 3-step DDT refinement ===\n\n", r.App)
+	fmt.Printf("step 1 - application-level exploration (reference: %s)\n", r.Reference)
+	fmt.Printf("profiling ranked the candidate containers:\n%s\n", r.Profile)
+	fmt.Printf("dominant structures: %s\n", strings.Join(r.DominantRoles, ", "))
+	fmt.Printf("simulated %d combinations; %d survive the 4-metric filter (%.0f%%)\n\n",
+		r.Step1.Simulations, len(r.Step1.Survivors), 100*r.Step1.SurvivorFraction())
+
+	fmt.Printf("step 2 - network-level exploration over %d configurations\n", len(r.Configs))
+	fmt.Printf("ran %d further simulations; total %d instead of %d exhaustive (%s reduction)\n\n",
+		r.Step2.Simulations, r.Reduced, r.Exhaustive, report.Percent(r.ReductionFraction()))
+
+	fmt.Printf("step 3 - Pareto-level exploration\n")
+	fmt.Printf("cross-configuration Pareto-optimal set (%d combinations):\n", r.ParetoOptimal)
+	var rows [][]string
+	for _, p := range r.ParetoSet {
+		rows = append(rows, []string{
+			p.Label,
+			metrics.FormatEnergy(p.Vec.Energy),
+			metrics.FormatTime(p.Vec.Time),
+			fmt.Sprintf("%.0f", p.Vec.Accesses),
+			fmt.Sprintf("%.0fB", p.Vec.Footprint),
+		})
+	}
+	fmt.Println(report.Table([]string{"combination", "energy", "time", "accesses", "footprint"}, rows))
+
+	fmt.Println("trade-offs among Pareto-optimal points (largest across configurations):")
+	for _, met := range metrics.AllMetrics() {
+		fmt.Printf("  %-9s %s\n", met, report.Percent(r.Tradeoffs[met]))
+	}
+	fmt.Printf("\nvs original (all-SLL) implementation on %s:\n", r.Reference)
+	fmt.Printf("  original     %v\n", r.Original.Vec)
+	fmt.Printf("  best energy  %v  (%s)\n", r.BestEnergy.Vec, r.BestEnergy.Label)
+	fmt.Printf("  best time    %v  (%s)\n", r.BestTime.Vec, r.BestTime.Label)
+	fmt.Printf("  savings: %s energy, %s execution time\n",
+		report.Percent(r.EnergySaving), report.Percent(r.TimeSaving))
+	fmt.Printf("\nexploration wall time: %.1fs (%d simulations)\n", elapsed.Seconds(), r.Reduced)
+
+	if charts {
+		for _, cr := range r.Configs {
+			fmt.Println()
+			fmt.Print(report.Scatter(
+				fmt.Sprintf("%s - execution time vs energy (%s)", r.App, cr.Config),
+				metrics.Time, metrics.Energy,
+				[]report.Series{
+					{Name: "explored", Glyph: '.', Points: cr.Points()},
+					{Name: "Pareto curve", Glyph: 'O', Points: cr.FrontTE},
+				}, 64, 16))
+		}
+	}
+
+	if logPath != "" {
+		f, err := os.Create(logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.WriteResults(f, r.Step1.Results); err != nil {
+			return err
+		}
+		if err := report.WriteResults(f, r.Step2.Results); err != nil {
+			return err
+		}
+		fmt.Printf("\nexploration log written to %s (%d records)\n",
+			logPath, len(r.Step1.Results)+len(r.Step2.Results))
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		all := append(append([]explore.Result{}, r.Step1.Results...), r.Step2.Results...)
+		if err := report.WriteCSV(f, all); err != nil {
+			return err
+		}
+		fmt.Printf("CSV written to %s (%d records)\n", csvPath, len(all))
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/report"
+)
+
+func TestRunWritesLog(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "url.log")
+	if err := run("URL", 300, logPath, "", false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	results, err := report.ReadResults(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 step-1 results plus survivors x 5 configurations from step 2.
+	if len(results) < 100 {
+		t.Fatalf("log holds %d results, want >= 100", len(results))
+	}
+	for _, r := range results {
+		if r.App != "URL" || r.Vec.Energy <= 0 {
+			t.Fatalf("bad log record: %+v", r)
+		}
+	}
+}
+
+func TestRunWithCharts(t *testing.T) {
+	if err := run("DRR", 300, "", "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	if err := run("Quake", 300, "", "", false); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestRunBadLogPath(t *testing.T) {
+	if err := run("URL", 300, "/nonexistent-dir/x.log", "", false); err == nil {
+		t.Fatal("unwritable log path accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "url.csv")
+	if err := run("URL", 300, "", csvPath, false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(bytes.NewReader(data)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 101 {
+		t.Fatalf("%d CSV records, want header + >=100 rows", len(records))
+	}
+}

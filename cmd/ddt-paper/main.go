@@ -1,0 +1,60 @@
+// Command ddt-paper regenerates the paper's evaluation artifacts — Tables
+// 1 and 2, Figures 3 and 4, the refined-vs-original headline and the Route
+// factor narrative — and prints each next to the published values.
+//
+// Usage:
+//
+//	ddt-paper                     # everything, benchmark scale
+//	ddt-paper -exp table1         # one experiment
+//	ddt-paper -packets 2000       # quicker, smaller-scale run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/paper"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig3, fig4, headline, factors or all")
+	packets := flag.Int("packets", paper.BenchPackets, "packets per simulation trace")
+	flag.Parse()
+
+	if err := run(*exp, *packets); err != nil {
+		fmt.Fprintln(os.Stderr, "ddt-paper:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, packets int) error {
+	start := time.Now()
+	s, err := paper.Run(packets)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# DDTR reproduction, %d-packet traces, suite ran in %.1fs\n\n",
+		s.Packets, time.Since(start).Seconds())
+
+	switch exp {
+	case "table1":
+		fmt.Println(s.RenderTable1())
+	case "table2":
+		fmt.Println(s.RenderTable2())
+	case "fig3":
+		fmt.Println(s.Figure3())
+	case "fig4":
+		fmt.Println(s.Figure4())
+	case "headline":
+		fmt.Println(s.RenderHeadline())
+	case "factors":
+		fmt.Println(s.RenderFactors())
+	case "all":
+		fmt.Println(s.RenderAll())
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	// One suite is built per run() call; keep the scale tiny.
+	for _, exp := range []string{"table1", "headline"} {
+		if err := run(exp, 300); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full render")
+	}
+	if err := run("all", 300); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("table9", 300); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

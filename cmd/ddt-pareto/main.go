@@ -1,0 +1,120 @@
+// Command ddt-pareto post-processes exploration logs into Pareto-optimal
+// fronts and ASCII charts — the reproduction of the paper's second Perl
+// tool (§3.3): "which processes the ... log files produced by previous
+// steps, and represents graphically all the DDT exploration solutions".
+//
+// Usage:
+//
+//	ddt-pareto -log route.log [-x time -y energy] [-front-only]
+//	ddt-explore -app URL -log - | ddt-pareto -log -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/explore"
+	"repro/internal/metrics"
+	"repro/internal/pareto"
+	"repro/internal/report"
+)
+
+func main() {
+	logPath := flag.String("log", "", "exploration log file ('-' for stdin)")
+	xName := flag.String("x", "time", "x axis: energy, time, accesses or footprint")
+	yName := flag.String("y", "energy", "y axis: energy, time, accesses or footprint")
+	frontOnly := flag.Bool("front-only", false, "list only Pareto-optimal points, no charts")
+	flag.Parse()
+
+	if err := run(*logPath, *xName, *yName, *frontOnly); err != nil {
+		fmt.Fprintln(os.Stderr, "ddt-pareto:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMetric(s string) (metrics.Metric, error) {
+	for _, m := range metrics.AllMetrics() {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown metric %q (want energy, time, accesses or footprint)", s)
+}
+
+func run(logPath, xName, yName string, frontOnly bool) error {
+	if logPath == "" {
+		return fmt.Errorf("missing -log")
+	}
+	x, err := parseMetric(xName)
+	if err != nil {
+		return err
+	}
+	y, err := parseMetric(yName)
+	if err != nil {
+		return err
+	}
+
+	var in io.Reader = os.Stdin
+	if logPath != "-" {
+		f, err := os.Open(logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := report.ReadResults(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("log holds no results")
+	}
+
+	// Group by application + configuration, preserving first-seen order.
+	type group struct {
+		key     string
+		results []explore.Result
+	}
+	index := make(map[string]int)
+	var groups []group
+	for _, r := range results {
+		key := r.App + " @ " + r.Config.String()
+		i, ok := index[key]
+		if !ok {
+			i = len(groups)
+			index[key] = i
+			groups = append(groups, group{key: key})
+		}
+		groups[i].results = append(groups[i].results, r)
+	}
+
+	for _, g := range groups {
+		pts := make([]pareto.Point, len(g.results))
+		for i, r := range g.results {
+			pts[i] = r.Point(i)
+		}
+		front := pareto.Front2D(pts, x, y)
+		fmt.Printf("%s: %d solutions, %d Pareto-optimal in (%s, %s)\n",
+			g.key, len(pts), len(front), x, y)
+		var rows [][]string
+		for _, p := range front {
+			rows = append(rows, []string{
+				p.Label,
+				fmt.Sprintf("%.4g", p.Vec.Get(x)),
+				fmt.Sprintf("%.4g", p.Vec.Get(y)),
+			})
+		}
+		fmt.Println(report.Table([]string{"combination", x.String(), y.String()}, rows))
+		if !frontOnly {
+			fmt.Print(report.Scatter(g.key, x, y, []report.Series{
+				{Name: "all solutions", Glyph: '.', Points: pts},
+				{Name: "Pareto front", Glyph: 'O', Points: front},
+			}, 64, 16))
+			fmt.Println()
+		}
+	}
+	return nil
+}

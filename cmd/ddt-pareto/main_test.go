@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/ddt"
+	"repro/internal/explore"
+	"repro/internal/metrics"
+	"repro/internal/report"
+)
+
+// writeSampleLog creates a two-configuration log with a known dominance
+// structure.
+func writeSampleLog(t *testing.T) string {
+	t.Helper()
+	mk := func(traceName string, kind ddt.Kind, e, tm float64) explore.Result {
+		r := explore.Result{
+			App:    "URL",
+			Config: explore.Config{TraceName: traceName, Knobs: apps.Knobs{"maxsessions": 96}},
+			Assign: apps.Assignment{"sessions": kind},
+		}
+		r.Vec = metrics.Vector{Energy: e, Time: tm, Accesses: 10, Footprint: 10}
+		return r
+	}
+	results := []explore.Result{
+		mk("Berry", ddt.AR, 1, 5),
+		mk("Berry", ddt.SLL, 5, 1),
+		mk("Berry", ddt.DLL, 6, 6), // dominated
+		mk("Brown", ddt.AR, 2, 2),
+	}
+	path := filepath.Join(t.TempDir(), "sample.log")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := report.WriteResults(f, results); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunOnLog(t *testing.T) {
+	path := writeSampleLog(t)
+	if err := run(path, "time", "energy", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "accesses", "footprint", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMetric(t *testing.T) {
+	for _, name := range []string{"energy", "time", "accesses", "footprint"} {
+		if _, err := parseMetric(name); err != nil {
+			t.Errorf("parseMetric(%q): %v", name, err)
+		}
+	}
+	if _, err := parseMetric("watts"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeSampleLog(t)
+	if err := run("", "time", "energy", false); err == nil {
+		t.Error("missing -log accepted")
+	}
+	if err := run(path, "watts", "energy", false); err == nil {
+		t.Error("bad x metric accepted")
+	}
+	if err := run(path, "time", "volts", false); err == nil {
+		t.Error("bad y metric accepted")
+	}
+	if err := run("/nonexistent.log", "time", "energy", false); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.log")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, "time", "energy", false); err == nil {
+		t.Error("empty log accepted")
+	}
+}

@@ -1,0 +1,58 @@
+// Command ddt-tracegen writes the built-in synthetic packet traces to
+// disk in the text trace format — the reproduction's stand-in for
+// downloading the NLANR and Dartmouth archives the paper used.
+//
+// Usage:
+//
+//	ddt-tracegen [-dir traces] [-packets 8000] [-only NAME]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	dir := flag.String("dir", "traces", "output directory")
+	packets := flag.Int("packets", 8000, "packets per trace")
+	only := flag.String("only", "", "generate a single named trace")
+	flag.Parse()
+
+	if err := run(*dir, *packets, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "ddt-tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, packets int, only string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range trace.BuiltinNames() {
+		if only != "" && name != only {
+			continue
+		}
+		tr, err := trace.Builtin(name, packets)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, name+".trace")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := trace.Write(f, tr); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("%-16s -> %s  (%s)\n", name, path, trace.Extract(tr))
+	}
+	return nil
+}

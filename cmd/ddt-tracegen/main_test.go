@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunWritesAllTraces(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 200, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range trace.BuiltinNames() {
+		path := filepath.Join(dir, name+".trace")
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("missing %s: %v", path, err)
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s does not parse: %v", path, err)
+		}
+		if tr.Name != name || len(tr.Packets) != 200 {
+			t.Errorf("%s: name %q packets %d", path, tr.Name, len(tr.Packets))
+		}
+	}
+}
+
+func TestRunOnly(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 100, "Berry"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "Berry.trace" {
+		t.Fatalf("entries = %v, want only Berry.trace", entries)
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	// A file path cannot be used as the output directory.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(f, 100, "Berry"); err == nil {
+		t.Fatal("writing into a file-as-directory did not fail")
+	}
+}

@@ -1,0 +1,63 @@
+// Command ddt-traceparam extracts the network parameters the exploration
+// needs — node count, throughput, packet sizes, flows — from trace files.
+// It is the reproduction of the first tool of the paper's framework
+// (§3.2): "parsing the available network traces and extracting the network
+// parameters from the raw data in the traces".
+//
+// Usage:
+//
+//	ddt-traceparam file.trace...
+//	ddt-traceparam -builtin            # parameters of the 10 built-in traces
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	builtin := flag.Bool("builtin", false, "report the built-in traces instead of files")
+	packets := flag.Int("packets", 8000, "built-in trace length (with -builtin)")
+	flag.Parse()
+
+	if err := run(*builtin, *packets, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "ddt-traceparam:", err)
+		os.Exit(1)
+	}
+}
+
+func run(builtin bool, packets int, files []string) error {
+	if builtin {
+		for _, name := range trace.BuiltinNames() {
+			tr, err := trace.Builtin(name, packets)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-16s %s\n", name, trace.Extract(tr))
+		}
+		return nil
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("no trace files given (or use -builtin)")
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		tr, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		name := tr.Name
+		if name == "" {
+			name = path
+		}
+		fmt.Printf("%-16s %s\n", name, trace.Extract(tr))
+	}
+	return nil
+}

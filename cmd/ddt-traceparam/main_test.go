@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestRunBuiltin(t *testing.T) {
+	if err := run(true, 200, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFiles(t *testing.T) {
+	tr, err := trace.Builtin("FLA", 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fla.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(false, 0, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	if err := run(false, 0, nil); err == nil {
+		t.Fatal("no inputs accepted")
+	}
+}
+
+func TestRunMissingFile(t *testing.T) {
+	if err := run(false, 0, []string{"/nonexistent/file.trace"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunGarbageFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(path, []byte("not a trace\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, 0, []string{path}); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+}

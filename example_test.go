@@ -1,0 +1,90 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleNewList shows the DDT library's common sequence abstraction: the
+// same code runs against any of the ten kinds, while the platform
+// accounts the simulated cost of each choice.
+func ExampleNewList() {
+	p := repro.NewPlatform()
+	l := repro.NewList[string](repro.SLLAR, p, 16)
+	l.Append("syn")
+	l.Append("data")
+	l.Append("fin")
+	l.InsertAt(1, "ack")
+	l.RemoveAt(0)
+
+	l.Iterate(func(i int, v string) bool {
+		fmt.Println(i, v)
+		return true
+	})
+	fmt.Println("accesses charged:", p.Metrics().Accesses > 0)
+	// Output:
+	// 0 ack
+	// 1 data
+	// 2 fin
+	// accesses charged: true
+}
+
+// ExampleParseKind resolves the paper's library names.
+func ExampleParseKind() {
+	k, _ := repro.ParseKind("DLL(ARO)")
+	fmt.Println(k)
+	_, err := repro.ParseKind("BTREE")
+	fmt.Println(err != nil)
+	// Output:
+	// DLL(ARO)
+	// true
+}
+
+// ExampleKinds lists the ten-implementation library of the paper.
+func ExampleKinds() {
+	for _, k := range repro.Kinds() {
+		fmt.Print(k, " ")
+	}
+	fmt.Println()
+	// Output:
+	// AR AR(P) SLL DLL SLL(O) DLL(O) SLL(AR) DLL(AR) SLL(ARO) DLL(ARO)
+}
+
+// ExampleOriginalAssignment shows the baseline every comparison starts
+// from: the NetBench originals implemented every container as a single
+// linked list.
+func ExampleOriginalAssignment() {
+	app, _ := repro.AppByName("DRR")
+	fmt.Println(repro.OriginalAssignment(app))
+	// Output:
+	// class-stats=SLL flows=SLL pktqueue=SLL
+}
+
+// ExampleConfigsFor enumerates the network configurations of a case
+// study: its traces crossed with the application-parameter sweep.
+func ExampleConfigsFor() {
+	app, _ := repro.AppByName("Route")
+	cfgs := repro.ConfigsFor(app)
+	fmt.Println(len(cfgs), "configurations; reference:", cfgs[0])
+	// Output:
+	// 14 configurations; reference: FLA table=128
+}
+
+// ExampleBuiltinTraceNames lists the paper's ten-trace evaluation set.
+func ExampleBuiltinTraceNames() {
+	for _, n := range repro.BuiltinTraceNames() {
+		fmt.Println(n)
+	}
+	// Output:
+	// FLA
+	// SDC
+	// BWY-I
+	// BWY-II
+	// Berry
+	// Brown
+	// Collis
+	// Sudikoff
+	// Whittemore-I
+	// Whittemore-II
+}

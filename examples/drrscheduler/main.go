@@ -1,0 +1,68 @@
+// Drrscheduler: the Deficit Round Robin case study.
+//
+// Runs the DRR fair scheduler over a backbone trace and shows (1) the
+// scheduling behaviour — flows created, packets served, peak backlog —
+// and (2) how strongly the DDT choice for its two opposing dominant
+// containers (cyclically visited flow list vs head-of-line packet queues)
+// moves the cost metrics, which is why DRR shows the widest trade-offs in
+// the paper's Table 2.
+//
+//	go run ./examples/drrscheduler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	app, err := repro.AppByName("DRR")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := repro.ConfigsFor(app)[0]
+	opts := repro.Options{TracePackets: 6000}
+
+	fmt.Printf("Deficit Round Robin on %s, %d packets\n\n", cfg, opts.TracePackets)
+
+	// Scheduling behaviour with the original containers.
+	_, sum, err := repro.Simulate(app, cfg, repro.OriginalAssignment(app), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scheduler behaviour (identical for every DDT assignment):")
+	fmt.Printf("  packets enqueued   %6d\n", sum.Packets)
+	fmt.Printf("  packets served     %6d\n", sum.Events["served"])
+	fmt.Printf("  end-of-trace queue %6d\n", sum.Events["backlog"])
+	fmt.Printf("  flows activated    %6d\n", sum.Events["flow-created"])
+	fmt.Printf("  peak active flows  %6d\n", sum.Events["max-active-flows"])
+	fmt.Println()
+
+	// The two dominant containers pull in opposite directions; sample the
+	// corners of the assignment space.
+	corners := []struct {
+		name   string
+		assign repro.Assignment
+	}{
+		{"flows=SLL    queue=SLL (original)", repro.Assignment{"flows": repro.SLL, "pktqueue": repro.SLL, "class-stats": repro.SLL}},
+		{"flows=AR     queue=AR", repro.Assignment{"flows": repro.AR, "pktqueue": repro.AR, "class-stats": repro.SLL}},
+		{"flows=AR     queue=SLL", repro.Assignment{"flows": repro.AR, "pktqueue": repro.SLL, "class-stats": repro.SLL}},
+		{"flows=DLL(O) queue=SLL(AR)", repro.Assignment{"flows": repro.DLLO, "pktqueue": repro.SLLAR, "class-stats": repro.SLL}},
+	}
+	fmt.Printf("%-36s %10s %10s %10s %10s\n", "assignment", "energy", "time", "accesses", "footprint")
+	for _, c := range corners {
+		vec, _, err := repro.Simulate(app, cfg, c.assign, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-36s %10.3g %10.3g %10.0f %9.0fB\n",
+			c.name, vec.Energy, vec.Time, vec.Accesses, vec.Footprint)
+	}
+
+	fmt.Println()
+	fmt.Println("an array queue pays head-of-line shifting, a list flow-table pays")
+	fmt.Println("cyclic walks: no corner wins everything, so the methodology hands")
+	fmt.Println("the designer the Pareto set instead of a single answer.")
+}

@@ -1,0 +1,45 @@
+// Platformsweep: the co-design extension.
+//
+// The paper tunes dynamic data types to one already-designed embedded
+// platform. This example asks the follow-on question a platform architect
+// faces: if the memory hierarchy itself is still open, how does the
+// recommended DDT combination move with it? It runs the full 3-step
+// methodology for the URL switch under three candidate hierarchies and
+// prints the per-platform recommendation.
+//
+//	go run ./examples/platformsweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	app, err := repro.AppByName("URL")
+	if err != nil {
+		log.Fatal(err)
+	}
+	platforms := repro.DefaultPlatformPoints()
+	fmt.Printf("running the 3-step methodology under %d platform designs...\n\n", len(platforms))
+
+	results, err := repro.SweepPlatforms(app, platforms, repro.Options{TracePackets: 3000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(repro.RenderSweep("URL", results))
+
+	if repro.SweepShifts(results) {
+		fmt.Println("the recommended combination CHANGES with the hierarchy:")
+		fmt.Println("DDT choice is a co-design variable, not a lookup table.")
+	} else {
+		fmt.Println("the same combination wins everywhere in this sweep, but its")
+		fmt.Println("margin over the original shrinks as the caches grow:")
+	}
+	for _, r := range results {
+		fmt.Printf("  %-20s saving vs original: %5.1f%% energy\n",
+			r.Platform.Name, 100*r.Report.EnergySaving)
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: the DDT library and the simulated platform.
+//
+// Runs the same container workload — grow a table, probe it by index,
+// churn the front — on each of the ten DDT implementations, then prints
+// the 4-metric outcome per kind and the Pareto-optimal subset. This is
+// the paper's core observation in miniature: no single dynamic data type
+// wins every metric, so the choice is a trade-off the methodology must
+// explore.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// record stands in for an application record (a route entry, a session...).
+type record struct {
+	Key, A, B int32
+}
+
+const recordBytes = 24
+
+// workload exercises l the way network applications exercise their
+// dominant containers: append-heavy growth, indexed probes, and
+// remove-at-front churn.
+func workload(l repro.List[record]) {
+	for i := 0; i < 600; i++ {
+		l.Append(record{Key: int32(i)})
+	}
+	for i := 0; i < 3000; i++ {
+		idx := (i * 37) % l.Len()
+		r := l.Get(idx)
+		r.A++
+		l.Set(idx, r)
+	}
+	for i := 0; i < 200; i++ {
+		l.RemoveAt(0)      // expire the oldest
+		l.Append(record{}) // admit a new one
+	}
+	total := int32(0)
+	l.Iterate(func(_ int, r record) bool {
+		total += r.A
+		return true
+	})
+	_ = total
+}
+
+func main() {
+	fmt.Println("same workload, ten dynamic data types, one simulated platform")
+	fmt.Println()
+	fmt.Printf("%-10s %12s %10s %10s %10s\n", "DDT", "energy", "time", "accesses", "footprint")
+
+	var points []repro.Point
+	for _, kind := range repro.Kinds() {
+		p := repro.NewPlatform()
+		l := repro.NewList[record](kind, p, recordBytes)
+		workload(l)
+		v := p.Metrics()
+		points = append(points, repro.Point{Label: kind.String(), Vec: v})
+		fmt.Printf("%-10s %12.3g %10.3g %10.0f %9.0fB\n",
+			kind, v.Energy, v.Time, v.Accesses, v.Footprint)
+	}
+
+	front := repro.ParetoFront(points)
+	fmt.Println()
+	fmt.Printf("Pareto-optimal kinds for THIS workload (%d of %d):\n", len(front), len(points))
+	for _, p := range front {
+		fmt.Printf("  %-10s %v\n", p.Label, p.Vec)
+	}
+	fmt.Println()
+	fmt.Println("change the workload mix and the front changes with it — which is")
+	fmt.Println("why the methodology explores per application and per network.")
+}

@@ -1,0 +1,61 @@
+// Routeexplore: the full 3-step methodology on the Route benchmark.
+//
+// Reproduces the paper's flagship case study (§4, Figure 4): IPv4
+// forwarding over a PATRICIA radix table, explored across seven networks
+// and two radix-table sizes, ending in the execution-time/energy Pareto
+// curve for the Berry trace and the combination a designer would pick
+// from it.
+//
+//	go run ./examples/routeexplore
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	m, err := repro.MethodologyFor("Route", 4000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Route: dominant structures %s\n", strings.Join(rep.DominantRoles, " and "))
+	fmt.Printf("step 1 kept %d of %d combinations; step 2 covered %d configurations\n",
+		len(rep.Step1.Survivors), len(rep.Step1.Results), len(rep.Configs))
+	fmt.Printf("simulations: %d instead of %d exhaustive (%.0f%% saved)\n\n",
+		rep.Reduced, rep.Exhaustive, 100*rep.ReductionFraction())
+
+	// The per-configuration Pareto curve the designer chooses from —
+	// the paper highlights Berry at radix size 256 (Figure 4b).
+	berry, err := rep.ConfigByName("Berry table=256")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pareto curve for %s (execution time vs energy):\n", berry.Config)
+	for _, p := range berry.FrontTE {
+		fmt.Printf("  %-44s t=%8.3g s  E=%8.3g J  acc=%9.0f  fp=%7.0f B\n",
+			p.Label, p.Vec.Time, p.Vec.Energy, p.Vec.Accesses, p.Vec.Footprint)
+	}
+
+	best := repro.BestPoint(berry.FrontTE, repro.Energy)
+	fmt.Printf("\ndesigner's pick (lowest energy on the curve): %s\n", best.Label)
+	fmt.Printf("  %v\n\n", best.Vec)
+
+	fmt.Printf("against the original all-SLL implementation (reference %s):\n", rep.Reference)
+	fmt.Printf("  original: %v\n", rep.Original.Vec)
+	fmt.Printf("  refined:  %v\n", rep.BestEnergy.Vec)
+	fmt.Printf("  savings:  %.0f%% energy, %.0f%% execution time\n",
+		100*rep.EnergySaving, 100*rep.TimeSaving)
+	fmt.Printf("\ntrade-off spans across the Pareto-optimal sets: "+
+		"energy %.0f%%, time %.0f%%, accesses %.0f%%, footprint %.0f%%\n",
+		100*rep.Tradeoffs[repro.Energy], 100*rep.Tradeoffs[repro.Time],
+		100*rep.Tradeoffs[repro.Accesses], 100*rep.Tradeoffs[repro.Footprint])
+}

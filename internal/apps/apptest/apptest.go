@@ -1,0 +1,192 @@
+// Package apptest provides the shared conformance checks every network
+// application must pass: functional equivalence across all ten DDT
+// assignments (the refinement "does not alter the actual functionality of
+// the application"), determinism, and well-formed role/knob/trace
+// declarations. Each application's test file runs these and adds its own
+// behavioural checks.
+package apptest
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/ddt"
+	"repro/internal/platform"
+	"repro/internal/profiler"
+	"repro/internal/trace"
+)
+
+// TracePackets is the trace length used by the conformance checks — small
+// enough to keep `go test ./...` fast even for the list-heavy assignments.
+const TracePackets = 600
+
+// LoadTrace returns the app's first declared trace at test scale.
+func LoadTrace(t *testing.T, a apps.App) *trace.Trace {
+	t.Helper()
+	names := a.TraceNames()
+	if len(names) == 0 {
+		t.Fatalf("%s declares no traces", a.Name())
+	}
+	tr, err := trace.Builtin(names[0], TracePackets)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name(), err)
+	}
+	return tr
+}
+
+// Run executes the app once on a fresh platform and returns the summary
+// and metrics.
+func Run(t *testing.T, a apps.App, tr *trace.Trace, assign apps.Assignment) (apps.Summary, platform.Platform) {
+	t.Helper()
+	p := platform.Default()
+	sum, err := a.Run(tr, p, assign, a.DefaultKnobs(), nil)
+	if err != nil {
+		t.Fatalf("%s: Run(%v): %v", a.Name(), assign, err)
+	}
+	return sum, *p
+}
+
+// CheckConformance runs the full generic suite.
+func CheckConformance(t *testing.T, a apps.App) {
+	t.Helper()
+	checkDeclarations(t, a)
+	tr := LoadTrace(t, a)
+
+	origSum, origPlat := Run(t, a, tr, apps.Original(a))
+	origVec := origPlat.Metrics()
+	if origSum.Packets != len(tr.Packets) {
+		t.Errorf("%s: processed %d of %d packets", a.Name(), origSum.Packets, len(tr.Packets))
+	}
+	if origVec.Accesses == 0 || origVec.Energy <= 0 || origVec.Time <= 0 || origVec.Footprint <= 0 {
+		t.Errorf("%s: degenerate metrics %v", a.Name(), origVec)
+	}
+
+	// Determinism: identical reruns.
+	sum2, plat2 := Run(t, a, tr, apps.Original(a))
+	if !origSum.Equal(sum2) {
+		t.Errorf("%s: summary differs across identical runs", a.Name())
+	}
+	if plat2.Metrics() != origVec {
+		t.Errorf("%s: metrics differ across identical runs: %v vs %v",
+			a.Name(), plat2.Metrics(), origVec)
+	}
+
+	// Functional equivalence: every DDT kind on every role preserves the
+	// behavioural summary while (in general) changing the cost vector.
+	changedCost := false
+	for _, role := range a.Roles() {
+		for _, k := range ddt.AllKinds() {
+			assign := apps.Original(a)
+			assign[role.Name] = k
+			sum, plat := Run(t, a, tr, assign)
+			if !sum.Equal(origSum) {
+				t.Fatalf("%s: assignment %v changed behaviour: %+v vs %+v",
+					a.Name(), assign, sum.Events, origSum.Events)
+			}
+			if plat.Metrics() != origVec {
+				changedCost = true
+			}
+		}
+	}
+	if !changedCost {
+		t.Errorf("%s: no DDT assignment changed any cost metric; exploration would be vacuous", a.Name())
+	}
+
+	checkValidation(t, a, tr)
+	checkProfiling(t, a, tr)
+}
+
+func checkDeclarations(t *testing.T, a apps.App) {
+	t.Helper()
+	roles := a.Roles()
+	if len(roles) < 2 {
+		t.Fatalf("%s: fewer than 2 candidate containers", a.Name())
+	}
+	seen := make(map[string]bool)
+	for _, r := range roles {
+		if seen[r.Name] {
+			t.Errorf("%s: duplicate role %q", a.Name(), r.Name)
+		}
+		seen[r.Name] = true
+		if r.RecordBytes == 0 {
+			t.Errorf("%s: role %q has zero record size", a.Name(), r.Name)
+		}
+	}
+	for knob := range a.KnobSweep() {
+		if _, ok := a.DefaultKnobs()[knob]; !ok {
+			t.Errorf("%s: sweep knob %q missing from defaults", a.Name(), knob)
+		}
+	}
+	for _, name := range a.TraceNames() {
+		if _, err := trace.Builtin(name, 10); err != nil {
+			t.Errorf("%s: %v", a.Name(), err)
+		}
+	}
+}
+
+func checkValidation(t *testing.T, a apps.App, tr *trace.Trace) {
+	t.Helper()
+	p := platform.Default()
+	if _, err := a.Run(tr, p, apps.Assignment{"no-such-role": ddt.AR}, a.DefaultKnobs(), nil); err == nil {
+		t.Errorf("%s: unknown role accepted", a.Name())
+	}
+	if _, err := a.Run(tr, platform.Default(), apps.Original(a), apps.Knobs{}, nil); err == nil {
+		t.Errorf("%s: empty knobs accepted", a.Name())
+	}
+}
+
+func checkProfiling(t *testing.T, a apps.App, tr *trace.Trace) {
+	t.Helper()
+	probes := profiler.NewSet()
+	p := platform.Default()
+	if _, err := a.Run(tr, p, apps.Original(a), a.DefaultKnobs(), probes); err != nil {
+		t.Fatalf("%s: profiled run: %v", a.Name(), err)
+	}
+	ranked := probes.Ranked()
+	if len(ranked) != len(a.Roles()) {
+		t.Fatalf("%s: %d probes for %d roles", a.Name(), len(ranked), len(a.Roles()))
+	}
+	var attributed uint64
+	for _, pr := range ranked {
+		if pr.Accesses() == 0 {
+			t.Errorf("%s: container %q never accessed; dead candidate", a.Name(), pr.Role)
+		}
+		attributed += pr.Accesses()
+	}
+	// Probes partition a subset of the platform's accesses: per-role
+	// attribution can never exceed what the platform observed.
+	if total := uint64(p.Metrics().Accesses); attributed > total {
+		t.Errorf("%s: probes attribute %d accesses but the platform saw %d",
+			a.Name(), attributed, total)
+	}
+	// Profiled run must not change the platform metrics (probes observe,
+	// they don't perturb).
+	p2 := platform.Default()
+	if _, err := a.Run(tr, p2, apps.Original(a), a.DefaultKnobs(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Metrics() != p2.Metrics() {
+		t.Errorf("%s: profiling changed the metrics: %v vs %v", a.Name(), p.Metrics(), p2.Metrics())
+	}
+}
+
+// CheckDominant verifies profiling ranks the expected containers on top
+// (in any order between them).
+func CheckDominant(t *testing.T, a apps.App, want ...string) {
+	t.Helper()
+	tr := LoadTrace(t, a)
+	probes := profiler.NewSet()
+	if _, err := a.Run(tr, platform.Default(), apps.Original(a), a.DefaultKnobs(), probes); err != nil {
+		t.Fatal(err)
+	}
+	got := probes.Dominant(len(want))
+	have := make(map[string]bool)
+	for _, r := range got {
+		have[r] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("%s: dominant set %v missing %q\nprofile:\n%s", a.Name(), got, w, probes)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package drr_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/apptest"
+	"repro/internal/apps/drr"
+	"repro/internal/ddt"
+)
+
+func TestConformance(t *testing.T) {
+	apptest.CheckConformance(t, drr.App{})
+}
+
+func TestDominantStructures(t *testing.T) {
+	apptest.CheckDominant(t, drr.App{}, drr.RoleFlows, drr.RoleQueue)
+}
+
+func TestWorkConservation(t *testing.T) {
+	a := drr.App{}
+	tr := apptest.LoadTrace(t, a)
+	sum, _ := apptest.Run(t, a, tr, apps.Original(a))
+	if got := sum.Events["served"] + sum.Events["backlog"]; got != len(tr.Packets) {
+		t.Fatalf("served %d + backlog %d != %d packets",
+			sum.Events["served"], sum.Events["backlog"], len(tr.Packets))
+	}
+	// With a service budget of 2 per arrival the scheduler must drain
+	// almost everything.
+	if sum.Events["backlog"]*10 > len(tr.Packets) {
+		t.Errorf("backlog %d of %d packets; scheduler starved", sum.Events["backlog"], len(tr.Packets))
+	}
+	if sum.Events["flow-created"] < 10 {
+		t.Errorf("only %d flows; scheduling trivial", sum.Events["flow-created"])
+	}
+	if sum.Events["max-active-flows"] < 2 {
+		t.Errorf("max active flows %d; no concurrency, round robin untested", sum.Events["max-active-flows"])
+	}
+}
+
+// TestOpposingPreferences checks the tension the paper's DRR case study
+// rests on: the flow list prefers cyclic-scan-friendly structures while
+// the packet queues prefer head-removal-friendly ones, so no single kind
+// wins both.
+func TestOpposingPreferences(t *testing.T) {
+	a := drr.App{}
+	tr := apptest.LoadTrace(t, a)
+	accesses := func(flowKind, queueKind ddt.Kind) float64 {
+		assign := apps.Original(a)
+		assign[drr.RoleFlows] = flowKind
+		assign[drr.RoleQueue] = queueKind
+		_, plat := apptest.Run(t, a, tr, assign)
+		return plat.Metrics().Accesses
+	}
+	// For the packet-queue role (fixed reasonable flow store): an array
+	// queue pays head-removal shifting; a list queue does not.
+	arQueue := accesses(ddt.DLLO, ddt.AR)
+	sllQueue := accesses(ddt.DLLO, ddt.SLL)
+	if sllQueue >= arQueue {
+		t.Errorf("queue role: SLL (%v accesses) should beat AR (%v) on head removals", sllQueue, arQueue)
+	}
+	// For the flow-list role (fixed queue): a roving or array structure
+	// should beat a plain SLL whose cyclic Get(rr) walks from the head.
+	sllFlows := accesses(ddt.SLL, ddt.SLL)
+	dlloFlows := accesses(ddt.DLLO, ddt.SLL)
+	if dlloFlows >= sllFlows {
+		t.Errorf("flow role: DLL(O) (%v accesses) should beat SLL (%v) on cyclic visits", dlloFlows, sllFlows)
+	}
+}

@@ -1,0 +1,103 @@
+package ipchains_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/apptest"
+	"repro/internal/apps/ipchains"
+	"repro/internal/platform"
+	"repro/internal/profiler"
+)
+
+func TestConformance(t *testing.T) {
+	apptest.CheckConformance(t, ipchains.App{})
+}
+
+func TestDominantStructures(t *testing.T) {
+	apptest.CheckDominant(t, ipchains.App{}, ipchains.RoleConntrack, ipchains.RoleRules)
+}
+
+func TestVerdictAccounting(t *testing.T) {
+	a := ipchains.App{}
+	tr := apptest.LoadTrace(t, a)
+	sum, _ := apptest.Run(t, a, tr, apps.Original(a))
+	decided := sum.Events["tracked"] + sum.Events["accept"] + sum.Events["deny"]
+	if decided != len(tr.Packets) {
+		t.Fatalf("decided %d of %d packets: %+v", decided, len(tr.Packets), sum.Events)
+	}
+	for _, ev := range []string{"tracked", "accept", "deny"} {
+		if sum.Events[ev] == 0 {
+			t.Errorf("no %q packets; chain or conntrack never exercised", ev)
+		}
+	}
+}
+
+func TestRuleCountKnobChangesBehaviour(t *testing.T) {
+	a := ipchains.App{}
+	tr := apptest.LoadTrace(t, a)
+	verdicts := func(rules int) (accept, deny int, vec float64) {
+		p := platform.Default()
+		sum, err := a.Run(tr, p, apps.Original(a), apps.Knobs{ipchains.KnobRules: rules}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum.Events["accept"], sum.Events["deny"], p.Metrics().Accesses
+	}
+	a32, d32, acc32 := verdicts(32)
+	a128, d128, acc128 := verdicts(128)
+	if a32+d32 == 0 || a128+d128 == 0 {
+		t.Fatal("degenerate runs")
+	}
+	// Longer chains cover more ephemeral port bands -> more accepts, and
+	// cost more accesses per chain scan.
+	if a128 <= a32 {
+		t.Errorf("accepts with 128 rules (%d) not above 32 rules (%d)", a128, a32)
+	}
+	if acc128 <= acc32 {
+		t.Errorf("accesses with 128 rules (%v) not above 32 rules (%v)", acc128, acc32)
+	}
+}
+
+// TestMinimalChainDeniesEverything pins the chain semantics at the edge:
+// with only the administrative deny and the trailing default deny, no
+// packet is ever accepted and nothing enters the connection cache.
+func TestMinimalChainDeniesEverything(t *testing.T) {
+	a := ipchains.App{}
+	tr := apptest.LoadTrace(t, a)
+	p := platform.Default()
+	sum, err := a.Run(tr, p, apps.Original(a), apps.Knobs{ipchains.KnobRules: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events["accept"] != 0 || sum.Events["tracked"] != 0 {
+		t.Fatalf("minimal chain accepted traffic: %+v", sum.Events)
+	}
+	if sum.Events["deny"] != len(tr.Packets) {
+		t.Fatalf("denied %d of %d", sum.Events["deny"], len(tr.Packets))
+	}
+}
+
+// TestConntrackBypassesChainScan verifies the fast path: tracked packets
+// must not pay the rule-chain scan, so a trace with long flows costs
+// fewer rule-container accesses per packet than its untracked verdicts
+// imply.
+func TestConntrackBypassesChainScan(t *testing.T) {
+	a := ipchains.App{}
+	tr := apptest.LoadTrace(t, a)
+	probes := profiler.NewSet()
+	p := platform.Default()
+	sum, err := a.Run(tr, p, apps.Original(a), a.DefaultKnobs(), probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scans := sum.Events["accept"] + sum.Events["deny"] // untracked packets only
+	ruleOps := probes.Probe(ipchains.RoleRules).Ops
+	// One Iterate per scan plus the 64 setup Appends.
+	if ruleOps != uint64(scans)+64 {
+		t.Errorf("rule-container ops %d != chain scans %d + 64 setup appends", ruleOps, scans)
+	}
+	if sum.Events["tracked"] == 0 {
+		t.Error("no tracked packets; bypass untested")
+	}
+}

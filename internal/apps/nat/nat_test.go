@@ -1,0 +1,81 @@
+package nat_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/apptest"
+	"repro/internal/apps/nat"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/platform"
+)
+
+func TestConformance(t *testing.T) {
+	apptest.CheckConformance(t, nat.App{})
+}
+
+func TestDominantStructure(t *testing.T) {
+	// The translation table is probed up to twice per border packet; it
+	// must rank first.
+	apptest.CheckDominant(t, nat.App{}, nat.RoleTable)
+}
+
+func TestPacketAccounting(t *testing.T) {
+	a := nat.App{}
+	tr := apptest.LoadTrace(t, a)
+	sum, _ := apptest.Run(t, a, tr, apps.Original(a))
+	border := sum.Events["translated-out"] + sum.Events["new-binding"] + sum.Events["closed"]
+	if got := border + sum.Events["local"]; got != len(tr.Packets) {
+		t.Fatalf("classified %d of %d packets: %+v", got, len(tr.Packets), sum.Events)
+	}
+	for _, ev := range []string{"new-binding", "translated-out", "translated-in", "local", "closed"} {
+		if sum.Events[ev] == 0 {
+			t.Errorf("no %q events; workload degenerate", ev)
+		}
+	}
+	// Replies for live bindings must overwhelmingly find their binding.
+	if sum.Events["dropped-in"] > sum.Events["translated-in"] {
+		t.Errorf("more inbound drops (%d) than hits (%d); binding bookkeeping broken",
+			sum.Events["dropped-in"], sum.Events["translated-in"])
+	}
+}
+
+func TestCapEvictsAndRecyclesPorts(t *testing.T) {
+	a := nat.App{}
+	tr := apptest.LoadTrace(t, a)
+	p := platform.Default()
+	sum, err := a.Run(tr, p, apps.Original(a), apps.Knobs{nat.KnobTable: 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events["evicted"] == 0 {
+		t.Fatal("tiny table cap never evicted")
+	}
+	if sum.Events["table-final"] > 6+1 {
+		t.Fatalf("final table %d exceeds cap", sum.Events["table-final"])
+	}
+}
+
+// TestPluggedIntoMethodology is the point of the extension: the full
+// 3-step flow runs on an application the paper never saw, unchanged.
+func TestPluggedIntoMethodology(t *testing.T) {
+	m := core.Methodology{App: nat.App{}, Opts: explore.Options{TracePackets: 400}}
+	rep, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 traces x 2 knob values = 10 configurations.
+	if rep.Exhaustive != 1000 {
+		t.Errorf("exhaustive = %d, want 1000", rep.Exhaustive)
+	}
+	if rep.ReductionFraction() <= 0 {
+		t.Error("no simulation reduction")
+	}
+	if rep.ParetoOptimal == 0 {
+		t.Error("empty Pareto set")
+	}
+	if rep.EnergySaving < 0 || rep.TimeSaving < 0 {
+		t.Errorf("refinement lost to original: E %.2f t %.2f", rep.EnergySaving, rep.TimeSaving)
+	}
+}

@@ -1,0 +1,47 @@
+package netapps_test
+
+import (
+	"testing"
+
+	"repro/internal/apps/netapps"
+)
+
+func TestAllMatchesPaperOrder(t *testing.T) {
+	want := []string{"Route", "URL", "IPchains", "DRR"}
+	got := netapps.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestByNameFindsPaperAppsAndExtensions(t *testing.T) {
+	for _, name := range append(netapps.Names(), "NAT") {
+		a, err := netapps.ByName(name)
+		if err != nil || a.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := netapps.ByName("Doom"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestExtensionsAreNotInAll(t *testing.T) {
+	inAll := make(map[string]bool)
+	for _, a := range netapps.All() {
+		inAll[a.Name()] = true
+	}
+	for _, e := range netapps.Extensions() {
+		if inAll[e.Name()] {
+			t.Errorf("extension %q leaked into the paper suite", e.Name())
+		}
+	}
+	if len(netapps.Extensions()) == 0 {
+		t.Error("no extension applications registered")
+	}
+}

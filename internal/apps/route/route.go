@@ -1,0 +1,326 @@
+// Package route reimplements the NetBench "Route" benchmark: IPv4
+// forwarding with a radix (PATRICIA) routing table.
+//
+// The paper identifies two dominant dynamic structures in Route: "the
+// radix_node structure forms the nodes of the tree and the rtentry
+// structure holding the route entries" (§4). Here the tree is a crit-bit
+// PATRICIA over /24 prefixes whose nodes live in the "radix-nodes"
+// container and whose route entries live in the "rtentries" container;
+// nodes reference each other by container index, so every step of a
+// lookup is an indexed container access and the DDT choice for the node
+// store dominates the access pattern — exactly the trade-off the paper's
+// Figure 4 explores (its highlighted optimum is an array node store with a
+// doubly-linked entry store).
+//
+// Two minor candidate containers, the ARP next-hop cache and per-interface
+// statistics, exist so the profiling step has something to rank *below*
+// the dominant pair.
+package route
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/ddt"
+	"repro/internal/platform"
+	"repro/internal/profiler"
+	"repro/internal/trace"
+)
+
+// Container role names.
+const (
+	RoleNodes   = "radix-nodes"
+	RoleEntries = "rtentries"
+	RoleARP     = "arp-cache"
+	RoleStats   = "if-stats"
+)
+
+// KnobTable is the routing-table size knob — the paper's "Radix tree size"
+// network parameter, explored "for 2 different values ... (for 128 and 256
+// entries)".
+const KnobTable = "table"
+
+// nodeRec is the radix_node record: a crit-bit tree node. Internal nodes
+// branch on Bit; leaves (Bit < 0) carry the prefix key and the rtentry id.
+type nodeRec struct {
+	Bit         int32 // branch bit (0 = MSB); -1 marks a leaf
+	Left, Right int32 // child node ids
+	Key         uint32
+	Entry       int32
+}
+
+// entryRec is the rtentry record (destination, mask, gateway and the
+// bookkeeping fields of the BSD rtentry).
+type entryRec struct {
+	Dst     uint32
+	Mask    uint32
+	Gateway uint32
+	Flags   uint32
+	Use     uint32
+	Metric  uint32
+}
+
+// arpRec is one next-hop cache record.
+type arpRec struct {
+	IP  uint32
+	MAC uint64
+}
+
+// statRec is one per-interface counter record.
+type statRec struct {
+	Packets uint64
+	Bytes   uint64
+}
+
+// App is the Route benchmark.
+type App struct{}
+
+var _ apps.App = App{}
+
+// Name returns "Route".
+func (App) Name() string { return "Route" }
+
+// Roles lists the candidate containers.
+func (App) Roles() []apps.Role {
+	return []apps.Role{
+		{Name: RoleNodes, RecordBytes: 20},
+		{Name: RoleEntries, RecordBytes: 32},
+		{Name: RoleARP, RecordBytes: 16},
+		{Name: RoleStats, RecordBytes: 16},
+	}
+}
+
+// DefaultKnobs uses the paper's smaller radix table.
+func (App) DefaultKnobs() apps.Knobs { return apps.Knobs{KnobTable: 128} }
+
+// KnobSweep explores the paper's two radix-table sizes.
+func (App) KnobSweep() map[string][]int {
+	return map[string][]int{KnobTable: {128, 256}}
+}
+
+// TraceNames: "Seven network configurations were used, utilizing 7
+// different networks" (§4) — one trace from each of seven networks,
+// including the BWY-I and Berry traces Figure 4 singles out.
+func (App) TraceNames() []string {
+	return []string{"FLA", "SDC", "BWY-I", "Berry", "Brown", "Collis", "Sudikoff"}
+}
+
+// state is one simulation instance.
+type state struct {
+	nodes   ddt.List[nodeRec]
+	entries ddt.List[entryRec]
+	arp     ddt.List[arpRec]
+	stats   ddt.List[statRec]
+
+	nodeEnv, entryEnv, arpEnv, statEnv *ddt.Env
+	mem                                *platform.Platform
+
+	root     int32 // root node id, -1 when empty
+	maxTable int
+	known    map[uint32]bool // prefixes already installed (control state)
+}
+
+// Run executes Route over the trace.
+func (a App) Run(tr *trace.Trace, p *platform.Platform, assign apps.Assignment, knobs apps.Knobs, probes *profiler.Set) (apps.Summary, error) {
+	sum := apps.NewSummary()
+	if err := apps.ValidateAssignment(a, assign); err != nil {
+		return sum, err
+	}
+	table := knobs[KnobTable]
+	if table <= 0 {
+		return sum, fmt.Errorf("route: knob %q must be positive, got %d", KnobTable, table)
+	}
+	s := &state{
+		nodeEnv:  apps.EnvFor(p, probes, RoleNodes),
+		entryEnv: apps.EnvFor(p, probes, RoleEntries),
+		arpEnv:   apps.EnvFor(p, probes, RoleARP),
+		statEnv:  apps.EnvFor(p, probes, RoleStats),
+		mem:      p,
+		root:     -1,
+		maxTable: table,
+		known:    make(map[uint32]bool),
+	}
+	s.nodes = ddt.New[nodeRec](apps.KindFor(assign, RoleNodes), s.nodeEnv, 20)
+	s.entries = ddt.New[entryRec](apps.KindFor(assign, RoleEntries), s.entryEnv, 32)
+	s.arp = ddt.New[arpRec](apps.KindFor(assign, RoleARP), s.arpEnv, 16)
+	s.stats = ddt.New[statRec](apps.KindFor(assign, RoleStats), s.statEnv, 16)
+
+	// Default route (entry 0) and interface counters.
+	s.entries.Append(entryRec{Dst: 0, Mask: 0, Gateway: 0x0a000001, Flags: 1})
+	for i := 0; i < 4; i++ {
+		s.stats.Append(statRec{})
+	}
+
+	for i := range tr.Packets {
+		pk := &tr.Packets[i]
+		sum.Packets++
+
+		// Routing updates arrive as previously unseen prefixes — forward
+		// routes from destinations, reverse-path routes from sources —
+		// until the configured table size is reached. The table fills
+		// dynamically, interleaving inserts with lookups.
+		s.maybeAddRoute(pk.Dst&0xffffff00, &sum)
+		s.maybeAddRoute(pk.Src&0xffffff00, &sum)
+
+		entry, matched := s.lookup(pk.Dst)
+		if matched {
+			sum.Count("lpm-match", 1)
+		} else {
+			sum.Count("default-route", 1)
+		}
+		s.forward(pk, entry)
+	}
+	sum.Count("table-size", s.entries.Len())
+	sum.Count("tree-nodes", s.nodes.Len())
+	return sum, nil
+}
+
+// maybeAddRoute installs a /24 route for prefix if it is new and the
+// table has room.
+func (s *state) maybeAddRoute(prefix uint32, sum *apps.Summary) {
+	if s.known[prefix] || len(s.known) >= s.maxTable {
+		return
+	}
+	s.known[prefix] = true
+	// One of the router's four next hops serves each prefix.
+	gw := 0x0a0000fe - (prefix>>8)%4
+	entryID := int32(s.entries.Len())
+	s.entries.Append(entryRec{Dst: prefix, Mask: 0xffffff00, Gateway: gw, Flags: 3})
+	s.insert(prefix, entryID)
+	sum.Count("route-add", 1)
+}
+
+// bit returns bit i (0 = MSB) of key.
+func bit(key uint32, i int32) int32 {
+	return int32(key>>(31-uint(i))) & 1
+}
+
+// insert adds a /24 prefix leaf to the crit-bit tree. Costs are charged
+// through the container accesses (Get to descend, Set to splice, Append
+// for the new nodes).
+func (s *state) insert(key uint32, entryID int32) {
+	s.mem.Mem.Op(4) // prefix/mask preparation
+	if s.root < 0 {
+		s.root = s.appendNode(nodeRec{Bit: -1, Key: key, Entry: entryID})
+		return
+	}
+	// Phase 1: descend to the closest leaf.
+	id := s.root
+	rec := s.nodes.Get(int(id))
+	for rec.Bit >= 0 {
+		if bit(key, rec.Bit) == 0 {
+			id = rec.Left
+		} else {
+			id = rec.Right
+		}
+		rec = s.nodes.Get(int(id))
+	}
+	if rec.Key == key {
+		// Duplicate prefix: replace the route (update the leaf).
+		rec.Entry = entryID
+		s.nodes.Set(int(id), rec)
+		return
+	}
+	// Critical bit: first position where key and the leaf key differ.
+	diff := key ^ rec.Key
+	crit := int32(0)
+	for bit(diff, crit) == 0 {
+		crit++
+	}
+	s.mem.Mem.Op(uint64(crit)/8 + 1)
+
+	leafID := s.appendNode(nodeRec{Bit: -1, Key: key, Entry: entryID})
+
+	// Phase 2: descend again to the splice point (parent whose branch bit
+	// exceeds crit, or the leaf itself).
+	var parent int32 = -1
+	var fromLeft bool
+	id = s.root
+	rec = s.nodes.Get(int(id))
+	for rec.Bit >= 0 && rec.Bit < crit {
+		parent = id
+		fromLeft = bit(key, rec.Bit) == 0
+		if fromLeft {
+			id = rec.Left
+		} else {
+			id = rec.Right
+		}
+		rec = s.nodes.Get(int(id))
+	}
+
+	inner := nodeRec{Bit: crit}
+	if bit(key, crit) == 0 {
+		inner.Left, inner.Right = leafID, id
+	} else {
+		inner.Left, inner.Right = id, leafID
+	}
+	innerID := s.appendNode(inner)
+
+	if parent < 0 {
+		s.root = innerID
+		return
+	}
+	prec := s.nodes.Get(int(parent))
+	if fromLeft {
+		prec.Left = innerID
+	} else {
+		prec.Right = innerID
+	}
+	s.nodes.Set(int(parent), prec)
+}
+
+func (s *state) appendNode(rec nodeRec) int32 {
+	id := int32(s.nodes.Len())
+	s.nodes.Append(rec)
+	return id
+}
+
+// lookup walks the tree for dst and returns the matching rtentry (falling
+// back to entry 0, the default route, when the best leaf does not cover
+// dst) and whether a prefix matched.
+func (s *state) lookup(dst uint32) (entryRec, bool) {
+	if s.root < 0 {
+		return s.entries.Get(0), false
+	}
+	id := s.root
+	rec := s.nodes.Get(int(id))
+	for rec.Bit >= 0 {
+		if bit(dst, rec.Bit) == 0 {
+			id = rec.Left
+		} else {
+			id = rec.Right
+		}
+		rec = s.nodes.Get(int(id))
+	}
+	e := s.entries.Get(int(rec.Entry))
+	s.mem.Mem.Op(2) // mask-and-compare
+	if dst&e.Mask == e.Dst {
+		return e, true
+	}
+	return s.entries.Get(0), false
+}
+
+// forward models the per-packet output path: ARP next-hop resolution and
+// interface statistics.
+func (s *state) forward(pk *trace.Packet, e entryRec) {
+	// Next-hop cache: linear search, insert on miss, LRU-style eviction.
+	idx, _, ok := ddt.Find(s.arp, s.arpEnv, 2, func(r arpRec) bool { return r.IP == e.Gateway })
+	if !ok {
+		s.arp.Append(arpRec{IP: e.Gateway, MAC: uint64(e.Gateway) * 0x1b3})
+		if s.arp.Len() > 32 {
+			s.arp.RemoveAt(0)
+		}
+	} else {
+		_ = idx
+	}
+	// Interface counters, one of four simulated ports.
+	ifc := int(e.Gateway & 3)
+	st := s.stats.Get(ifc)
+	st.Packets++
+	st.Bytes += uint64(pk.Size)
+	s.stats.Set(ifc, st)
+	// Fixed per-packet datapath work: header validation, checksum
+	// update, TTL decrement, rewrite. This compute is DDT-independent
+	// and dilutes the execution-time spread, as on the paper's host.
+	s.mem.Mem.Op(120)
+}

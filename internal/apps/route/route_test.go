@@ -1,0 +1,141 @@
+package route_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/apptest"
+	"repro/internal/apps/route"
+	"repro/internal/ddt"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+func TestConformance(t *testing.T) {
+	apptest.CheckConformance(t, route.App{})
+}
+
+func TestDominantStructures(t *testing.T) {
+	// The paper: "Two dominant DDTs are present in the Route application,
+	// radix node ... and the rtentry structure".
+	apptest.CheckDominant(t, route.App{}, route.RoleNodes, route.RoleEntries)
+}
+
+// knobTrace is long enough for the trace's prefix diversity to exceed the
+// routing-table sizes, which is when the paper's radix-size parameter
+// starts to matter.
+func knobTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Builtin("FLA", 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestEveryPacketRouted(t *testing.T) {
+	a := route.App{}
+	tr := knobTrace(t)
+	sum, _ := apptest.Run(t, a, tr, apps.Original(a))
+	routed := sum.Events["lpm-match"] + sum.Events["default-route"]
+	if routed != len(tr.Packets) {
+		t.Fatalf("routed %d of %d packets", routed, len(tr.Packets))
+	}
+	if sum.Events["lpm-match"] == 0 {
+		t.Error("no packet ever matched an installed prefix")
+	}
+	if sum.Events["default-route"] == 0 {
+		t.Error("no packet ever used the default route; table covers everything, knob is dead")
+	}
+}
+
+func TestTableSizeKnobBoundsTree(t *testing.T) {
+	a := route.App{}
+	tr := knobTrace(t)
+	run := func(table int) (entries, nodes int) {
+		p := platform.Default()
+		sum, err := a.Run(tr, p, apps.Original(a), apps.Knobs{route.KnobTable: table}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum.Events["table-size"], sum.Events["tree-nodes"]
+	}
+	e128, n128 := run(128)
+	e256, n256 := run(256)
+	if e128 > 128+1 { // + default route
+		t.Errorf("table=128 grew to %d entries", e128)
+	}
+	if e256 <= e128 {
+		t.Errorf("table=256 (%d entries) not larger than table=128 (%d)", e256, e128)
+	}
+	if n256 <= n128 {
+		t.Errorf("tree nodes did not grow with the table: %d vs %d", n256, n128)
+	}
+	// A crit-bit tree over E prefixes has exactly 2E-1 nodes.
+	routes128 := e128 - 1
+	if n128 != 2*routes128-1 {
+		t.Errorf("crit-bit node count = %d for %d prefixes, want %d", n128, routes128, 2*routes128-1)
+	}
+}
+
+// TestNodeStoreChoiceMatters checks the application-level claim behind
+// Figure 4: an array node store must beat a singly linked one on accesses,
+// and cost less energy, because lookups fetch nodes by index.
+func TestNodeStoreChoiceMatters(t *testing.T) {
+	a := route.App{}
+	tr := apptest.LoadTrace(t, a)
+	assignAR := apps.Original(a)
+	assignAR[route.RoleNodes] = ddt.AR
+	_, arPlat := apptest.Run(t, a, tr, assignAR)
+	_, sllPlat := apptest.Run(t, a, tr, apps.Original(a))
+	ar, sll := arPlat.Metrics(), sllPlat.Metrics()
+	if ar.Accesses*2 > sll.Accesses {
+		t.Errorf("AR node store %v accesses vs SLL %v; want >=2x reduction", ar.Accesses, sll.Accesses)
+	}
+	if ar.Energy >= sll.Energy {
+		t.Errorf("AR node store energy %v >= SLL %v", ar.Energy, sll.Energy)
+	}
+}
+
+// TestLookupMatchesReferenceModel validates the crit-bit radix tree
+// against an independent map-based model of the same route-learning
+// policy: prefixes are installed first-come-first-served from packet
+// destinations and sources until the table fills, and a packet matches
+// iff its destination /24 was installed before it was forwarded.
+func TestLookupMatchesReferenceModel(t *testing.T) {
+	a := route.App{}
+	for _, traceName := range []string{"FLA", "Berry"} {
+		tr, err := trace.Builtin(traceName, 2500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const table = 128
+		installed := make(map[uint32]bool)
+		wantMatch, wantDefault := 0, 0
+		for i := range tr.Packets {
+			pk := &tr.Packets[i]
+			for _, prefix := range []uint32{pk.Dst & 0xffffff00, pk.Src & 0xffffff00} {
+				if !installed[prefix] && len(installed) < table {
+					installed[prefix] = true
+				}
+			}
+			if installed[pk.Dst&0xffffff00] {
+				wantMatch++
+			} else {
+				wantDefault++
+			}
+		}
+		p := platform.Default()
+		sum, err := a.Run(tr, p, apps.Original(a), apps.Knobs{route.KnobTable: table}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Events["lpm-match"] != wantMatch || sum.Events["default-route"] != wantDefault {
+			t.Errorf("%s: lookup decisions (match %d, default %d) diverge from reference (match %d, default %d)",
+				traceName, sum.Events["lpm-match"], sum.Events["default-route"], wantMatch, wantDefault)
+		}
+		if sum.Events["route-add"] != len(installed) {
+			t.Errorf("%s: installed %d routes, reference %d", traceName, sum.Events["route-add"], len(installed))
+		}
+	}
+}

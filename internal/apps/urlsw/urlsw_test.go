@@ -1,0 +1,75 @@
+package urlsw_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/apptest"
+	"repro/internal/apps/urlsw"
+	"repro/internal/platform"
+)
+
+func TestConformance(t *testing.T) {
+	apptest.CheckConformance(t, urlsw.App{})
+}
+
+func TestDominantStructures(t *testing.T) {
+	// The session table (probed per packet) and pattern table (scanned per
+	// request) dominate the tiny server pool.
+	apptest.CheckDominant(t, urlsw.App{}, urlsw.RoleSessions, urlsw.RolePatterns)
+}
+
+func TestPacketAccounting(t *testing.T) {
+	a := urlsw.App{}
+	tr := apptest.LoadTrace(t, a)
+	sum, _ := apptest.Run(t, a, tr, apps.Original(a))
+	handled := sum.Events["non-http"] + sum.Events["fin-closed"] + sum.Events["session-hit"] +
+		sum.Events["request"] + sum.Events["orphan"]
+	if handled != len(tr.Packets) {
+		t.Fatalf("handled %d of %d packets: %+v", handled, len(tr.Packets), sum.Events)
+	}
+	if sum.Events["request"] == 0 {
+		t.Fatal("no HTTP requests switched; workload degenerate")
+	}
+	if sum.Events["session-hit"] == 0 {
+		t.Error("no mid-flow session hits; session table never exercised")
+	}
+}
+
+func TestRequestsSpreadAcrossPools(t *testing.T) {
+	a := urlsw.App{}
+	tr := apptest.LoadTrace(t, a)
+	sum, _ := apptest.Run(t, a, tr, apps.Original(a))
+	pools := 0
+	for ev := range sum.Events {
+		if len(ev) > 5 && ev[:5] == "pool-" {
+			pools++
+		}
+	}
+	if pools < 3 {
+		t.Errorf("requests hit only %d server pools; URL classification degenerate", pools)
+	}
+}
+
+func TestSessionCapEnforced(t *testing.T) {
+	a := urlsw.App{}
+	tr := apptest.LoadTrace(t, a)
+	p := platform.Default()
+	sum, err := a.Run(tr, p, apps.Original(a), apps.Knobs{urlsw.KnobSessions: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events["evicted"] == 0 {
+		t.Error("tiny session cap never triggered an eviction")
+	}
+	// A smaller cap must shrink the session-table footprint share: compare
+	// against a large cap.
+	p2 := platform.Default()
+	if _, err := a.Run(tr, p2, apps.Original(a), apps.Knobs{urlsw.KnobSessions: 512}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Metrics().Footprint >= p2.Metrics().Footprint {
+		t.Errorf("cap=8 footprint %v >= cap=512 footprint %v",
+			p.Metrics().Footprint, p2.Metrics().Footprint)
+	}
+}

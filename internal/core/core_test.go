@@ -1,0 +1,226 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/netapps"
+	"repro/internal/apps/urlsw"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/metrics"
+	"repro/internal/pareto"
+)
+
+// runURL executes the full methodology on the URL benchmark at test scale
+// once and shares the report across tests.
+func runURL(t *testing.T) *core.Report {
+	t.Helper()
+	m := core.Methodology{App: urlsw.App{}, Opts: explore.Options{TracePackets: 600}}
+	r, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestMethodologyEndToEnd(t *testing.T) {
+	r := runURL(t)
+	if r.App != "URL" {
+		t.Errorf("App = %q", r.App)
+	}
+	if len(r.DominantRoles) != 2 {
+		t.Fatalf("dominant roles %v", r.DominantRoles)
+	}
+	if r.Exhaustive != 500 {
+		t.Errorf("exhaustive = %d, want 500 (100 combinations x 5 networks)", r.Exhaustive)
+	}
+	if r.Reduced >= r.Exhaustive || r.Reduced < 100 {
+		t.Errorf("reduced = %d out of %d; staged flow broken", r.Reduced, r.Exhaustive)
+	}
+	if f := r.ReductionFraction(); f < 0.4 {
+		t.Errorf("reduction fraction %.2f; paper reports ~80%% average", f)
+	}
+	if len(r.Configs) != 5 {
+		t.Fatalf("config reports = %d, want 5", len(r.Configs))
+	}
+	if r.ParetoOptimal != len(r.ParetoSet) || r.ParetoOptimal == 0 {
+		t.Errorf("pareto-optimal count %d inconsistent with set %d", r.ParetoOptimal, len(r.ParetoSet))
+	}
+	if r.ParetoOptimal > len(r.Step1.Survivors) {
+		t.Errorf("cross-config front (%d) larger than survivor set (%d)",
+			r.ParetoOptimal, len(r.Step1.Survivors))
+	}
+	if r.Profile == nil || len(r.Profile.Ranked()) == 0 {
+		t.Error("profile missing from report")
+	}
+}
+
+func TestConfigReportsAndFronts(t *testing.T) {
+	r := runURL(t)
+	for i, cr := range r.Configs {
+		wantResults := len(r.Step1.Survivors)
+		if i == 0 {
+			wantResults = len(r.Step1.Results)
+		}
+		if len(cr.Results) != wantResults {
+			t.Errorf("config %v has %d results, want %d", cr.Config, len(cr.Results), wantResults)
+		}
+		if len(cr.Front4D) == 0 || len(cr.FrontTE) == 0 || len(cr.FrontAF) == 0 {
+			t.Errorf("config %v has empty fronts", cr.Config)
+		}
+		// 2-D fronts are subsets of the point set and sorted by their x.
+		for j := 1; j < len(cr.FrontTE); j++ {
+			if cr.FrontTE[j].Vec.Time < cr.FrontTE[j-1].Vec.Time {
+				t.Errorf("config %v: time-energy front not sorted", cr.Config)
+			}
+		}
+	}
+	// The reference config front must match a direct computation.
+	ref := r.Configs[0]
+	want := pareto.Front(ref.Points())
+	if len(ref.Front4D) != len(want) {
+		t.Errorf("reference front size %d, want %d", len(ref.Front4D), len(want))
+	}
+}
+
+func TestTradeoffsAndFactors(t *testing.T) {
+	r := runURL(t)
+	for _, m := range metrics.AllMetrics() {
+		tr := r.Tradeoffs[m]
+		if tr < 0 || tr >= 1 {
+			t.Errorf("tradeoff %v = %v out of [0,1)", m, tr)
+		}
+		if f := r.Factors[m]; f < 1 {
+			t.Errorf("factor %v = %v; worst solution cannot beat the front", m, f)
+		}
+	}
+	// At least one axis must show a real trade-off, else step 3 is moot.
+	total := 0.0
+	for _, m := range metrics.AllMetrics() {
+		total += r.Tradeoffs[m]
+	}
+	if total == 0 {
+		t.Error("all trade-off spans zero; Pareto sets degenerate")
+	}
+}
+
+func TestHeadlineComparison(t *testing.T) {
+	r := runURL(t)
+	if r.Original.Vec.Energy <= 0 {
+		t.Fatal("original simulation missing")
+	}
+	// The original all-SLL assignment is in the candidate space, so the
+	// front's best can never be worse than it.
+	if r.EnergySaving < 0 {
+		t.Errorf("energy saving %.2f negative; front worse than a candidate point", r.EnergySaving)
+	}
+	if r.TimeSaving < 0 {
+		t.Errorf("time saving %.2f negative", r.TimeSaving)
+	}
+	if r.BestEnergy.Vec.Energy > r.BestTime.Vec.Energy {
+		t.Errorf("BestEnergy (%v) has more energy than BestTime (%v)",
+			r.BestEnergy.Vec.Energy, r.BestTime.Vec.Energy)
+	}
+	if r.BestTime.Vec.Time > r.BestEnergy.Vec.Time {
+		t.Errorf("BestTime (%v) slower than BestEnergy (%v)",
+			r.BestTime.Vec.Time, r.BestEnergy.Vec.Time)
+	}
+}
+
+func TestConfigByName(t *testing.T) {
+	r := runURL(t)
+	want := r.Configs[1].Config.String()
+	got, err := r.ConfigByName(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Config.String() != want {
+		t.Errorf("ConfigByName(%q) returned %q", want, got.Config.String())
+	}
+	if _, err := r.ConfigByName("no-such-config"); err == nil {
+		t.Error("unknown config accepted")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := (core.Methodology{}).Run(); err == nil {
+		t.Error("nil app accepted")
+	}
+}
+
+// TestAllAppsSmoke runs the methodology end to end for every case study at
+// minimal scale: the full Table 1 pipeline must hold for all four apps.
+func TestAllAppsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 4-app methodology run")
+	}
+	for _, a := range netapps.All() {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			t.Parallel()
+			m := core.Methodology{App: a, Opts: explore.Options{TracePackets: 400}}
+			r, err := m.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.ReductionFraction() <= 0 {
+				t.Errorf("%s: no simulation reduction", a.Name())
+			}
+			if r.ParetoOptimal == 0 {
+				t.Errorf("%s: empty Pareto set", a.Name())
+			}
+			if r.EnergySaving < 0 || r.TimeSaving < 0 {
+				t.Errorf("%s: refinement worse than original (E %.2f, t %.2f)",
+					a.Name(), r.EnergySaving, r.TimeSaving)
+			}
+			// Functionality preserved across the whole exploration.
+			base := r.Step1.Results[0].Summary
+			for _, res := range r.Step1.Results {
+				if !res.Summary.Equal(base) {
+					t.Fatalf("%s: combination %s changed behaviour", a.Name(), res.Label())
+				}
+			}
+			_ = apps.Original(a)
+		})
+	}
+}
+
+// TestValidateOnHeldOutTrace runs the generalization check: the Pareto
+// set explored on URL's five networks is re-tested on a network the
+// exploration never saw.
+func TestValidateOnHeldOutTrace(t *testing.T) {
+	m := core.Methodology{App: urlsw.App{}, Opts: explore.Options{TracePackets: 600}}
+	rep, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	heldOut := explore.Config{TraceName: "Whittemore-II", Knobs: urlsw.App{}.DefaultKnobs()}
+	// Guard: the held-out trace must really be outside the explored set.
+	for _, cr := range rep.Configs {
+		if cr.Config.TraceName == heldOut.TraceName {
+			t.Fatalf("%s is part of the exploration; pick another hold-out", heldOut.TraceName)
+		}
+	}
+	v, err := m.Validate(rep, heldOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SetSize != rep.ParetoOptimal {
+		t.Errorf("validated %d combos, Pareto set has %d", v.SetSize, rep.ParetoOptimal)
+	}
+	if v.StillOptimal < 1 || v.StillOptimal > v.SetSize {
+		t.Errorf("StillOptimal = %d of %d", v.StillOptimal, v.SetSize)
+	}
+	// The central promise: the recommendation should transfer.
+	if !v.BestBeatsOriginal {
+		t.Errorf("recommended combination lost to the original on the held-out network")
+	}
+}
+
+func TestValidateRejectsEmptyReport(t *testing.T) {
+	m := core.Methodology{App: urlsw.App{}, Opts: explore.Options{TracePackets: 300}}
+	if _, err := m.Validate(&core.Report{}, explore.Config{}); err == nil {
+		t.Fatal("empty report accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package ddt_test
+
+import (
+	"testing"
+
+	"repro/internal/ddt"
+)
+
+// TestGoldenAccessCounts pins the exact simulated word-access cost of the
+// canonical operations for every kind, with 16-byte records and a
+// 100-element population. Every number in the paper's evaluation flows
+// from these per-operation costs, so a change here must be a conscious
+// cost-model decision, never an accident.
+//
+// Reading the table: AR's Get is 5 accesses (header pointer + a 4-word
+// record); SLL's Get(50) is 55 (head + 50 link hops + the record); the
+// (O) variants' Set right after a Get costs 7 thanks to the roving
+// pointer; DLL(O)'s mid-list insert is 21 because the roving pointer and
+// the prev link remove both walks; the chunked kinds hop chunk headers
+// instead of nodes.
+func TestGoldenAccessCounts(t *testing.T) {
+	type costs struct {
+		append100 uint64 // 100 appends into an empty list
+		get50     uint64 // Get(50)
+		set50     uint64 // Set(50) immediately after the Get
+		insertMid uint64 // InsertAt(50) after that
+		removeMid uint64 // RemoveAt(50) after that
+		iterate   uint64 // one full scan
+		clear     uint64 // Clear of the 101 remaining records
+	}
+	golden := map[ddt.Kind]costs{
+		ddt.AR:     {1832, 5, 5, 408, 407, 402, 5},
+		ddt.ARP:    {1388, 6, 6, 111, 110, 502, 205},
+		ddt.SLL:    {1299, 55, 55, 113, 112, 501, 304},
+		ddt.DLL:    {1498, 54, 54, 66, 64, 501, 304},
+		ddt.SLLO:   {1299, 57, 7, 69, 68, 501, 306},
+		ddt.DLLO:   {1498, 56, 7, 21, 18, 501, 306},
+		ddt.SLLAR:  {1176, 18, 18, 78, 38, 429, 46},
+		ddt.DLLAR:  {1201, 18, 18, 81, 38, 429, 46},
+		ddt.SLLARO: {1176, 20, 8, 70, 30, 429, 48},
+		ddt.DLLARO: {1201, 20, 8, 73, 30, 429, 48},
+	}
+	for _, k := range ddt.AllKinds() {
+		want, ok := golden[k]
+		if !ok {
+			t.Fatalf("no golden costs for %v", k)
+		}
+		env := newEnv()
+		l := ddt.New[int](k, env, 16)
+		snap := func() uint64 { return env.Mem.Counts().Accesses() }
+
+		measure := func(op func()) uint64 {
+			before := snap()
+			op()
+			return snap() - before
+		}
+		got := costs{
+			append100: measure(func() {
+				for i := 0; i < 100; i++ {
+					l.Append(i)
+				}
+			}),
+			get50:     measure(func() { l.Get(50) }),
+			set50:     measure(func() { l.Set(50, -1) }),
+			insertMid: measure(func() { l.InsertAt(50, -2) }),
+			removeMid: measure(func() { l.RemoveAt(50) }),
+			iterate:   measure(func() { l.Iterate(func(int, int) bool { return true }) }),
+			clear:     measure(func() { l.Clear() }),
+		}
+		if got != want {
+			t.Errorf("%v cost model changed:\n got  %+v\n want %+v", k, got, want)
+		}
+	}
+}
+
+// TestCostModelOrderings pins the qualitative relations the golden table
+// encodes, as a readable second line of defence.
+func TestCostModelOrderings(t *testing.T) {
+	cost := func(k ddt.Kind, op func(l ddt.List[int], env *ddt.Env)) uint64 {
+		env := newEnv()
+		l := ddt.New[int](k, env, 16)
+		for i := 0; i < 100; i++ {
+			l.Append(i)
+		}
+		before := env.Mem.Counts().Accesses()
+		op(l, env)
+		return env.Mem.Counts().Accesses() - before
+	}
+	get50 := func(l ddt.List[int], _ *ddt.Env) { l.Get(50) }
+	insert50 := func(l ddt.List[int], _ *ddt.Env) { l.InsertAt(50, -1) }
+
+	// Indexed access: arrays < chunked < doubly < singly linked.
+	if !(cost(ddt.AR, get50) < cost(ddt.SLLAR, get50) &&
+		cost(ddt.SLLAR, get50) < cost(ddt.DLL, get50) &&
+		cost(ddt.DLL, get50) <= cost(ddt.SLL, get50)) {
+		t.Error("indexed-access cost ordering broken")
+	}
+	// Mid-list insertion: DLL beats SLL (no second walk) and both beat AR
+	// (record shifting) at this population.
+	if !(cost(ddt.DLL, insert50) < cost(ddt.SLL, insert50) &&
+		cost(ddt.SLL, insert50) < cost(ddt.AR, insert50)) {
+		t.Error("insertion cost ordering broken")
+	}
+	// AR(P) shifts pointers, not records: cheaper insertion than AR.
+	if !(cost(ddt.ARP, insert50) < cost(ddt.AR, insert50)) {
+		t.Error("AR(P) pointer-shift advantage missing")
+	}
+}

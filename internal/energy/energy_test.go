@@ -1,0 +1,74 @@
+package energy_test
+
+import (
+	"testing"
+
+	"repro/internal/energy"
+	"repro/internal/memsim"
+)
+
+func TestCACTILikeScaling(t *testing.T) {
+	small := memsim.DefaultConfig()
+	big := small
+	big.L1.SizeBytes *= 4
+	big.L2.SizeBytes *= 4
+	ms, mb := energy.CACTILike(small), energy.CACTILike(big)
+	if mb.L1WordJ <= ms.L1WordJ {
+		t.Error("larger L1 must cost more per access (CACTI sqrt scaling)")
+	}
+	// sqrt scaling: 4x capacity -> ~2x energy.
+	if ratio := mb.L1WordJ / ms.L1WordJ; ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("L1 energy ratio for 4x capacity = %v, want ~2", ratio)
+	}
+	if mb.LeakageW <= ms.LeakageW {
+		t.Error("larger caches must leak more")
+	}
+	if ms.DRAMLineJ != mb.DRAMLineJ {
+		t.Error("DRAM energy is off-chip and must not scale with cache size")
+	}
+}
+
+func TestEnergyLevelOrdering(t *testing.T) {
+	m := energy.CACTILike(memsim.DefaultConfig())
+	if !(m.L1WordJ < m.L2LineJ && m.L2LineJ < m.DRAMLineJ) {
+		t.Errorf("per-event energies must increase down the hierarchy: %v %v %v",
+			m.L1WordJ, m.L2LineJ, m.DRAMLineJ)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	m := energy.Model{L1WordJ: 1, L2LineJ: 10, DRAMLineJ: 100, LeakageW: 2}
+	c := memsim.Counts{ReadWords: 3, WriteWords: 2, L1Hits: 3, L2Hits: 1, DRAMFills: 1}
+	// dynamic = 5*1 + (1+1)*10 + 1*100 = 125; leakage = 2*0.5 = 1.
+	if got := m.Energy(c, 0.5); got != 126 {
+		t.Errorf("Energy = %v, want 126", got)
+	}
+}
+
+func TestMoreMissesCostMore(t *testing.T) {
+	m := energy.CACTILike(memsim.DefaultConfig())
+	base := memsim.Counts{ReadWords: 1000, L1Hits: 1000}
+	missy := memsim.Counts{ReadWords: 1000, L1Hits: 500, L2Hits: 300, DRAMFills: 200}
+	if m.Energy(missy, 0) <= m.Energy(base, 0) {
+		t.Error("misses must dissipate more energy than hits")
+	}
+}
+
+// TestPaperRegime sanity-checks calibration: a Route-scale run (~4.6M
+// accesses with a realistic hit mix over ~0.2 s) must land in the
+// milli-joule regime the paper's Figure 4 reports (6.4 mJ), not micro- or
+// deca-joules.
+func TestPaperRegime(t *testing.T) {
+	m := energy.CACTILike(memsim.DefaultConfig())
+	c := memsim.Counts{
+		ReadWords:  3.5e6,
+		WriteWords: 1.1e6,
+		L1Hits:     2.0e6,
+		L2Hits:     1.5e5,
+		DRAMFills:  4e4,
+	}
+	j := m.Energy(c, 0.2)
+	if j < 0.5e-3 || j > 50e-3 {
+		t.Errorf("Route-scale energy = %v J, want milli-joule regime", j)
+	}
+}

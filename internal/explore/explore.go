@@ -1,0 +1,419 @@
+// Package explore implements the first two steps of the DDT refinement
+// methodology: the application-level exploration (§3.1 — simulate every
+// combination of the 10 library DDTs for the dominant data structures on a
+// reference configuration and keep the non-dominated ~20%) and the
+// network-level exploration (§3.2 — re-simulate only the survivors for
+// every network configuration).
+//
+// A "simulation" in the paper's sense is one execution of an application
+// under study over one input trace (§3.1); Simulate is exactly that, and
+// the step results carry the simulation counts that reproduce Table 1.
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/ddt"
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/pareto"
+	"repro/internal/platform"
+	"repro/internal/profiler"
+	"repro/internal/trace"
+)
+
+// Config identifies one network configuration: a trace plus the
+// application-specific parameters (the paper's radix size / rule count /
+// fairness level).
+type Config struct {
+	TraceName string
+	Knobs     apps.Knobs
+}
+
+// String renders the configuration as "trace knobs".
+func (c Config) String() string {
+	return c.TraceName + " " + c.Knobs.String()
+}
+
+// PruneMode selects how step 1 narrows the combination space.
+type PruneMode int
+
+const (
+	// PruneFront keeps the full 4-metric non-dominated set — the paper's
+	// strategy ("we automatically keep the combinations, which have the
+	// lowest energy consumption, shortest execution time, lowest memory
+	// footprint and lower memory accesses").
+	PruneFront PruneMode = iota
+	// PruneBestPerMetric keeps only the single best combination per
+	// metric (at most 4 survivors) — a cheaper, lossy alternative used by
+	// the ablation benchmarks to show what the Pareto filter buys.
+	PruneBestPerMetric
+)
+
+// Options tune an exploration run.
+type Options struct {
+	// TracePackets is the per-simulation trace length. Zero selects
+	// DefaultTracePackets.
+	TracePackets int
+	// DominantK is how many dominant structures the exploration refines.
+	// Zero selects 2, the value the paper finds for all four case studies.
+	DominantK int
+	// Platform overrides the simulated memory subsystem. Nil selects
+	// memsim.DefaultConfig.
+	Platform *memsim.Config
+	// Prune selects the step-1 survivor strategy (default PruneFront).
+	Prune PruneMode
+}
+
+// DefaultTracePackets is the simulation trace length used when Options
+// does not specify one: long enough that tables fill and queues back up,
+// short enough that a full 100-combination sweep stays in seconds.
+const DefaultTracePackets = 4000
+
+func (o Options) packets() int {
+	if o.TracePackets > 0 {
+		return o.TracePackets
+	}
+	return DefaultTracePackets
+}
+
+func (o Options) dominantK() int {
+	if o.DominantK > 0 {
+		return o.DominantK
+	}
+	return 2
+}
+
+func (o Options) platformConfig() memsim.Config {
+	if o.Platform != nil {
+		return *o.Platform
+	}
+	return memsim.DefaultConfig()
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	App     string
+	Config  Config
+	Assign  apps.Assignment
+	Vec     metrics.Vector
+	Summary apps.Summary
+}
+
+// Label is the combination label used in logs and charts: the assignment
+// restricted to its refined roles.
+func (r Result) Label() string { return r.Assign.String() }
+
+// Point converts the result to a Pareto point tagged with idx.
+func (r Result) Point(idx int) pareto.Point {
+	return pareto.Point{Label: r.Label(), Vec: r.Vec, Tag: idx}
+}
+
+// Configs enumerates the application's network configurations: its traces
+// crossed with the cartesian product of its knob sweep (knobs without a
+// sweep keep their default). The reference configuration (first trace,
+// default knobs) is always element 0.
+func Configs(a apps.App) []Config {
+	knobSets := knobCartesian(a)
+	var out []Config
+	for _, tn := range a.TraceNames() {
+		for _, ks := range knobSets {
+			out = append(out, Config{TraceName: tn, Knobs: ks})
+		}
+	}
+	return out
+}
+
+// knobCartesian expands the knob sweep into full knob maps, defaults
+// first.
+func knobCartesian(a apps.App) []apps.Knobs {
+	defaults := a.DefaultKnobs()
+	sweep := a.KnobSweep()
+	if len(sweep) == 0 {
+		return []apps.Knobs{defaults}
+	}
+	names := make([]string, 0, len(sweep))
+	for n := range sweep {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	sets := []apps.Knobs{defaults.Clone()}
+	for _, name := range names {
+		var next []apps.Knobs
+		for _, base := range sets {
+			for _, v := range sweep[name] {
+				k := base.Clone()
+				k[name] = v
+				next = append(next, k)
+			}
+		}
+		sets = next
+	}
+	return sets
+}
+
+// Combinations enumerates every assignment of the 10 library DDTs to k
+// roles — the 10^k combinations of §3.1 ("if there are two dominant data
+// structures, then we have to simulate 100 times").
+func Combinations(k int) [][]ddt.Kind {
+	if k <= 0 {
+		return nil
+	}
+	total := 1
+	for i := 0; i < k; i++ {
+		total *= ddt.NumKinds
+	}
+	out := make([][]ddt.Kind, total)
+	for n := 0; n < total; n++ {
+		combo := make([]ddt.Kind, k)
+		v := n
+		for i := k - 1; i >= 0; i-- {
+			combo[i] = ddt.Kind(v % ddt.NumKinds)
+			v /= ddt.NumKinds
+		}
+		out[n] = combo
+	}
+	return out
+}
+
+// traceCache avoids regenerating the same synthetic trace for every one of
+// the hundreds of simulations that read it.
+var traceCache sync.Map // key string -> *trace.Trace
+
+func loadTrace(name string, packets int) (*trace.Trace, error) {
+	key := fmt.Sprintf("%s/%d", name, packets)
+	if tr, ok := traceCache.Load(key); ok {
+		return tr.(*trace.Trace), nil
+	}
+	tr, err := trace.Builtin(name, packets)
+	if err != nil {
+		return nil, err
+	}
+	traceCache.Store(key, tr)
+	return tr, nil
+}
+
+// Simulate runs one simulation: the application over the configuration's
+// trace with the given DDT assignment, on a fresh platform.
+func Simulate(a apps.App, cfg Config, assign apps.Assignment, opts Options) (Result, error) {
+	tr, err := loadTrace(cfg.TraceName, opts.packets())
+	if err != nil {
+		return Result{}, err
+	}
+	p := platform.New(opts.platformConfig())
+	sum, err := a.Run(tr, p, assign, cfg.Knobs, nil)
+	if err != nil {
+		return Result{}, fmt.Errorf("explore: %s on %s: %w", a.Name(), cfg, err)
+	}
+	return Result{
+		App:     a.Name(),
+		Config:  cfg,
+		Assign:  assign,
+		Vec:     p.Metrics(),
+		Summary: sum,
+	}, nil
+}
+
+// simulateAll runs the given (config, assignment) jobs across all CPUs,
+// preserving job order in the result slice.
+func simulateAll(a apps.App, jobs []job, opts Options) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = Simulate(a, jobs[i].cfg, jobs[i].assign, opts)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+type job struct {
+	cfg    Config
+	assign apps.Assignment
+}
+
+// Profile runs the profiling sub-step: the application with its original
+// DDTs and a probe on every candidate container, returning the ranked
+// probe set (§3.1: "the profiling reveals the dominant data structures").
+func Profile(a apps.App, cfg Config, opts Options) (*profiler.Set, error) {
+	tr, err := loadTrace(cfg.TraceName, opts.packets())
+	if err != nil {
+		return nil, err
+	}
+	probes := profiler.NewSet()
+	p := platform.New(opts.platformConfig())
+	if _, err := a.Run(tr, p, apps.Original(a), cfg.Knobs, probes); err != nil {
+		return nil, fmt.Errorf("explore: profiling %s: %w", a.Name(), err)
+	}
+	return probes, nil
+}
+
+// Step1Result is the outcome of the application-level exploration.
+type Step1Result struct {
+	DominantRoles []string
+	Profile       *profiler.Set // the profiling run that picked the roles
+	Reference     Config
+	Results       []Result // every combination on the reference config
+	Survivors     []Result // the 4-D non-dominated subset
+	Simulations   int
+}
+
+// SurvivorFraction reports how much of the combination space survived
+// (the paper observes ≈20%).
+func (s Step1Result) SurvivorFraction() float64 {
+	if len(s.Results) == 0 {
+		return 0
+	}
+	return float64(len(s.Survivors)) / float64(len(s.Results))
+}
+
+// Step1 performs the application-level DDT exploration: profile for
+// dominance, then simulate all 10^k combinations for the dominant roles on
+// the reference configuration and keep the combinations that are
+// non-dominated in the four metrics.
+func Step1(a apps.App, reference Config, opts Options) (*Step1Result, error) {
+	probes, err := Profile(a, reference, opts)
+	if err != nil {
+		return nil, err
+	}
+	dominant := probes.Dominant(opts.dominantK())
+
+	combos := Combinations(len(dominant))
+	jobs := make([]job, len(combos))
+	for i, combo := range combos {
+		assign := make(apps.Assignment, len(dominant))
+		for r, role := range dominant {
+			assign[role] = combo[r]
+		}
+		jobs[i] = job{cfg: reference, assign: assign}
+	}
+	results, err := simulateAll(a, jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	survivors := prune(results, opts.Prune)
+
+	return &Step1Result{
+		DominantRoles: dominant,
+		Profile:       probes,
+		Reference:     reference,
+		Results:       results,
+		Survivors:     survivors,
+		Simulations:   len(results),
+	}, nil
+}
+
+// prune selects the step-1 survivors under the given mode.
+func prune(results []Result, mode PruneMode) []Result {
+	switch mode {
+	case PruneBestPerMetric:
+		chosen := make(map[int]bool)
+		for _, m := range metrics.AllMetrics() {
+			best := 0
+			for i := 1; i < len(results); i++ {
+				if results[i].Vec.Get(m) < results[best].Vec.Get(m) {
+					best = i
+				}
+			}
+			chosen[best] = true
+		}
+		idxs := make([]int, 0, len(chosen))
+		for i := range chosen {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		out := make([]Result, len(idxs))
+		for j, i := range idxs {
+			out[j] = results[i]
+		}
+		return out
+	default: // PruneFront
+		pts := make([]pareto.Point, len(results))
+		for i, r := range results {
+			pts[i] = r.Point(i)
+		}
+		front := pareto.Front(pts)
+		out := make([]Result, len(front))
+		for i, p := range front {
+			out[i] = results[p.Tag]
+		}
+		return out
+	}
+}
+
+// Step2Result is the outcome of the network-level exploration.
+type Step2Result struct {
+	Configs     []Config
+	Results     []Result // survivors x configurations (reference included)
+	Simulations int      // new simulations run in this step
+}
+
+// ResultsFor returns the step's results for one configuration.
+func (s Step2Result) ResultsFor(cfg Config) []Result {
+	var out []Result
+	want := cfg.String()
+	for _, r := range s.Results {
+		if r.Config.String() == want {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Step2 performs the network-level DDT exploration: every step-1 survivor
+// is re-simulated for every network configuration. Reference-configuration
+// results are reused from step 1 rather than re-simulated, which is the
+// "stepwise procedure propagating restrictions from one step to the next"
+// that cuts the simulation count.
+func Step2(a apps.App, s1 *Step1Result, configs []Config, opts Options) (*Step2Result, error) {
+	ref := s1.Reference.String()
+	var jobs []job
+	for _, cfg := range configs {
+		if cfg.String() == ref {
+			continue // already simulated in step 1
+		}
+		for _, sv := range s1.Survivors {
+			jobs = append(jobs, job{cfg: cfg, assign: sv.Assign})
+		}
+	}
+	results, err := simulateAll(a, jobs, opts)
+	if err != nil {
+		return nil, err
+	}
+	all := make([]Result, 0, len(results)+len(s1.Survivors))
+	all = append(all, s1.Survivors...)
+	all = append(all, results...)
+	return &Step2Result{
+		Configs:     configs,
+		Results:     all,
+		Simulations: len(results),
+	}, nil
+}
+
+// ComboKey returns a canonical string for the kinds assigned to the given
+// roles — the identity of a combination across configurations.
+func ComboKey(assign apps.Assignment, roles []string) string {
+	parts := make([]string, len(roles))
+	for i, r := range roles {
+		parts[i] = assign[r].String()
+	}
+	return strings.Join(parts, "+")
+}

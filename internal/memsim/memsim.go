@@ -1,0 +1,234 @@
+// Package memsim simulates the memory subsystem the DDTs execute against:
+// a two-level set-associative cache hierarchy in front of DRAM, with cycle
+// accounting for both memory accesses and ALU work.
+//
+// The paper evaluates DDT implementations by the number of memory accesses
+// they issue and by the execution time and energy those accesses cost on an
+// embedded memory hierarchy (energy estimated "using an updated version of
+// the CACTI model"). Go wall-clock time cannot stand in for that — the GC
+// and the host cache state pollute it — so every simulated word access is
+// routed through a Hierarchy which models hits, misses and latencies
+// deterministically.
+//
+// Granularity: the unit of the "memory accesses" metric is one 32-bit word
+// load or store (the paper targets 32-bit embedded platforms). Cache state
+// is tracked per line; a multi-word access probes each distinct line it
+// touches once and the remaining words of the access pay a pipelined
+// single cycle.
+package memsim
+
+// Config describes the simulated platform.
+type Config struct {
+	L1 CacheGeometry
+	L2 CacheGeometry
+
+	L1HitCycles   uint64 // latency of an L1 hit
+	L2HitCycles   uint64 // latency of an L1 miss that hits L2
+	DRAMCycles    uint64 // latency of an access that misses both caches
+	PipelinedWord uint64 // cost of each additional word within a hit line
+
+	ClockHz float64 // processor clock; converts cycles to seconds
+}
+
+// CacheGeometry describes one cache level.
+type CacheGeometry struct {
+	SizeBytes uint32 // total capacity
+	LineBytes uint32 // line size (power of two)
+	Assoc     uint32 // ways per set
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (g CacheGeometry) Sets() uint32 {
+	return g.SizeBytes / (g.LineBytes * g.Assoc)
+}
+
+// DefaultConfig returns the platform model used throughout the
+// reproduction: an embedded-class memory hierarchy — 8 KiB 2-way L1 and
+// 128 KiB 8-way L2 with 32-byte lines — clocked at 1.6 GHz. The paper
+// optimizes consumer embedded devices, and its trade-offs hinge on the
+// dominant containers NOT fitting comfortably in the first-level cache;
+// a desktop-sized L1 would hide exactly the locality differences the
+// exploration exists to expose.
+func DefaultConfig() Config {
+	return Config{
+		L1:            CacheGeometry{SizeBytes: 8 << 10, LineBytes: 32, Assoc: 2},
+		L2:            CacheGeometry{SizeBytes: 128 << 10, LineBytes: 32, Assoc: 8},
+		L1HitCycles:   2,
+		L2HitCycles:   18,
+		DRAMCycles:    150,
+		PipelinedWord: 1,
+		ClockHz:       1.6e9,
+	}
+}
+
+// Counts aggregates the event counters a simulation accumulates.
+type Counts struct {
+	ReadWords  uint64 // word loads issued (the paper's "memory accesses", read part)
+	WriteWords uint64 // word stores issued
+	L1Hits     uint64 // line probes that hit L1
+	L2Hits     uint64 // line probes that missed L1 and hit L2
+	DRAMFills  uint64 // line probes that missed both levels
+	OpCycles   uint64 // ALU cycles charged via Op
+}
+
+// Accesses returns total word accesses (reads + writes).
+func (c Counts) Accesses() uint64 { return c.ReadWords + c.WriteWords }
+
+// LineProbes returns total cache line probes.
+func (c Counts) LineProbes() uint64 { return c.L1Hits + c.L2Hits + c.DRAMFills }
+
+// Hierarchy is the simulated memory subsystem. Create one per simulation
+// with New; it is not safe for concurrent use (one simulation = one
+// goroutine, matching the single-threaded NetBench applications).
+type Hierarchy struct {
+	cfg    Config
+	l1, l2 *cache
+	counts Counts
+	cycles uint64
+}
+
+// New builds a hierarchy from cfg.
+func New(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		cfg: cfg,
+		l1:  newCache(cfg.L1),
+		l2:  newCache(cfg.L2),
+	}
+}
+
+// Read simulates loading size bytes starting at virtual address addr.
+func (h *Hierarchy) Read(addr, size uint32) {
+	h.access(addr, size, false)
+}
+
+// Write simulates storing size bytes starting at virtual address addr.
+func (h *Hierarchy) Write(addr, size uint32) {
+	h.access(addr, size, true)
+}
+
+// Op charges n ALU cycles (comparisons, pointer arithmetic, checksum
+// work inside the application) without touching memory.
+func (h *Hierarchy) Op(n uint64) {
+	h.counts.OpCycles += n
+	h.cycles += n
+}
+
+func (h *Hierarchy) access(addr, size uint32, write bool) {
+	if size == 0 {
+		return
+	}
+	words := uint64((size + 3) / 4)
+	if write {
+		h.counts.WriteWords += words
+	} else {
+		h.counts.ReadWords += words
+	}
+
+	lineBytes := h.cfg.L1.LineBytes
+	firstLine := addr / lineBytes
+	lastLine := (addr + size - 1) / lineBytes
+	lines := uint64(lastLine - firstLine + 1)
+
+	for line := firstLine; line <= lastLine; line++ {
+		h.probeLine(line)
+	}
+	// Words beyond the first of each probed line are pipelined.
+	if words > lines {
+		h.cycles += (words - lines) * h.cfg.PipelinedWord
+	}
+}
+
+// probeLine walks the hierarchy for one cache line (write-allocate,
+// inclusive fill on miss).
+func (h *Hierarchy) probeLine(line uint32) {
+	if h.l1.access(line) {
+		h.counts.L1Hits++
+		h.cycles += h.cfg.L1HitCycles
+		return
+	}
+	if h.l2.access(line) {
+		h.counts.L2Hits++
+		h.cycles += h.cfg.L2HitCycles
+		h.l1.fill(line)
+		return
+	}
+	h.counts.DRAMFills++
+	h.cycles += h.cfg.DRAMCycles
+	h.l2.fill(line)
+	h.l1.fill(line)
+}
+
+// Counts returns the accumulated event counters.
+func (h *Hierarchy) Counts() Counts { return h.counts }
+
+// Cycles returns the total simulated cycles so far.
+func (h *Hierarchy) Cycles() uint64 { return h.cycles }
+
+// Seconds converts the accumulated cycles to seconds at the configured
+// clock.
+func (h *Hierarchy) Seconds() float64 {
+	return float64(h.cycles) / h.cfg.ClockHz
+}
+
+// Config returns the configuration the hierarchy was built with.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// cache is one set-associative LRU cache level tracked at line
+// granularity. Tags are stored most-recently-used first per set; with the
+// small associativities used here a linear scan beats fancier structures.
+type cache struct {
+	sets  [][]uint32 // per-set line tags, MRU first
+	assoc int
+	mask  uint32 // set-index mask when the set count is a power of two
+	pow2  bool
+}
+
+func newCache(g CacheGeometry) *cache {
+	sets := g.Sets()
+	if sets == 0 {
+		sets = 1
+	}
+	c := &cache{
+		sets:  make([][]uint32, sets),
+		assoc: int(g.Assoc),
+		mask:  sets - 1,
+		pow2:  sets&(sets-1) == 0,
+	}
+	return c
+}
+
+// setIndex maps a line address to its set.
+func (c *cache) setIndex(line uint32) uint32 {
+	if c.pow2 {
+		return line & c.mask
+	}
+	return line % uint32(len(c.sets))
+}
+
+// access returns true on hit, updating LRU order. On miss it does NOT
+// install the line; the caller decides fill policy.
+func (c *cache) access(line uint32) bool {
+	set := c.setIndex(line)
+	tags := c.sets[set]
+	for i, t := range tags {
+		if t == line {
+			// Move to front (MRU).
+			copy(tags[1:i+1], tags[:i])
+			tags[0] = line
+			return true
+		}
+	}
+	return false
+}
+
+// fill installs line as MRU, evicting the LRU way if the set is full.
+func (c *cache) fill(line uint32) {
+	set := c.setIndex(line)
+	tags := c.sets[set]
+	if len(tags) < c.assoc {
+		tags = append(tags, 0)
+	}
+	copy(tags[1:], tags[:len(tags)-1])
+	tags[0] = line
+	c.sets[set] = tags
+}

@@ -1,0 +1,194 @@
+// Package metrics defines the four cost metrics the DDT refinement
+// methodology optimizes — energy, execution time, memory accesses and
+// memory footprint — together with the vector arithmetic the exploration
+// and Pareto stages need.
+//
+// The metric set is exactly the one the paper explores (§3.1): "the lowest
+// energy consumption, shortest execution time, lowest memory footprint and
+// lower memory accesses". All four are "lower is better".
+package metrics
+
+import "fmt"
+
+// Metric identifies one of the four cost axes.
+type Metric int
+
+// The four cost axes, in the paper's order of presentation.
+const (
+	Energy    Metric = iota // dissipated energy, joules
+	Time                    // execution time, seconds
+	Accesses                // memory accesses, count
+	Footprint               // peak memory footprint, bytes
+	NumMetrics
+)
+
+// String returns the short human-readable name of the metric.
+func (m Metric) String() string {
+	switch m {
+	case Energy:
+		return "energy"
+	case Time:
+		return "time"
+	case Accesses:
+		return "accesses"
+	case Footprint:
+		return "footprint"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Unit returns the unit suffix used when printing the metric.
+func (m Metric) Unit() string {
+	switch m {
+	case Energy:
+		return "J"
+	case Time:
+		return "s"
+	case Accesses:
+		return ""
+	case Footprint:
+		return "B"
+	default:
+		return ""
+	}
+}
+
+// AllMetrics lists the four axes in canonical order.
+func AllMetrics() []Metric {
+	return []Metric{Energy, Time, Accesses, Footprint}
+}
+
+// Vector is one simulation outcome: a point in the 4-D cost space.
+type Vector struct {
+	Energy    float64 // joules
+	Time      float64 // seconds
+	Accesses  float64 // count (float64 so vectors average cleanly)
+	Footprint float64 // bytes (peak)
+}
+
+// Get returns the value along axis m.
+func (v Vector) Get(m Metric) float64 {
+	switch m {
+	case Energy:
+		return v.Energy
+	case Time:
+		return v.Time
+	case Accesses:
+		return v.Accesses
+	case Footprint:
+		return v.Footprint
+	default:
+		panic("metrics: unknown metric")
+	}
+}
+
+// Set assigns the value along axis m and returns the updated vector.
+func (v Vector) Set(m Metric, x float64) Vector {
+	switch m {
+	case Energy:
+		v.Energy = x
+	case Time:
+		v.Time = x
+	case Accesses:
+		v.Accesses = x
+	case Footprint:
+		v.Footprint = x
+	default:
+		panic("metrics: unknown metric")
+	}
+	return v
+}
+
+// Add returns v + w componentwise.
+func (v Vector) Add(w Vector) Vector {
+	return Vector{
+		Energy:    v.Energy + w.Energy,
+		Time:      v.Time + w.Time,
+		Accesses:  v.Accesses + w.Accesses,
+		Footprint: v.Footprint + w.Footprint,
+	}
+}
+
+// Scale returns v scaled by k componentwise.
+func (v Vector) Scale(k float64) Vector {
+	return Vector{
+		Energy:    v.Energy * k,
+		Time:      v.Time * k,
+		Accesses:  v.Accesses * k,
+		Footprint: v.Footprint * k,
+	}
+}
+
+// Dominates reports whether v is at least as good as w on every axis and
+// strictly better on at least one (all metrics are minimized). This is the
+// Pareto-dominance relation of [Givargis et al., ICCAD 2001] the paper uses.
+func (v Vector) Dominates(w Vector) bool {
+	better := false
+	for _, m := range AllMetrics() {
+		a, b := v.Get(m), w.Get(m)
+		if a > b {
+			return false
+		}
+		if a < b {
+			better = true
+		}
+	}
+	return better
+}
+
+// WeaklyDominates reports whether v is at least as good as w on every axis.
+func (v Vector) WeaklyDominates(w Vector) bool {
+	for _, m := range AllMetrics() {
+		if v.Get(m) > w.Get(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// Improvement returns the fractional improvement of v over base on axis m:
+// (base - v) / base. Positive values mean v is better (smaller). A zero
+// base yields 0 to keep reports finite.
+func (v Vector) Improvement(base Vector, m Metric) float64 {
+	b := base.Get(m)
+	if b == 0 {
+		return 0
+	}
+	return (b - v.Get(m)) / b
+}
+
+// String formats the vector compactly for logs and test failures.
+func (v Vector) String() string {
+	return fmt.Sprintf("{E=%s t=%s acc=%.0f fp=%.0fB}",
+		FormatEnergy(v.Energy), FormatTime(v.Time), v.Accesses, v.Footprint)
+}
+
+// FormatEnergy renders joules with an SI prefix (mJ, uJ, nJ) like the
+// paper's figures.
+func FormatEnergy(j float64) string {
+	switch {
+	case j >= 1:
+		return fmt.Sprintf("%.3gJ", j)
+	case j >= 1e-3:
+		return fmt.Sprintf("%.3gmJ", j*1e3)
+	case j >= 1e-6:
+		return fmt.Sprintf("%.3guJ", j*1e6)
+	default:
+		return fmt.Sprintf("%.3gnJ", j*1e9)
+	}
+}
+
+// FormatTime renders seconds with an SI prefix (ms, us, ns).
+func FormatTime(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.3gs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3gms", s*1e3)
+	case s >= 1e-6:
+		return fmt.Sprintf("%.3gus", s*1e6)
+	default:
+		return fmt.Sprintf("%.3gns", s*1e9)
+	}
+}

@@ -1,0 +1,148 @@
+package metrics_test
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+)
+
+func TestMetricNamesAndUnits(t *testing.T) {
+	want := map[metrics.Metric][2]string{
+		metrics.Energy:    {"energy", "J"},
+		metrics.Time:      {"time", "s"},
+		metrics.Accesses:  {"accesses", ""},
+		metrics.Footprint: {"footprint", "B"},
+	}
+	for m, w := range want {
+		if m.String() != w[0] {
+			t.Errorf("%v.String() = %q, want %q", int(m), m.String(), w[0])
+		}
+		if m.Unit() != w[1] {
+			t.Errorf("%v.Unit() = %q, want %q", m, m.Unit(), w[1])
+		}
+	}
+	if len(metrics.AllMetrics()) != 4 {
+		t.Fatalf("the paper optimizes 4 metrics, got %d", len(metrics.AllMetrics()))
+	}
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	var v metrics.Vector
+	for i, m := range metrics.AllMetrics() {
+		v = v.Set(m, float64(i+1))
+	}
+	for i, m := range metrics.AllMetrics() {
+		if v.Get(m) != float64(i+1) {
+			t.Errorf("Get(%v) = %v, want %v", m, v.Get(m), i+1)
+		}
+	}
+}
+
+func TestAddScale(t *testing.T) {
+	a := metrics.Vector{Energy: 1, Time: 2, Accesses: 3, Footprint: 4}
+	b := metrics.Vector{Energy: 10, Time: 20, Accesses: 30, Footprint: 40}
+	sum := a.Add(b)
+	want := metrics.Vector{Energy: 11, Time: 22, Accesses: 33, Footprint: 44}
+	if sum != want {
+		t.Errorf("Add = %v, want %v", sum, want)
+	}
+	if got := a.Scale(2); got != (metrics.Vector{Energy: 2, Time: 4, Accesses: 6, Footprint: 8}) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	base := metrics.Vector{Energy: 1, Time: 1, Accesses: 1, Footprint: 1}
+	better := metrics.Vector{Energy: 0.5, Time: 1, Accesses: 1, Footprint: 1}
+	worse := metrics.Vector{Energy: 2, Time: 2, Accesses: 2, Footprint: 2}
+	mixed := metrics.Vector{Energy: 0.5, Time: 2, Accesses: 1, Footprint: 1}
+
+	if !better.Dominates(base) {
+		t.Error("strictly better on one axis should dominate")
+	}
+	if base.Dominates(base) {
+		t.Error("a vector must not dominate itself")
+	}
+	if mixed.Dominates(base) || base.Dominates(mixed) {
+		t.Error("incomparable vectors must not dominate each other")
+	}
+	if !base.Dominates(worse) {
+		t.Error("uniformly better should dominate")
+	}
+	if !base.WeaklyDominates(base) {
+		t.Error("WeaklyDominates must be reflexive")
+	}
+}
+
+// vecGen generates random non-negative vectors for property tests.
+type vecGen metrics.Vector
+
+func (vecGen) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(vecGen{
+		Energy:    r.Float64() * 10,
+		Time:      r.Float64() * 10,
+		Accesses:  float64(r.Intn(1000)),
+		Footprint: float64(r.Intn(1000)),
+	})
+}
+
+// TestQuickDominanceIsStrictPartialOrder checks irreflexivity, asymmetry
+// and transitivity of the dominance relation on random vectors.
+func TestQuickDominanceIsStrictPartialOrder(t *testing.T) {
+	asym := func(a, b vecGen) bool {
+		va, vb := metrics.Vector(a), metrics.Vector(b)
+		return !(va.Dominates(vb) && vb.Dominates(va)) && !va.Dominates(va)
+	}
+	if err := quick.Check(asym, nil); err != nil {
+		t.Error(err)
+	}
+	trans := func(a, b, c vecGen) bool {
+		va, vb, vc := metrics.Vector(a), metrics.Vector(b), metrics.Vector(c)
+		if va.Dominates(vb) && vb.Dominates(vc) {
+			return va.Dominates(vc)
+		}
+		return true
+	}
+	if err := quick.Check(trans, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	base := metrics.Vector{Energy: 10}
+	v := metrics.Vector{Energy: 2}
+	if got := v.Improvement(base, metrics.Energy); got != 0.8 {
+		t.Errorf("Improvement = %v, want 0.8", got)
+	}
+	if got := v.Improvement(metrics.Vector{}, metrics.Energy); got != 0 {
+		t.Errorf("Improvement over zero base = %v, want 0", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{metrics.FormatEnergy(6.4e-3), "6.4mJ"},
+		{metrics.FormatEnergy(2), "2J"},
+		{metrics.FormatEnergy(3e-7), "300nJ"},
+		{metrics.FormatTime(0.17), "170ms"},
+		{metrics.FormatTime(2.5), "2.5s"},
+		{metrics.FormatTime(4e-6), "4us"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("formatted %q, want %q", c.got, c.want)
+		}
+	}
+	s := metrics.Vector{Energy: 6.4e-3, Time: 0.17, Accesses: 4578103, Footprint: 477329}.String()
+	for _, frag := range []string{"6.4mJ", "170ms", "4578103", "477329"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package paper_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/paper"
+)
+
+// The suite is expensive; build it once at reduced scale for all tests.
+var (
+	once     sync.Once
+	suite    *paper.Suite
+	suiteErr error
+)
+
+func getSuite(t *testing.T) *paper.Suite {
+	t.Helper()
+	once.Do(func() {
+		suite, suiteErr = paper.Run(700)
+	})
+	if suiteErr != nil {
+		t.Fatal(suiteErr)
+	}
+	return suite
+}
+
+func TestPaperConstantsMatchPublication(t *testing.T) {
+	// Pin the published values so a typo cannot silently skew every
+	// comparison (transcribed from Tables 1 and 2 of the paper).
+	if len(paper.PaperTable1) != 4 || len(paper.PaperTable2) != 4 {
+		t.Fatal("paper tables must have 4 rows")
+	}
+	if r := paper.PaperTable1[0]; r.App != "Route" || r.Exhaustive != 1400 || r.Reduced != 271 || r.ParetoOptimal != 7 {
+		t.Errorf("Table1 Route row corrupted: %+v", r)
+	}
+	if r := paper.PaperTable1[3]; r.App != "DRR" || r.Exhaustive != 500 || r.Reduced != 60 || r.ParetoOptimal != 3 {
+		t.Errorf("Table1 DRR row corrupted: %+v", r)
+	}
+	if r := paper.PaperTable2[0]; r.Energy != 0.90 || r.Time != 0.20 || r.Accesses != 0.88 || r.Footprint != 0.30 {
+		t.Errorf("Table2 Route row corrupted: %+v", r)
+	}
+	if paper.PaperRouteFactors[metrics.Energy] != 11 || paper.PaperRouteFactors[metrics.Footprint] != 12 {
+		t.Errorf("Route factors corrupted: %v", paper.PaperRouteFactors)
+	}
+	if paper.PaperHeadline.URLEnergySaving != 0.80 || paper.PaperHeadline.AvgTimeGain != 0.22 {
+		t.Errorf("headline constants corrupted: %+v", paper.PaperHeadline)
+	}
+}
+
+func TestSuiteCoversAllApps(t *testing.T) {
+	s := getSuite(t)
+	for _, name := range []string{"Route", "URL", "IPchains", "DRR"} {
+		if s.Reports[name] == nil {
+			t.Errorf("missing report for %s", name)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := getSuite(t)
+	rows := s.Table1()
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, row := range rows {
+		if row.App != paper.PaperTable1[i].App {
+			t.Errorf("row %d order mismatch: %s vs %s", i, row.App, paper.PaperTable1[i].App)
+		}
+		// The exhaustive counts are structural (combinations x configs)
+		// and must match the paper exactly.
+		if row.Exhaustive != paper.PaperTable1[i].Exhaustive {
+			t.Errorf("%s exhaustive = %d, paper %d", row.App, row.Exhaustive, paper.PaperTable1[i].Exhaustive)
+		}
+		if row.Reduced <= 0 || row.Reduced >= row.Exhaustive {
+			t.Errorf("%s reduced = %d of %d", row.App, row.Reduced, row.Exhaustive)
+		}
+		if row.ParetoOptimal < 1 || row.ParetoOptimal > 20 {
+			t.Errorf("%s pareto-optimal = %d; paper regime is 3-7", row.App, row.ParetoOptimal)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	s := getSuite(t)
+	for _, row := range s.Table2() {
+		for name, v := range map[string]float64{
+			"energy": row.Energy, "time": row.Time,
+			"accesses": row.Accesses, "footprint": row.Footprint,
+		} {
+			if v < 0 || v >= 1 {
+				t.Errorf("%s %s trade-off %v out of [0,1)", row.App, name, v)
+			}
+		}
+	}
+}
+
+func TestHeadlineNonNegative(t *testing.T) {
+	s := getSuite(t)
+	rows, avgE, avgT := s.Headline()
+	if len(rows) != 4 {
+		t.Fatalf("%d headline rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.EnergySaving < 0 || r.TimeSaving < 0 {
+			t.Errorf("%s: refinement lost to original (E %.2f, t %.2f)", r.App, r.EnergySaving, r.TimeSaving)
+		}
+	}
+	if avgE <= 0 || avgT <= 0 {
+		t.Errorf("averages E %.2f t %.2f must be positive", avgE, avgT)
+	}
+}
+
+func TestRenderingsContainPaperAnchors(t *testing.T) {
+	s := getSuite(t)
+	checks := map[string][]string{
+		s.RenderTable1():   {"Table 1", "Route", "1400", "2100", "pareto(ours)"},
+		s.RenderTable2():   {"Table 2", "90%", "48%", "fp(ours)"},
+		s.Figure3():        {"Figure 3a", "Figure 3b", "URL", "Pareto-optimal"},
+		s.Figure4():        {"Figure 4a", "Figure 4b", "Figure 4c", "Berry", "BWY-I", "table size 128"},
+		s.RenderHeadline(): {"original", "URL", "average", "energy saving"},
+		s.RenderFactors():  {"11x", "accesses", "ours"},
+	}
+	for rendered, anchors := range checks {
+		for _, a := range anchors {
+			if !strings.Contains(rendered, a) {
+				t.Errorf("rendering missing %q:\n%s", a, rendered)
+			}
+		}
+	}
+}
+
+func TestRunAppSingle(t *testing.T) {
+	rep, err := paper.RunApp("URL", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.App != "URL" {
+		t.Fatalf("got %q", rep.App)
+	}
+	if _, err := paper.RunApp("nope", 400); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestFigure4ChosenPointOnCurve(t *testing.T) {
+	s := getSuite(t)
+	rep := s.Reports["Route"]
+	berry, err := rep.ConfigByName("Berry table=256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(berry.FrontTE) == 0 {
+		t.Fatal("empty Berry front")
+	}
+	// The chosen optimum must be one of the plotted curve points.
+	fig := s.Figure4()
+	if !strings.Contains(fig, "chosen point:") {
+		t.Errorf("Figure 4b missing the chosen optimum:\n%s", fig)
+	}
+}

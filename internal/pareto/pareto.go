@@ -1,0 +1,159 @@
+// Package pareto implements the Pareto-level analysis of the methodology's
+// third step: extracting the non-dominated solution sets from exploration
+// results, and quantifying the trade-off spans the paper reports in
+// Table 2 and the §4 narrative.
+//
+// A point is Pareto-optimal "if it is not longer possible to improve upon
+// one cost factor without worsening any other" [Givargis et al., ICCAD
+// 2001], which for minimized metrics is the standard non-dominated subset.
+package pareto
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// Point is one candidate solution: a labelled cost vector. Tag is a
+// caller-defined payload (typically the index into the result slice the
+// point came from).
+type Point struct {
+	Label string
+	Vec   metrics.Vector
+	Tag   int
+}
+
+// Front returns the subset of pts not dominated in the full 4-D metric
+// space, in deterministic order (ascending energy, ties by label). Points
+// with identical vectors are all kept — they are equally optimal
+// implementations.
+func Front(pts []Point) []Point {
+	var front []Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if q.Vec.Dominates(p.Vec) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sortPoints(front, metrics.Energy)
+	return front
+}
+
+// Front2D returns the subset of pts non-dominated when only axes x and y
+// are considered, sorted by ascending x. This produces the 2-D Pareto
+// curves of the paper's Figures 3 and 4 (execution time vs energy,
+// accesses vs footprint).
+func Front2D(pts []Point, x, y metrics.Metric) []Point {
+	dominates2D := func(a, b metrics.Vector) bool {
+		ax, ay := a.Get(x), a.Get(y)
+		bx, by := b.Get(x), b.Get(y)
+		return ax <= bx && ay <= by && (ax < bx || ay < by)
+	}
+	var front []Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if dominates2D(q.Vec, p.Vec) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sortPoints(front, x)
+	return front
+}
+
+// sortPoints orders points by ascending metric m, breaking ties on label
+// and tag so output is deterministic.
+func sortPoints(pts []Point, m metrics.Metric) {
+	sort.Slice(pts, func(i, j int) bool {
+		a, b := pts[i].Vec.Get(m), pts[j].Vec.Get(m)
+		if a != b {
+			return a < b
+		}
+		if pts[i].Label != pts[j].Label {
+			return pts[i].Label < pts[j].Label
+		}
+		return pts[i].Tag < pts[j].Tag
+	})
+}
+
+// TradeoffRange returns the relative span (max-min)/max of metric m across
+// the given points — the paper's "trade-offs achieved among Pareto-optimal
+// points" (Table 2). An empty or single-point set has no trade-off (0).
+func TradeoffRange(pts []Point, m metrics.Metric) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	lo, hi := pts[0].Vec.Get(m), pts[0].Vec.Get(m)
+	for _, p := range pts[1:] {
+		v := p.Vec.Get(m)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == 0 {
+		return 0
+	}
+	return (hi - lo) / hi
+}
+
+// WorstBestFactor returns max(all)/min(front) for metric m: the "reduction
+// up to a factor of N" comparison of the paper's §4 narrative, comparing
+// the full solution space against the Pareto-optimal set. It returns 0
+// when either set is empty or the front minimum is 0.
+func WorstBestFactor(all, front []Point, m metrics.Metric) float64 {
+	if len(all) == 0 || len(front) == 0 {
+		return 0
+	}
+	worst := all[0].Vec.Get(m)
+	for _, p := range all[1:] {
+		if v := p.Vec.Get(m); v > worst {
+			worst = v
+		}
+	}
+	best := front[0].Vec.Get(m)
+	for _, p := range front[1:] {
+		if v := p.Vec.Get(m); v < best {
+			best = v
+		}
+	}
+	if best == 0 {
+		return 0
+	}
+	return worst / best
+}
+
+// Best returns the point of pts minimizing metric m (deterministic ties).
+// It panics on an empty slice.
+func Best(pts []Point, m metrics.Metric) Point {
+	if len(pts) == 0 {
+		panic("pareto: Best of empty point set")
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		v, b := p.Vec.Get(m), best.Vec.Get(m)
+		if v < b || (v == b && p.Label < best.Label) {
+			best = p
+		}
+	}
+	return best
+}

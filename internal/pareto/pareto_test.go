@@ -1,0 +1,209 @@
+package pareto_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/metrics"
+	"repro/internal/pareto"
+)
+
+func pt(label string, e, t, a, f float64) pareto.Point {
+	return pareto.Point{Label: label, Vec: metrics.Vector{Energy: e, Time: t, Accesses: a, Footprint: f}}
+}
+
+func labels(pts []pareto.Point) []string {
+	out := make([]string, len(pts))
+	for i, p := range pts {
+		out[i] = p.Label
+	}
+	return out
+}
+
+func TestFrontBasic(t *testing.T) {
+	pts := []pareto.Point{
+		pt("good-energy", 1, 10, 10, 10),
+		pt("good-time", 10, 1, 10, 10),
+		pt("dominated", 11, 11, 11, 11),
+		pt("allround", 5, 5, 5, 5),
+	}
+	got := labels(pareto.Front(pts))
+	want := []string{"good-energy", "allround", "good-time"} // sorted by energy
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Front = %v, want %v", got, want)
+	}
+}
+
+func TestFrontKeepsDuplicates(t *testing.T) {
+	pts := []pareto.Point{
+		pt("a", 1, 1, 1, 1),
+		pt("b", 1, 1, 1, 1),
+	}
+	if got := pareto.Front(pts); len(got) != 2 {
+		t.Fatalf("identical optimal points must both survive, got %v", labels(got))
+	}
+}
+
+func TestFrontEmptyAndSingle(t *testing.T) {
+	if got := pareto.Front(nil); len(got) != 0 {
+		t.Fatalf("Front(nil) = %v", got)
+	}
+	one := []pareto.Point{pt("only", 1, 2, 3, 4)}
+	if got := pareto.Front(one); len(got) != 1 || got[0].Label != "only" {
+		t.Fatalf("Front(single) = %v", got)
+	}
+}
+
+func TestFront2D(t *testing.T) {
+	pts := []pareto.Point{
+		// In (time, energy): the footprint axis must be ignored.
+		pt("fast", 5, 1, 0, 999),
+		pt("frugal", 1, 5, 0, 999),
+		pt("mid", 2, 2, 0, 0),
+		pt("dom", 6, 6, 0, 0), // dominated in 2-D despite good footprint
+	}
+	got := labels(pareto.Front2D(pts, metrics.Time, metrics.Energy))
+	want := []string{"fast", "mid", "frugal"} // ascending time
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Front2D = %v, want %v", got, want)
+	}
+}
+
+// randomPoints generates clustered random point sets for property tests.
+type randomPoints []pareto.Point
+
+func (randomPoints) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 3 + r.Intn(60)
+	pts := make(randomPoints, n)
+	for i := range pts {
+		pts[i] = pareto.Point{
+			Label: string(rune('a' + i%26)),
+			Tag:   i,
+			Vec: metrics.Vector{
+				Energy:    float64(r.Intn(20)),
+				Time:      float64(r.Intn(20)),
+				Accesses:  float64(r.Intn(20)),
+				Footprint: float64(r.Intn(20)),
+			},
+		}
+	}
+	return reflect.ValueOf(pts)
+}
+
+// TestQuickFrontProperties checks the defining properties of a Pareto
+// front on random inputs: (1) front points are mutually non-dominating,
+// (2) every excluded point is dominated by some front point, (3) the front
+// is a subset of the input, (4) extracting the front is idempotent.
+func TestQuickFrontProperties(t *testing.T) {
+	f := func(pts randomPoints) bool {
+		front := pareto.Front(pts)
+		if len(front) == 0 {
+			return false // a non-empty set always has a non-dominated point
+		}
+		inFront := make(map[int]bool)
+		for _, p := range front {
+			inFront[p.Tag] = true
+		}
+		for _, p := range front {
+			for _, q := range front {
+				if p.Tag != q.Tag && p.Vec.Dominates(q.Vec) {
+					return false
+				}
+			}
+		}
+		for _, p := range pts {
+			if inFront[p.Tag] {
+				continue
+			}
+			coveredBy := false
+			for _, q := range front {
+				if q.Vec.Dominates(p.Vec) {
+					coveredBy = true
+					break
+				}
+			}
+			if !coveredBy {
+				return false
+			}
+		}
+		return len(pareto.Front(front)) == len(front)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFront2DSorted checks that 2-D fronts come out x-sorted with
+// y strictly non-increasing (the staircase shape of a Pareto curve).
+func TestQuickFront2DSorted(t *testing.T) {
+	f := func(pts randomPoints) bool {
+		front := pareto.Front2D(pts, metrics.Time, metrics.Energy)
+		for i := 1; i < len(front); i++ {
+			if front[i].Vec.Time < front[i-1].Vec.Time {
+				return false
+			}
+			// With distinct x, y must decrease or the point would be
+			// dominated; with equal x, equal y (both kept) is allowed.
+			if front[i].Vec.Time > front[i-1].Vec.Time &&
+				front[i].Vec.Energy > front[i-1].Vec.Energy {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTradeoffRange(t *testing.T) {
+	pts := []pareto.Point{
+		pt("a", 1, 0.8, 100, 1000),
+		pt("b", 10, 1.0, 800, 300),
+	}
+	if got := pareto.TradeoffRange(pts, metrics.Energy); got != 0.9 {
+		t.Errorf("energy trade-off = %v, want 0.9", got)
+	}
+	if got := pareto.TradeoffRange(pts, metrics.Time); got < 0.19 || got > 0.21 {
+		t.Errorf("time trade-off = %v, want ~0.2", got)
+	}
+	if got := pareto.TradeoffRange(pts[:1], metrics.Energy); got != 0 {
+		t.Errorf("single-point trade-off = %v, want 0", got)
+	}
+	if got := pareto.TradeoffRange(nil, metrics.Energy); got != 0 {
+		t.Errorf("empty trade-off = %v, want 0", got)
+	}
+}
+
+func TestWorstBestFactor(t *testing.T) {
+	all := []pareto.Point{pt("w", 88, 1, 1, 1), pt("x", 11, 1, 1, 1)}
+	front := []pareto.Point{pt("b", 11, 1, 1, 1)}
+	if got := pareto.WorstBestFactor(all, front, metrics.Energy); got != 8 {
+		t.Errorf("factor = %v, want 8", got)
+	}
+	if got := pareto.WorstBestFactor(nil, front, metrics.Energy); got != 0 {
+		t.Errorf("empty all: %v", got)
+	}
+}
+
+func TestBest(t *testing.T) {
+	pts := []pareto.Point{pt("b", 2, 9, 9, 9), pt("a", 1, 9, 9, 9), pt("c", 1, 0, 0, 0)}
+	// Tie on energy=1 between "a" and "c": label order decides.
+	if got := pareto.Best(pts, metrics.Energy).Label; got != "a" {
+		t.Errorf("Best energy = %q, want \"a\"", got)
+	}
+	if got := pareto.Best(pts, metrics.Time).Label; got != "c" {
+		t.Errorf("Best time = %q, want \"c\"", got)
+	}
+}
+
+func TestBestPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Best(nil) did not panic")
+		}
+	}()
+	pareto.Best(nil, metrics.Energy)
+}

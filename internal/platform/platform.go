@@ -1,0 +1,54 @@
+// Package platform bundles the three simulation substrates — virtual heap,
+// memory hierarchy and energy model — into the Platform that every DDT
+// simulation runs on, and snapshots them into the paper's 4-metric cost
+// vector.
+//
+// One simulation (one execution of a network application over one trace
+// with one DDT assignment, §3.1 of the paper) uses exactly one Platform;
+// creating a fresh Platform resets all architectural and accounting state,
+// which keeps simulations independent and deterministic.
+package platform
+
+import (
+	"repro/internal/energy"
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/vheap"
+)
+
+// Platform is the simulated embedded platform a network application
+// executes on.
+type Platform struct {
+	Heap  *vheap.Heap
+	Mem   *memsim.Hierarchy
+	Model energy.Model
+}
+
+// New builds a platform from the memory-subsystem configuration, deriving
+// the energy model from the cache geometries.
+func New(cfg memsim.Config) *Platform {
+	return &Platform{
+		Heap:  vheap.New(),
+		Mem:   memsim.New(cfg),
+		Model: energy.CACTILike(cfg),
+	}
+}
+
+// Default builds a platform with the default configuration (32 KiB L1,
+// 512 KiB L2, 1.6 GHz clock).
+func Default() *Platform {
+	return New(memsim.DefaultConfig())
+}
+
+// Metrics snapshots the platform into the 4-metric cost vector: dissipated
+// energy, execution time, memory accesses and peak memory footprint.
+func (p *Platform) Metrics() metrics.Vector {
+	counts := p.Mem.Counts()
+	seconds := p.Mem.Seconds()
+	return metrics.Vector{
+		Energy:    p.Model.Energy(counts, seconds),
+		Time:      seconds,
+		Accesses:  float64(counts.Accesses()),
+		Footprint: float64(p.Heap.PeakLiveBytes()),
+	}
+}

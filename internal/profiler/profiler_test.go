@@ -1,0 +1,73 @@
+package profiler_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/profiler"
+)
+
+func TestProbeAccumulation(t *testing.T) {
+	s := profiler.NewSet()
+	p := s.Probe("rules")
+	p.AddRead(10)
+	p.AddWrite(3)
+	p.AddOp()
+	p.AddOp()
+	if p.Accesses() != 13 {
+		t.Errorf("Accesses = %d, want 13", p.Accesses())
+	}
+	if p.Ops != 2 {
+		t.Errorf("Ops = %d, want 2", p.Ops)
+	}
+	// Same role returns the same probe.
+	if s.Probe("rules") != p {
+		t.Error("Probe(role) not idempotent")
+	}
+}
+
+func TestRankingOrderAndTies(t *testing.T) {
+	s := profiler.NewSet()
+	s.Probe("small").AddRead(5)
+	s.Probe("big").AddRead(500)
+	s.Probe("mid").AddRead(50)
+	// Ties break alphabetically for determinism.
+	s.Probe("tie-b").AddRead(50)
+
+	ranked := s.Ranked()
+	got := make([]string, len(ranked))
+	for i, p := range ranked {
+		got[i] = p.Role
+	}
+	want := []string{"big", "mid", "tie-b", "small"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ranked = %v, want %v", got, want)
+		}
+	}
+	if dom := s.Dominant(2); dom[0] != "big" || dom[1] != "mid" {
+		t.Errorf("Dominant(2) = %v", dom)
+	}
+	// Asking for more than exist returns what exists.
+	if dom := s.Dominant(10); len(dom) != 4 {
+		t.Errorf("Dominant(10) = %v", dom)
+	}
+}
+
+func TestStringTable(t *testing.T) {
+	s := profiler.NewSet()
+	s.Probe("alpha").AddRead(42)
+	out := s.String()
+	for _, frag := range []string{"container", "alpha", "42"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("profile table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	s := profiler.NewSet()
+	if len(s.Ranked()) != 0 || len(s.Dominant(2)) != 0 {
+		t.Error("empty set produced probes")
+	}
+}

@@ -1,0 +1,38 @@
+package report_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/report"
+)
+
+// FuzzReadResults hammers the exploration-log parser: arbitrary lines must
+// be rejected or parsed without panicking, and accepted records must
+// survive a write/read round trip.
+func FuzzReadResults(f *testing.F) {
+	f.Add("ddtr|URL|Berry|maxsessions=96|sessions=AR|1e-4|2e-3|12345|6789")
+	f.Add("ddtr|X|Y|-|-|0|0|0|0")
+	f.Add("ddtr|X|Y|-|-|-1|0|0|0")
+	f.Add("garbage")
+	f.Add("ddtr|a|b|c|d|e|f|g|h")
+	f.Add("# comment only")
+	f.Fuzz(func(t *testing.T, line string) {
+		results, err := report.ReadResults(strings.NewReader(line + "\n"))
+		if err != nil || len(results) == 0 {
+			return
+		}
+		var buf bytes.Buffer
+		if err := report.WriteResults(&buf, results); err != nil {
+			t.Fatalf("accepted results failed to serialize: %v", err)
+		}
+		again, err := report.ReadResults(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(again) != len(results) {
+			t.Fatalf("round trip changed record count")
+		}
+	})
+}

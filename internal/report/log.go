@@ -1,0 +1,176 @@
+package report
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/ddt"
+	"repro/internal/explore"
+)
+
+// The exploration log is one line per simulation:
+//
+//	ddtr|<app>|<trace>|<knobs>|<assignment>|<energy J>|<time s>|<accesses>|<footprint B>
+//
+// knobs are "name=value" pairs comma-joined ("-" when empty); the
+// assignment is "role=KIND" pairs comma-joined. The format is the
+// machine-readable counterpart of the paper's per-simulation log files and
+// is what cmd/ddt-pareto post-processes.
+
+const logTag = "ddtr"
+
+// WriteResults appends one log line per result to w.
+func WriteResults(w io.Writer, results []explore.Result) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range results {
+		fmt.Fprintf(bw, "%s|%s|%s|%s|%s|%.9g|%.9g|%.0f|%.0f\n",
+			logTag, r.App, r.Config.TraceName,
+			encodeKnobs(r.Config.Knobs), encodeAssign(r.Assign),
+			r.Vec.Energy, r.Vec.Time, r.Vec.Accesses, r.Vec.Footprint)
+	}
+	return bw.Flush()
+}
+
+// ReadResults parses a log produced by WriteResults. Returned results
+// carry configuration, assignment and metric vectors; behavioural
+// summaries are not logged (the paper's logs carry metrics only).
+func ReadResults(r io.Reader) ([]explore.Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out []explore.Result
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		res, err := parseLine(text)
+		if err != nil {
+			return nil, fmt.Errorf("report: log line %d: %w", line, err)
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseLine(text string) (explore.Result, error) {
+	var r explore.Result
+	fields := strings.Split(text, "|")
+	if len(fields) != 9 {
+		return r, fmt.Errorf("want 9 fields, got %d", len(fields))
+	}
+	if fields[0] != logTag {
+		return r, fmt.Errorf("bad tag %q", fields[0])
+	}
+	knobs, err := decodeKnobs(fields[3])
+	if err != nil {
+		return r, err
+	}
+	assign, err := decodeAssign(fields[4])
+	if err != nil {
+		return r, err
+	}
+	nums := make([]float64, 4)
+	for i, f := range fields[5:] {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return r, fmt.Errorf("metric %d: %w", i, err)
+		}
+		nums[i] = v
+	}
+	r = explore.Result{
+		App:    fields[1],
+		Config: explore.Config{TraceName: fields[2], Knobs: knobs},
+		Assign: assign,
+	}
+	r.Vec.Energy, r.Vec.Time, r.Vec.Accesses, r.Vec.Footprint = nums[0], nums[1], nums[2], nums[3]
+	return r, nil
+}
+
+func encodeKnobs(k apps.Knobs) string {
+	if len(k) == 0 {
+		return "-"
+	}
+	return strings.ReplaceAll(k.String(), " ", ",")
+}
+
+func decodeKnobs(s string) (apps.Knobs, error) {
+	if s == "-" {
+		return apps.Knobs{}, nil
+	}
+	out := apps.Knobs{}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad knob %q", part)
+		}
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return nil, fmt.Errorf("bad knob %q: %w", part, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+func encodeAssign(a apps.Assignment) string {
+	if len(a) == 0 {
+		return "-"
+	}
+	return strings.ReplaceAll(a.String(), " ", ",")
+}
+
+func decodeAssign(s string) (apps.Assignment, error) {
+	if s == "-" {
+		return apps.Assignment{}, nil
+	}
+	out := apps.Assignment{}
+	for _, part := range strings.Split(s, ",") {
+		role, kindName, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad assignment %q", part)
+		}
+		k, err := ddt.ParseKind(kindName)
+		if err != nil {
+			return nil, err
+		}
+		out[role] = k
+	}
+	return out, nil
+}
+
+// WriteCSV exports results as CSV with a header row — the
+// spreadsheet/plotting-friendly counterpart of the native log format.
+func WriteCSV(w io.Writer, results []explore.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"app", "trace", "knobs", "assignment",
+		"energy_J", "time_s", "accesses", "footprint_B",
+	}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		rec := []string{
+			r.App, r.Config.TraceName,
+			encodeKnobs(r.Config.Knobs), encodeAssign(r.Assign),
+			strconv.FormatFloat(r.Vec.Energy, 'g', 9, 64),
+			strconv.FormatFloat(r.Vec.Time, 'g', 9, 64),
+			strconv.FormatFloat(r.Vec.Accesses, 'f', 0, 64),
+			strconv.FormatFloat(r.Vec.Footprint, 'f', 0, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

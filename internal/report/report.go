@@ -1,0 +1,183 @@
+// Package report renders exploration outcomes the way the paper's tooling
+// did: aligned text tables (Tables 1-2), ASCII Pareto scatter charts
+// (Figures 3-4), and the exploration log files the Pareto-level
+// post-processing tool consumes ("we have developed another tool ...,
+// which processes the Gigabytes of the log files produced by previous
+// steps, and represents graphically all the DDT exploration solutions").
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/pareto"
+)
+
+// Table renders rows as an aligned text table. The first column is
+// left-aligned, the rest right-aligned.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is one labelled point set of a scatter chart (e.g. one network's
+// exploration results in Figure 4a).
+type Series struct {
+	Name   string
+	Glyph  byte
+	Points []pareto.Point
+}
+
+// Scatter renders the points of all series on an ASCII grid with x and y
+// as the axes — the textual equivalent of the paper's Pareto space and
+// Pareto curve figures. Lower is better on both axes, so the optimal
+// region is the lower left. Width and height are the plot area in
+// characters; sensible minimums are enforced.
+func Scatter(title string, x, y metrics.Metric, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	minX, maxX, minY, maxY, any := bounds(series, x, y)
+	if !any {
+		return title + "\n(no points)\n"
+	}
+	// Avoid zero spans so single-value axes still render.
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			c := int(float64(width-1) * (p.Vec.Get(x) - minX) / (maxX - minX))
+			r := int(float64(height-1) * (p.Vec.Get(y) - minY) / (maxY - minY))
+			row := height - 1 - r // y grows upward
+			if grid[row][c] == ' ' || grid[row][c] == s.Glyph {
+				grid[row][c] = s.Glyph
+			} else {
+				grid[row][c] = '#' // collision of different series
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yHi := formatAxis(y, maxY)
+	yLo := formatAxis(y, minY)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", margin, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", width))
+	lo := formatAxis(x, minX)
+	hi := formatAxis(x, maxX)
+	pad := width - len(lo) - len(hi)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", margin), lo, strings.Repeat(" ", pad), hi)
+	fmt.Fprintf(&b, "%s  x: %s, y: %s\n", strings.Repeat(" ", margin), x, y)
+	for _, s := range series {
+		fmt.Fprintf(&b, "%s  %c %s (%d points)\n", strings.Repeat(" ", margin), s.Glyph, s.Name, len(s.Points))
+	}
+	return b.String()
+}
+
+func bounds(series []Series, x, y metrics.Metric) (minX, maxX, minY, maxY float64, any bool) {
+	for _, s := range series {
+		for _, p := range s.Points {
+			px, py := p.Vec.Get(x), p.Vec.Get(y)
+			if !any {
+				minX, maxX, minY, maxY = px, px, py, py
+				any = true
+				continue
+			}
+			if px < minX {
+				minX = px
+			}
+			if px > maxX {
+				maxX = px
+			}
+			if py < minY {
+				minY = py
+			}
+			if py > maxY {
+				maxY = py
+			}
+		}
+	}
+	return
+}
+
+// formatAxis renders one axis bound in the metric's natural unit.
+func formatAxis(m metrics.Metric, v float64) string {
+	switch m {
+	case metrics.Energy:
+		return metrics.FormatEnergy(v)
+	case metrics.Time:
+		return metrics.FormatTime(v)
+	case metrics.Footprint:
+		return fmt.Sprintf("%.0fB", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// Percent formats a 0..1 fraction the way the paper's tables do.
+func Percent(f float64) string {
+	return fmt.Sprintf("%.0f%%", f*100)
+}

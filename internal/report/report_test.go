@@ -1,0 +1,183 @@
+package report_test
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/ddt"
+	"repro/internal/explore"
+	"repro/internal/metrics"
+	"repro/internal/pareto"
+	"repro/internal/report"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := report.Table(
+		[]string{"app", "sims", "pareto"},
+		[][]string{
+			{"Route", "1400", "7"},
+			{"URL", "500", "4"},
+		},
+	)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if len(lines[0]) != len(lines[2]) || len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows not aligned:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "1400") || !strings.Contains(lines[3], "500") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+}
+
+func scatterSeries() []report.Series {
+	mk := func(e, tm float64) pareto.Point {
+		return pareto.Point{Vec: metrics.Vector{Energy: e, Time: tm}}
+	}
+	return []report.Series{
+		{Name: "all", Glyph: '.', Points: []pareto.Point{mk(1, 1), mk(2, 2), mk(3, 3)}},
+		{Name: "front", Glyph: 'o', Points: []pareto.Point{mk(1, 1)}},
+	}
+}
+
+func TestScatterRendersPointsAndLegend(t *testing.T) {
+	out := report.Scatter("Pareto space", metrics.Time, metrics.Energy, scatterSeries(), 40, 10)
+	for _, frag := range []string{"Pareto space", "x: time, y: energy", "all (3 points)", "front (1 points)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("scatter missing %q:\n%s", frag, out)
+		}
+	}
+	// The overlapping front point must render as a collision or glyph.
+	if !strings.ContainsAny(out, "o#") {
+		t.Errorf("front glyph not rendered:\n%s", out)
+	}
+	if !strings.Contains(out, ".") {
+		t.Errorf("series glyph not rendered:\n%s", out)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	out := report.Scatter("empty", metrics.Time, metrics.Energy, nil, 40, 10)
+	if !strings.Contains(out, "(no points)") {
+		t.Errorf("empty scatter = %q", out)
+	}
+}
+
+func TestScatterDegenerateAxis(t *testing.T) {
+	pts := []pareto.Point{
+		{Vec: metrics.Vector{Energy: 5, Time: 1}},
+		{Vec: metrics.Vector{Energy: 5, Time: 2}},
+	}
+	out := report.Scatter("flat", metrics.Time, metrics.Energy,
+		[]report.Series{{Name: "s", Glyph: 'x', Points: pts}}, 30, 8)
+	if !strings.Contains(out, "x") {
+		t.Errorf("degenerate-axis scatter lost its points:\n%s", out)
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := report.Percent(0.801); got != "80%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+func sampleResults() []explore.Result {
+	r1 := explore.Result{
+		App:    "URL",
+		Config: explore.Config{TraceName: "Berry", Knobs: apps.Knobs{"maxsessions": 384}},
+		Assign: apps.Assignment{"sessions": ddt.AR, "patterns": ddt.DLLAR},
+	}
+	r1.Vec = metrics.Vector{Energy: 1.5e-4, Time: 2.5e-3, Accesses: 123456, Footprint: 7890}
+	r2 := explore.Result{
+		App:    "DRR",
+		Config: explore.Config{TraceName: "FLA", Knobs: apps.Knobs{}},
+		Assign: apps.Assignment{"flows": ddt.SLLARO},
+	}
+	r2.Vec = metrics.Vector{Energy: 2e-6, Time: 3e-5, Accesses: 42, Footprint: 100}
+	return []explore.Result{r1, r2}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	results := sampleResults()
+	var buf bytes.Buffer
+	if err := report.WriteResults(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	got, err := report.ReadResults(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(results) {
+		t.Fatalf("read %d results, want %d", len(got), len(results))
+	}
+	for i := range got {
+		want := results[i]
+		if got[i].App != want.App || got[i].Config.String() != want.Config.String() {
+			t.Errorf("result %d id mismatch: %v vs %v", i, got[i].Config, want.Config)
+		}
+		if got[i].Assign.String() != want.Assign.String() {
+			t.Errorf("result %d assignment mismatch: %v vs %v", i, got[i].Assign, want.Assign)
+		}
+		if got[i].Vec != want.Vec {
+			t.Errorf("result %d vector mismatch: %v vs %v", i, got[i].Vec, want.Vec)
+		}
+	}
+}
+
+func TestReadResultsSkipsCommentsAndBlanks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.WriteResults(&buf, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	in := "# exploration log\n\n" + buf.String()
+	got, err := report.ReadResults(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d results, want 2", len(got))
+	}
+}
+
+func TestReadResultsRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"nope|URL|Berry|-|-|1|2|3|4",
+		"ddtr|URL|Berry|-|-|1|2|3",        // missing field
+		"ddtr|URL|Berry|bad|-|1|2|3|4",    // bad knob
+		"ddtr|URL|Berry|-|x=NOPE|1|2|3|4", // bad kind
+		"ddtr|URL|Berry|-|-|one|2|3|4",    // bad number
+		"ddtr|URL|Berry|k=x|-|1|2|3|4",    // bad knob value
+	}
+	for i, c := range cases {
+		if _, err := report.ReadResults(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := report.WriteCSV(&buf, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("%d CSV records, want header + 2 rows", len(records))
+	}
+	if records[0][0] != "app" || records[0][7] != "footprint_B" {
+		t.Errorf("header = %v", records[0])
+	}
+	if records[1][0] != "URL" || records[2][0] != "DRR" {
+		t.Errorf("rows = %v / %v", records[1], records[2])
+	}
+	if records[1][6] != "123456" {
+		t.Errorf("accesses cell = %q", records[1][6])
+	}
+}

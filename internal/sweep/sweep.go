@@ -1,0 +1,110 @@
+// Package sweep extends the methodology along the axis the paper holds
+// fixed: the platform. The paper assumes "that the embedded platform is
+// already designed" and tunes DDTs to it; sweep runs the full 3-step
+// methodology under several memory-hierarchy designs and reports how the
+// recommended DDT combinations move — the co-design question a platform
+// architect would ask next.
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/pareto"
+	"repro/internal/report"
+)
+
+// PlatformPoint is one candidate platform design.
+type PlatformPoint struct {
+	Name   string
+	Config memsim.Config
+}
+
+// DefaultPlatforms spans the embedded-to-desktop range around the
+// reproduction's default 8K/128K hierarchy.
+func DefaultPlatforms() []PlatformPoint {
+	mk := func(name string, l1, l2 uint32) PlatformPoint {
+		cfg := memsim.DefaultConfig()
+		cfg.L1.SizeBytes = l1
+		cfg.L2.SizeBytes = l2
+		return PlatformPoint{Name: name, Config: cfg}
+	}
+	return []PlatformPoint{
+		mk("tiny-4K-64K", 4<<10, 64<<10),
+		mk("embedded-8K-128K", 8<<10, 128<<10),
+		mk("midrange-32K-512K", 32<<10, 512<<10),
+	}
+}
+
+// Result is the methodology outcome under one platform.
+type Result struct {
+	Platform   PlatformPoint
+	Report     *core.Report
+	BestEnergy pareto.Point // best-energy point of the reference front
+	BestTime   pareto.Point
+}
+
+// Run executes the full methodology for app under every platform point.
+// opts.Platform is overridden per point; everything else applies as is.
+func Run(app apps.App, platforms []PlatformPoint, opts explore.Options) ([]Result, error) {
+	if len(platforms) == 0 {
+		return nil, fmt.Errorf("sweep: no platform points")
+	}
+	out := make([]Result, 0, len(platforms))
+	for _, pp := range platforms {
+		cfg := pp.Config
+		o := opts
+		o.Platform = &cfg
+		rep, err := (core.Methodology{App: app, Opts: o}).Run()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s on %s: %w", app.Name(), pp.Name, err)
+		}
+		out = append(out, Result{
+			Platform:   pp,
+			Report:     rep,
+			BestEnergy: rep.BestEnergy,
+			BestTime:   rep.BestTime,
+		})
+	}
+	return out, nil
+}
+
+// Render summarizes a sweep as an aligned table: per platform, the
+// recommended combination and its costs, plus the energy saving over the
+// original implementation.
+func Render(app string, results []Result) string {
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Platform.Name,
+			r.BestEnergy.Label,
+			metrics.FormatEnergy(r.BestEnergy.Vec.Energy),
+			metrics.FormatTime(r.BestEnergy.Vec.Time),
+			report.Percent(r.Report.EnergySaving),
+			fmt.Sprint(r.Report.ParetoOptimal),
+		})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s - optimal DDT combination per platform design\n", app)
+	b.WriteString(report.Table(
+		[]string{"platform", "best-energy combination", "energy", "time", "saving vs SLL", "pareto set"},
+		rows))
+	return b.String()
+}
+
+// Shifts reports whether the recommended combination changes anywhere
+// across the sweep — the observation that makes DDT choice a co-design
+// problem rather than a lookup table.
+func Shifts(results []Result) bool {
+	for i := 1; i < len(results); i++ {
+		if results[i].BestEnergy.Label != results[0].BestEnergy.Label {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,80 @@
+package sweep_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps/urlsw"
+	"repro/internal/explore"
+	"repro/internal/memsim"
+	"repro/internal/sweep"
+)
+
+func TestDefaultPlatforms(t *testing.T) {
+	pts := sweep.DefaultPlatforms()
+	if len(pts) < 3 {
+		t.Fatalf("%d platform points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Config.L1.SizeBytes <= pts[i-1].Config.L1.SizeBytes {
+			t.Errorf("platform points not ordered by L1 size")
+		}
+	}
+}
+
+func TestRunAndRender(t *testing.T) {
+	platforms := sweep.DefaultPlatforms()[:2]
+	results, err := sweep.Run(urlsw.App{}, platforms, explore.Options{TracePackets: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if r.Report == nil || r.BestEnergy.Label == "" {
+			t.Fatalf("result %d incomplete: %+v", i, r)
+		}
+		if r.Platform.Name != platforms[i].Name {
+			t.Errorf("result %d platform order broken", i)
+		}
+		if r.Report.EnergySaving < 0 {
+			t.Errorf("%s: refinement lost to original", r.Platform.Name)
+		}
+	}
+	out := sweep.Render("URL", results)
+	for _, frag := range []string{"URL", platforms[0].Name, platforms[1].Name, "saving vs SLL"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	// Shifts must at least not crash and be consistent with the labels.
+	shifted := sweep.Shifts(results)
+	want := results[0].BestEnergy.Label != results[1].BestEnergy.Label
+	if shifted != want {
+		t.Errorf("Shifts = %v, labels %q vs %q", shifted,
+			results[0].BestEnergy.Label, results[1].BestEnergy.Label)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := sweep.Run(urlsw.App{}, nil, explore.Options{}); err == nil {
+		t.Fatal("empty platform list accepted")
+	}
+}
+
+func TestPerPlatformConfigsApplied(t *testing.T) {
+	// A sweep must actually run each methodology under its own config:
+	// energy per access differs, so reference-front energies must differ.
+	small := sweep.PlatformPoint{Name: "small", Config: memsim.DefaultConfig()}
+	bigCfg := memsim.DefaultConfig()
+	bigCfg.L1.SizeBytes *= 8
+	big := sweep.PlatformPoint{Name: "big", Config: bigCfg}
+	results, err := sweep.Run(urlsw.App{}, []sweep.PlatformPoint{small, big}, explore.Options{TracePackets: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].BestEnergy.Vec == results[1].BestEnergy.Vec {
+		t.Error("both platforms produced identical best vectors; config not applied")
+	}
+}

@@ -1,0 +1,59 @@
+package trace_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// FuzzRead hammers the trace parser with arbitrary record lines: it must
+// reject or accept them gracefully — never panic — and anything it
+// accepts must survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	f.Add("0.5 10.0.1.2 192.168.0.9 1024 80 tcp 1400 1 \"/index.html\"")
+	f.Add("0 0.0.0.0 255.255.255.255 0 0 icmp 0 3 \"\"")
+	f.Add("not a packet at all")
+	f.Add("1 2 3 4 5 6 7 8 9 10 11")
+	f.Add("0.1 999.1.1.1 1.1.1.1 1 1 tcp 40 0 \"x\"")
+	f.Add("NaN 1.2.3.4 5.6.7.8 1 1 udp 40 0 \"\"")
+	f.Fuzz(func(t *testing.T, line string) {
+		in := "# ddtr-trace v1\n# name: fuzz\n" + line + "\n"
+		tr, err := trace.Read(strings.NewReader(in))
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		var buf strings.Builder
+		if err := trace.Write(&buf, tr); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		again, err := trace.Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip of accepted trace failed: %v", err)
+		}
+		if len(again.Packets) != len(tr.Packets) {
+			t.Fatalf("round trip changed packet count: %d vs %d",
+				len(again.Packets), len(tr.Packets))
+		}
+	})
+}
+
+// FuzzParseIPv4 checks the address parser never panics and only accepts
+// strings its formatter can reproduce.
+func FuzzParseIPv4(f *testing.F) {
+	f.Add("1.2.3.4")
+	f.Add("256.0.0.1")
+	f.Add("....")
+	f.Add("")
+	f.Add("10.0.0.0.1")
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := trace.ParseIPv4(s)
+		if err != nil {
+			return
+		}
+		back, err := trace.ParseIPv4(trace.FormatIPv4(a))
+		if err != nil || back != a {
+			t.Fatalf("accepted address %q does not round trip", s)
+		}
+	})
+}

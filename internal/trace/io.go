@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format is a line-oriented text file, one packet per line,
+// with a small header — the same spirit as the NLANR/Dartmouth text dumps
+// the paper's Perl parser consumed:
+//
+//	# ddtr-trace v1
+//	# name: BWY-I
+//	# network: BWY
+//	# class: campus
+//	<ts> <src> <dst> <sport> <dport> <proto> <size> <flags> <payload>
+//
+// Addresses are dotted quads, payload is a Go-quoted string ("" when
+// absent).
+
+const formatHeader = "# ddtr-trace v1"
+
+// Write serializes t to w in the text format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, formatHeader)
+	fmt.Fprintf(bw, "# name: %s\n", t.Name)
+	fmt.Fprintf(bw, "# network: %s\n", t.Network)
+	fmt.Fprintf(bw, "# class: %s\n", t.Class)
+	for i := range t.Packets {
+		p := &t.Packets[i]
+		fmt.Fprintf(bw, "%.6f %s %s %d %d %s %d %d %s\n",
+			p.TS, FormatIPv4(p.Src), FormatIPv4(p.Dst),
+			p.SrcPort, p.DstPort, p.Proto, p.Size, p.Flags,
+			strconv.Quote(p.Payload))
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace in the text format.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	t := &Trace{}
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			switch {
+			case line == formatHeader:
+				sawHeader = true
+			case strings.HasPrefix(line, "# name: "):
+				t.Name = strings.TrimPrefix(line, "# name: ")
+			case strings.HasPrefix(line, "# network: "):
+				t.Network = strings.TrimPrefix(line, "# network: ")
+			case strings.HasPrefix(line, "# class: "):
+				if strings.TrimPrefix(line, "# class: ") == "wireless" {
+					t.Class = Wireless
+				}
+			}
+			continue
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("trace: line %d: data before %q header", lineNo, formatHeader)
+		}
+		p, err := parsePacket(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		t.Packets = append(t.Packets, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("trace: missing %q header", formatHeader)
+	}
+	return t, nil
+}
+
+func parsePacket(line string) (Packet, error) {
+	var p Packet
+	// Split only 8 times: the quoted payload may itself contain spaces.
+	fields := strings.SplitN(line, " ", 9)
+	if len(fields) != 9 {
+		return p, fmt.Errorf("want 9 fields, got %d", len(fields))
+	}
+	ts, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return p, fmt.Errorf("timestamp: %w", err)
+	}
+	src, err := ParseIPv4(fields[1])
+	if err != nil {
+		return p, err
+	}
+	dst, err := ParseIPv4(fields[2])
+	if err != nil {
+		return p, err
+	}
+	sport, err := strconv.ParseUint(fields[3], 10, 16)
+	if err != nil {
+		return p, fmt.Errorf("src port: %w", err)
+	}
+	dport, err := strconv.ParseUint(fields[4], 10, 16)
+	if err != nil {
+		return p, fmt.Errorf("dst port: %w", err)
+	}
+	proto, err := parseProto(fields[5])
+	if err != nil {
+		return p, err
+	}
+	size, err := strconv.ParseUint(fields[6], 10, 16)
+	if err != nil {
+		return p, fmt.Errorf("size: %w", err)
+	}
+	flags, err := strconv.ParseUint(fields[7], 10, 8)
+	if err != nil {
+		return p, fmt.Errorf("flags: %w", err)
+	}
+	payload, err := strconv.Unquote(fields[8])
+	if err != nil {
+		return p, fmt.Errorf("payload: %w", err)
+	}
+	p = Packet{
+		TS: ts, Src: src, Dst: dst,
+		SrcPort: uint16(sport), DstPort: uint16(dport),
+		Proto: proto, Size: uint16(size), Flags: Flags(flags),
+		Payload: payload,
+	}
+	return p, nil
+}
+
+func parseProto(s string) (Proto, error) {
+	switch s {
+	case "tcp":
+		return TCP, nil
+	case "udp":
+		return UDP, nil
+	case "icmp":
+		return ICMP, nil
+	default:
+		return 0, fmt.Errorf("unknown protocol %q", s)
+	}
+}
+
+// FormatIPv4 renders a dotted quad.
+func FormatIPv4(a uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", a>>24, a>>16&0xff, a>>8&0xff, a&0xff)
+}
+
+// ParseIPv4 parses a dotted quad.
+func ParseIPv4(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("bad IPv4 address %q", s)
+	}
+	var a uint32
+	for _, part := range parts {
+		v, err := strconv.ParseUint(part, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("bad IPv4 address %q: %w", s, err)
+		}
+		a = a<<8 | uint32(v)
+	}
+	return a, nil
+}

@@ -1,0 +1,431 @@
+// Package trace models the packet traces that drive every simulation, and
+// the network-parameter extraction of the paper's tool chain.
+//
+// The paper validates its methodology on "a total of 10 traces from 8
+// different networks": three NLANR backbone/campus collection points and
+// five Dartmouth campus wireless buildings [Kotz & Essien, MobiCom 2002].
+// Those archives are not redistributable here, so this package provides
+// deterministic synthetic generators with the same shape: heavy-tailed
+// flow sizes, Zipf destination popularity, per-class packet-size mixes and
+// node counts. Ten built-in configurations mirror the paper's trace set by
+// name (FLA, SDC, BWY-I/II; Berry, Brown, Collis, Sudikoff,
+// Whittemore-I/II). The exploration methodology consumes only the network
+// parameters the paper names — number of nodes, throughput, packet sizes —
+// which Extract recovers from any trace, synthetic or parsed from disk.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Proto is the transport protocol of a packet.
+type Proto uint8
+
+// Transport protocols used by the generators and applications.
+const (
+	TCP Proto = iota
+	UDP
+	ICMP
+)
+
+// String returns the protocol mnemonic.
+func (p Proto) String() string {
+	switch p {
+	case TCP:
+		return "tcp"
+	case UDP:
+		return "udp"
+	case ICMP:
+		return "icmp"
+	default:
+		return fmt.Sprintf("proto(%d)", uint8(p))
+	}
+}
+
+// Flags mark flow-lifecycle events on a packet.
+type Flags uint8
+
+// Flag bits.
+const (
+	SYN Flags = 1 << iota // first packet of a flow
+	FIN                   // last packet of a flow
+)
+
+// Packet is one trace record. Fields are the ones the NetBench
+// applications consume: addressing for Route/IPchains/DRR, the request
+// path for URL switching, SYN/FIN for session lifecycles.
+type Packet struct {
+	TS      float64 // seconds since trace start
+	Src     uint32  // IPv4 source address
+	Dst     uint32  // IPv4 destination address
+	SrcPort uint16
+	DstPort uint16
+	Proto   Proto
+	Size    uint16 // bytes on the wire
+	Flags   Flags
+	Payload string // HTTP request path on the first packet of HTTP flows
+}
+
+// FlowKey identifies the 5-tuple of a packet.
+type FlowKey struct {
+	Src, Dst         uint32
+	SrcPort, DstPort uint16
+	Proto            Proto
+}
+
+// Key returns the packet's flow 5-tuple.
+func (p *Packet) Key() FlowKey {
+	return FlowKey{p.Src, p.Dst, p.SrcPort, p.DstPort, p.Proto}
+}
+
+// Class distinguishes the two network families of the paper's trace set.
+type Class uint8
+
+// Trace classes.
+const (
+	Campus   Class = iota // NLANR-style backbone/campus collection point
+	Wireless              // Dartmouth-style wireless building
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	if c == Campus {
+		return "campus"
+	}
+	return "wireless"
+}
+
+// Trace is a named packet trace from one network.
+type Trace struct {
+	Name    string
+	Network string
+	Class   Class
+	Packets []Packet
+}
+
+// Params are the network parameters the exploration extracts from a trace
+// (§3.2: "the number of nodes in the network, the throughput of the
+// network and the typical packet sizes used").
+type Params struct {
+	Nodes          int // distinct addresses observed
+	Flows          int // distinct 5-tuples observed
+	PacketCount    int
+	DurationS      float64 // observed time span
+	ThroughputBps  float64 // bits per second over the span
+	MeanPacketSize float64 // bytes
+	MaxPacketSize  int     // bytes (the trace's effective MTU)
+	HTTPShare      float64 // fraction of packets on port 80
+}
+
+// Extract recovers the network parameters from a trace. This is the role
+// of the first (Perl) tool of the paper's framework: "parsing the
+// available network traces and extracting the network parameters from the
+// raw data".
+func Extract(t *Trace) Params {
+	var p Params
+	p.PacketCount = len(t.Packets)
+	if p.PacketCount == 0 {
+		return p
+	}
+	nodes := make(map[uint32]struct{})
+	flows := make(map[FlowKey]struct{})
+	var bytes uint64
+	var http int
+	first, last := t.Packets[0].TS, t.Packets[0].TS
+	for i := range t.Packets {
+		pk := &t.Packets[i]
+		nodes[pk.Src] = struct{}{}
+		nodes[pk.Dst] = struct{}{}
+		flows[pk.Key()] = struct{}{}
+		bytes += uint64(pk.Size)
+		if int(pk.Size) > p.MaxPacketSize {
+			p.MaxPacketSize = int(pk.Size)
+		}
+		if pk.DstPort == 80 || pk.SrcPort == 80 {
+			http++
+		}
+		if pk.TS < first {
+			first = pk.TS
+		}
+		if pk.TS > last {
+			last = pk.TS
+		}
+	}
+	p.Nodes = len(nodes)
+	p.Flows = len(flows)
+	p.DurationS = last - first
+	p.MeanPacketSize = float64(bytes) / float64(p.PacketCount)
+	if p.DurationS > 0 {
+		p.ThroughputBps = float64(bytes) * 8 / p.DurationS
+	}
+	p.HTTPShare = float64(http) / float64(p.PacketCount)
+	return p
+}
+
+// String renders the parameters the way the extraction tool reports them.
+func (p Params) String() string {
+	return fmt.Sprintf(
+		"nodes=%d flows=%d packets=%d duration=%.2fs throughput=%.3gMbps meanpkt=%.0fB mtu=%dB http=%.0f%%",
+		p.Nodes, p.Flows, p.PacketCount, p.DurationS, p.ThroughputBps/1e6,
+		p.MeanPacketSize, p.MaxPacketSize, p.HTTPShare*100)
+}
+
+// GenConfig parameterizes the synthetic generator.
+type GenConfig struct {
+	Name         string
+	Network      string
+	Class        Class
+	Seed         uint64
+	Nodes        int     // hosts on the monitored network
+	Packets      int     // total packets to emit
+	DurationS    float64 // trace time span
+	MTU          int     // maximum packet size
+	MeanFlowPkts float64 // mean flow length (Pareto-distributed)
+	ZipfS        float64 // destination/URL popularity skew
+	HTTPFraction float64 // fraction of flows that are HTTP requests
+}
+
+// urlPool is the set of request paths HTTP flows draw from, mirroring the
+// pattern tables of the URL-switching application.
+var urlPool = []string{
+	"/index.html",
+	"/images/banner.gif",
+	"/images/logo.png",
+	"/news/today.html",
+	"/cgi-bin/search",
+	"/cgi-bin/login",
+	"/static/style.css",
+	"/static/app.js",
+	"/video/stream.rm",
+	"/audio/clip.ra",
+	"/mail/inbox",
+	"/mail/compose",
+	"/catalog/items",
+	"/catalog/item/4711",
+	"/download/update.bin",
+	"/ads/rotator.cgi",
+	"/weather/today",
+	"/sports/scores",
+	"/docs/manual.pdf",
+	"/feed/rss.xml",
+}
+
+// Generate builds a deterministic synthetic trace from cfg. The same
+// config always yields the identical trace.
+func Generate(cfg GenConfig) *Trace {
+	if cfg.Nodes < 2 {
+		panic("trace: GenConfig.Nodes must be at least 2")
+	}
+	if cfg.Packets <= 0 {
+		panic("trace: GenConfig.Packets must be positive")
+	}
+	rng := xrand.New(cfg.Seed)
+	dstZipf := xrand.NewZipf(rng.Fork(1), cfg.Nodes, cfg.ZipfS)
+	urlZipf := xrand.NewZipf(rng.Fork(2), len(urlPool), 1.1)
+	r := rng.Fork(3)
+
+	// Address plan: each internal host sits in its own /24 subnet of the
+	// 10.0.0.0/8 campus space (the prefix diversity an IPv4 routing table
+	// actually sees), plus a pool of popular external servers — both
+	// backbone and wireless clients talk to the wider Internet.
+	netBase := uint32(0x0a000000) | uint32(cfg.Seed%64)<<18
+	hostAddr := func(host uint32) uint32 {
+		return netBase | (host+1)<<8 | (host*37%253 + 1)
+	}
+	external := make([]uint32, 384)
+	for i := range external {
+		external[i] = 0xc0a80000 + uint32(i)*7919 // deterministic remote hosts
+	}
+	extZipf := xrand.NewZipf(rng.Fork(4), len(external), 0.9)
+	extProb := 0.55 // campus border traffic share
+	if cfg.Class == Wireless {
+		extProb = 0.35
+	}
+
+	pkts := make([]Packet, 0, cfg.Packets)
+	for len(pkts) < cfg.Packets {
+		// New flow.
+		start := r.Float64() * cfg.DurationS
+		srcHost := uint32(r.Intn(cfg.Nodes))
+		src := hostAddr(srcHost)
+		var dst uint32
+		if r.Float64() < extProb {
+			dst = external[extZipf.Next()]
+		} else {
+			d := uint32(dstZipf.Next())
+			if d == srcHost {
+				d = (d + 1) % uint32(cfg.Nodes)
+			}
+			dst = hostAddr(d)
+		}
+		isHTTP := r.Float64() < cfg.HTTPFraction
+		proto := TCP
+		dstPort := uint16(80)
+		if !isHTTP {
+			switch r.Intn(10) {
+			case 0, 1, 2:
+				proto, dstPort = UDP, 53
+			case 3:
+				proto, dstPort = ICMP, 0
+			case 4, 5:
+				dstPort = 21
+			case 6:
+				dstPort = 25
+			default:
+				dstPort = uint16(1024 + r.Intn(40000))
+			}
+		}
+		srcPort := uint16(1024 + r.Intn(60000))
+
+		nPkts := int(r.Pareto(1, 1.25) * cfg.MeanFlowPkts / 5)
+		if nPkts < 1 {
+			nPkts = 1
+		}
+		if nPkts > 500 {
+			nPkts = 500
+		}
+		ts := start
+		for j := 0; j < nPkts && len(pkts) < cfg.Packets; j++ {
+			p := Packet{
+				TS: ts, Src: src, Dst: dst,
+				SrcPort: srcPort, DstPort: dstPort, Proto: proto,
+				Size: cfg.packetSize(r),
+			}
+			if j == 0 {
+				p.Flags |= SYN
+				if isHTTP {
+					p.Payload = urlPool[urlZipf.Next()]
+				}
+			}
+			if j == nPkts-1 {
+				p.Flags |= FIN
+			}
+			pkts = append(pkts, p)
+			// Spread a flow's packets over roughly a third of the trace
+			// span: tens to hundreds of flows are concurrently active,
+			// which is what fills session tables, conntrack caches and
+			// scheduler queues to realistic depths.
+			ts += r.Exp(cfg.DurationS / (cfg.MeanFlowPkts * 3))
+		}
+	}
+
+	// Deterministic chronological order (ties broken on full content).
+	sort.Slice(pkts, func(i, j int) bool {
+		a, b := &pkts[i], &pkts[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.SrcPort < b.SrcPort
+	})
+	return &Trace{Name: cfg.Name, Network: cfg.Network, Class: cfg.Class, Packets: pkts}
+}
+
+// packetSize draws one packet size from the class-specific mix: backbone
+// traffic is bimodal around ACK-size and MTU, wireless skews smaller.
+func (cfg GenConfig) packetSize(r *xrand.RNG) uint16 {
+	u := r.Float64()
+	switch cfg.Class {
+	case Campus:
+		switch {
+		case u < 0.40:
+			return uint16(40 + r.Intn(21)) // ACKs and control
+		case u < 0.50:
+			return uint16(576) // legacy default MTU
+		default:
+			return uint16(cfg.MTU - r.Intn(40))
+		}
+	default: // Wireless
+		switch {
+		case u < 0.55:
+			return uint16(40 + r.Intn(61))
+		case u < 0.80:
+			return uint16(256 + r.Intn(256))
+		default:
+			return uint16(cfg.MTU - r.Intn(100))
+		}
+	}
+}
+
+// BuiltinConfigs returns the ten trace configurations mirroring the
+// paper's trace set: four NLANR-style campus collection points over three
+// networks, six Dartmouth-style wireless building traces over five
+// networks — 10 traces, 8 networks.
+func BuiltinConfigs() []GenConfig {
+	return []GenConfig{
+		{Name: "FLA", Network: "FLA", Class: Campus, Seed: 101,
+			Nodes: 420, Packets: 20000, DurationS: 60, MTU: 1500,
+			MeanFlowPkts: 18, ZipfS: 1.0, HTTPFraction: 0.45},
+		{Name: "SDC", Network: "SDC", Class: Campus, Seed: 102,
+			Nodes: 340, Packets: 20000, DurationS: 90, MTU: 1500,
+			MeanFlowPkts: 14, ZipfS: 0.9, HTTPFraction: 0.40},
+		{Name: "BWY-I", Network: "BWY", Class: Campus, Seed: 103,
+			Nodes: 510, Packets: 20000, DurationS: 45, MTU: 1500,
+			MeanFlowPkts: 22, ZipfS: 1.1, HTTPFraction: 0.50},
+		{Name: "BWY-II", Network: "BWY", Class: Campus, Seed: 104,
+			Nodes: 480, Packets: 20000, DurationS: 75, MTU: 1500,
+			MeanFlowPkts: 16, ZipfS: 1.05, HTTPFraction: 0.48},
+		{Name: "Berry", Network: "Berry", Class: Wireless, Seed: 201,
+			Nodes: 92, Packets: 20000, DurationS: 300, MTU: 1400,
+			MeanFlowPkts: 9, ZipfS: 1.3, HTTPFraction: 0.60},
+		{Name: "Brown", Network: "Brown", Class: Wireless, Seed: 202,
+			Nodes: 58, Packets: 20000, DurationS: 420, MTU: 1400,
+			MeanFlowPkts: 7, ZipfS: 1.25, HTTPFraction: 0.55},
+		{Name: "Collis", Network: "Collis", Class: Wireless, Seed: 203,
+			Nodes: 76, Packets: 20000, DurationS: 360, MTU: 1400,
+			MeanFlowPkts: 8, ZipfS: 1.2, HTTPFraction: 0.62},
+		{Name: "Sudikoff", Network: "Sudikoff", Class: Wireless, Seed: 204,
+			Nodes: 44, Packets: 20000, DurationS: 600, MTU: 1400,
+			MeanFlowPkts: 11, ZipfS: 1.15, HTTPFraction: 0.50},
+		{Name: "Whittemore-I", Network: "Whittemore", Class: Wireless, Seed: 205,
+			Nodes: 56, Packets: 20000, DurationS: 480, MTU: 1400,
+			MeanFlowPkts: 8, ZipfS: 1.3, HTTPFraction: 0.58},
+		{Name: "Whittemore-II", Network: "Whittemore", Class: Wireless, Seed: 206,
+			Nodes: 52, Packets: 20000, DurationS: 540, MTU: 1400,
+			MeanFlowPkts: 9, ZipfS: 1.28, HTTPFraction: 0.56},
+	}
+}
+
+// BuiltinNames lists the built-in trace names in canonical order.
+func BuiltinNames() []string {
+	cfgs := BuiltinConfigs()
+	names := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Builtin generates the named built-in trace. If packets > 0 it overrides
+// the configured trace length (tests and examples use short traces, the
+// benchmark harness longer ones).
+func Builtin(name string, packets int) (*Trace, error) {
+	for _, cfg := range BuiltinConfigs() {
+		if cfg.Name == name {
+			if packets > 0 {
+				cfg.Packets = packets
+			}
+			return Generate(cfg), nil
+		}
+	}
+	return nil, fmt.Errorf("trace: unknown built-in trace %q", name)
+}
+
+// Networks returns the distinct network names of the built-in set, in
+// first-appearance order.
+func Networks() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, cfg := range BuiltinConfigs() {
+		if !seen[cfg.Network] {
+			seen[cfg.Network] = true
+			out = append(out, cfg.Network)
+		}
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func berry(t *testing.T, packets int) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Builtin("Berry", packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuiltinSetMatchesPaper(t *testing.T) {
+	cfgs := trace.BuiltinConfigs()
+	if len(cfgs) != 10 {
+		t.Fatalf("paper uses 10 traces, got %d", len(cfgs))
+	}
+	if nets := trace.Networks(); len(nets) != 8 {
+		t.Fatalf("paper uses 8 networks, got %d: %v", len(nets), nets)
+	}
+	// The two traces the paper's Figure 4 discusses by name must exist.
+	for _, name := range []string{"Berry", "BWY-I"} {
+		if _, err := trace.Builtin(name, 100); err != nil {
+			t.Errorf("missing paper trace %q: %v", name, err)
+		}
+	}
+	seen := make(map[string]bool)
+	for _, c := range cfgs {
+		if seen[c.Name] {
+			t.Errorf("duplicate trace name %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+}
+
+func TestBuiltinUnknown(t *testing.T) {
+	if _, err := trace.Builtin("Atlantis", 10); err == nil {
+		t.Fatal("unknown trace name accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := berry(t, 3000)
+	b := berry(t, 3000)
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Packets), len(b.Packets))
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, a.Packets[i], b.Packets[i])
+		}
+	}
+}
+
+func TestGenerateLengthAndOrder(t *testing.T) {
+	tr := berry(t, 5000)
+	if len(tr.Packets) != 5000 {
+		t.Fatalf("got %d packets, want 5000", len(tr.Packets))
+	}
+	if !sort.SliceIsSorted(tr.Packets, func(i, j int) bool {
+		return tr.Packets[i].TS < tr.Packets[j].TS
+	}) {
+		t.Fatal("trace not in chronological order")
+	}
+}
+
+func TestFlowLifecycleFlags(t *testing.T) {
+	tr := berry(t, 5000)
+	synSeen := make(map[trace.FlowKey]bool)
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		if p.Flags&trace.SYN != 0 {
+			synSeen[p.Key()] = true
+		}
+	}
+	if len(synSeen) < 100 {
+		t.Fatalf("only %d flows in 5000 packets; generator degenerate", len(synSeen))
+	}
+	// Every HTTP payload must ride on a SYN packet.
+	for i := range tr.Packets {
+		p := &tr.Packets[i]
+		if p.Payload != "" && p.Flags&trace.SYN == 0 {
+			t.Fatal("payload on a non-SYN packet")
+		}
+		if p.Payload != "" && !strings.HasPrefix(p.Payload, "/") {
+			t.Fatalf("payload %q is not a request path", p.Payload)
+		}
+	}
+}
+
+func TestExtractMatchesConfig(t *testing.T) {
+	for _, cfg := range trace.BuiltinConfigs() {
+		cfg := cfg
+		cfg.Packets = 8000
+		tr := trace.Generate(cfg)
+		p := trace.Extract(tr)
+		if p.PacketCount != 8000 {
+			t.Errorf("%s: PacketCount = %d", cfg.Name, p.PacketCount)
+		}
+		// Node count is bounded by internal hosts + the external pool.
+		if p.Nodes < cfg.Nodes/4 || p.Nodes > cfg.Nodes+400 {
+			t.Errorf("%s: Nodes = %d, config %d", cfg.Name, p.Nodes, cfg.Nodes)
+		}
+		if p.MaxPacketSize > cfg.MTU {
+			t.Errorf("%s: MaxPacketSize %d exceeds MTU %d", cfg.Name, p.MaxPacketSize, cfg.MTU)
+		}
+		if p.MeanPacketSize <= 0 || p.ThroughputBps <= 0 {
+			t.Errorf("%s: degenerate params %+v", cfg.Name, p)
+		}
+		if p.Flows <= 1 {
+			t.Errorf("%s: only %d flows", cfg.Name, p.Flows)
+		}
+	}
+}
+
+func TestClassesDiffer(t *testing.T) {
+	campus, _ := trace.Builtin("BWY-I", 8000)
+	wireless, _ := trace.Builtin("Berry", 8000)
+	pc, pw := trace.Extract(campus), trace.Extract(wireless)
+	if pc.Nodes <= pw.Nodes {
+		t.Errorf("campus nodes %d <= wireless nodes %d", pc.Nodes, pw.Nodes)
+	}
+	if pc.MeanPacketSize <= pw.MeanPacketSize {
+		t.Errorf("campus mean packet %v <= wireless %v; size mixes should differ",
+			pc.MeanPacketSize, pw.MeanPacketSize)
+	}
+	if pc.ThroughputBps <= pw.ThroughputBps {
+		t.Errorf("campus throughput %v <= wireless %v", pc.ThroughputBps, pw.ThroughputBps)
+	}
+}
+
+func TestExtractEmpty(t *testing.T) {
+	p := trace.Extract(&trace.Trace{})
+	if p.PacketCount != 0 || p.Nodes != 0 {
+		t.Fatalf("empty trace params = %+v", p)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	tr := berry(t, 1200)
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Network != tr.Network || got.Class != tr.Class {
+		t.Fatalf("header mismatch: %q/%q/%v", got.Name, got.Network, got.Class)
+	}
+	if len(got.Packets) != len(tr.Packets) {
+		t.Fatalf("packet count %d != %d", len(got.Packets), len(tr.Packets))
+	}
+	for i := range got.Packets {
+		a, b := got.Packets[i], tr.Packets[i]
+		// Timestamps are serialized at microsecond precision.
+		if ad := a.TS - b.TS; ad > 1e-6 || ad < -1e-6 {
+			t.Fatalf("packet %d TS %v != %v", i, a.TS, b.TS)
+		}
+		a.TS, b.TS = 0, 0
+		if a != b {
+			t.Fatalf("packet %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",                              // no header
+		"1 2 3\n",                       // data without header
+		"# ddtr-trace v1\nnot a packet", // malformed record
+		"# ddtr-trace v1\n0.1 1.2.3.4 5.6.7.8 1 2 tcp 100 0\n",         // missing field
+		"# ddtr-trace v1\n0.1 1.2.3 5.6.7.8 1 2 tcp 100 0 \"\"\n",      // bad address
+		"# ddtr-trace v1\n0.1 1.2.3.4 5.6.7.8 1 2 xxx 100 0 \"\"\n",    // bad proto
+		"# ddtr-trace v1\n0.1 1.2.3.4 5.6.7.8 1 2 tcp 999999 0 \"\"\n", // size overflow
+	}
+	for i, c := range cases {
+		if _, err := trace.Read(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad input accepted", i)
+		}
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	f := func(a uint32) bool {
+		got, err := trace.ParseIPv4(trace.FormatIPv4(a))
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.ParseIPv4("256.1.1.1"); err == nil {
+		t.Error("octet overflow accepted")
+	}
+}
+
+// quotedPayload checks that arbitrary payload strings survive the text
+// round trip (quoting is load-bearing for URL paths with spaces etc.).
+type quotedPayload string
+
+func (quotedPayload) Generate(r *rand.Rand, _ int) reflect.Value {
+	chars := []rune("abc /?&=%\"\\\n\tλ")
+	n := r.Intn(20)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(chars[r.Intn(len(chars))])
+	}
+	return reflect.ValueOf(quotedPayload(b.String()))
+}
+
+func TestQuickPayloadRoundTrip(t *testing.T) {
+	f := func(s quotedPayload) bool {
+		tr := &trace.Trace{Name: "x", Network: "y", Packets: []trace.Packet{
+			{TS: 1, Src: 1, Dst: 2, Proto: trace.TCP, Size: 40, Payload: string(s)},
+		}}
+		var buf bytes.Buffer
+		if err := trace.Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := trace.Read(&buf)
+		if err != nil || len(got.Packets) != 1 {
+			return false
+		}
+		return got.Packets[0].Payload == string(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package trace
+
+import "sort"
+
+// TimeSlice returns a new trace holding the packets with TS in [from, to),
+// preserving order. The paper's tooling sliced long captures into
+// per-experiment windows; this is that knife.
+func (t *Trace) TimeSlice(from, to float64) *Trace {
+	out := &Trace{Name: t.Name, Network: t.Network, Class: t.Class}
+	for i := range t.Packets {
+		if ts := t.Packets[i].TS; ts >= from && ts < to {
+			out.Packets = append(out.Packets, t.Packets[i])
+		}
+	}
+	return out
+}
+
+// FilterProto returns a new trace holding only packets of the given
+// transport protocol.
+func (t *Trace) FilterProto(p Proto) *Trace {
+	out := &Trace{Name: t.Name, Network: t.Network, Class: t.Class}
+	for i := range t.Packets {
+		if t.Packets[i].Proto == p {
+			out.Packets = append(out.Packets, t.Packets[i])
+		}
+	}
+	return out
+}
+
+// FlowLengths returns the packet count of every flow (5-tuple) in the
+// trace, largest first — the heavy-tailed distribution the generators are
+// built to produce and the session/queue dynamics depend on.
+func FlowLengths(t *Trace) []int {
+	counts := make(map[FlowKey]int)
+	for i := range t.Packets {
+		counts[t.Packets[i].Key()]++
+	}
+	out := make([]int, 0, len(counts))
+	for _, n := range counts {
+		out = append(out, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}
+
+// Concurrency returns the maximum number of flows simultaneously open
+// (between their first and last packet) at any packet arrival — the load
+// figure that sizes session tables and scheduler state.
+func Concurrency(t *Trace) int {
+	type span struct{ first, last float64 }
+	spans := make(map[FlowKey]*span)
+	for i := range t.Packets {
+		pk := &t.Packets[i]
+		s, ok := spans[pk.Key()]
+		if !ok {
+			spans[pk.Key()] = &span{first: pk.TS, last: pk.TS}
+			continue
+		}
+		if pk.TS > s.last {
+			s.last = pk.TS
+		}
+	}
+	// Sweep: +1 at first packet, -1 after last.
+	type event struct {
+		ts    float64
+		delta int
+	}
+	events := make([]event, 0, 2*len(spans))
+	for _, s := range spans {
+		events = append(events, event{s.first, +1}, event{s.last, -1})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].ts != events[j].ts {
+			return events[i].ts < events[j].ts
+		}
+		// Opens before closes at the same instant: a flow of one packet
+		// still counts as concurrent with itself.
+		return events[i].delta > events[j].delta
+	})
+	cur, peak := 0, 0
+	for _, e := range events {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}

@@ -1,0 +1,308 @@
+// Package vheap implements a virtual heap: a deterministic dynamic-memory
+// allocator over a simulated 32-bit address space.
+//
+// The paper's metrics (peak memory footprint, and the addresses that drive
+// the cache/energy simulation) depend on explicit allocation behaviour that
+// Go's garbage-collected runtime hides. Every dynamic data type in
+// internal/ddt therefore allocates its headers, nodes and chunks from a
+// Heap: allocation returns a virtual address used for the simulated memory
+// accesses, and the Heap accounts footprint exactly — payload bytes,
+// alignment padding, and a fixed per-block allocator header, matching the
+// overhead model of the embedded free-list allocators the paper assumes.
+//
+// Placement models a long-running fragmented heap, which is the regime the
+// paper's trade-offs live in: each size class carves banks out of the
+// address space and assigns slots within a bank in a deterministic
+// scattered order. Two consecutively allocated list nodes therefore do NOT
+// sit on the same cache line the way a naive bump allocator would place
+// them — pointer-chasing structures pay their real locality cost, while a
+// dynamic array's records stay contiguous inside its single block. Freed
+// slots are reused LIFO within their size class, the common embedded
+// free-list policy.
+package vheap
+
+import (
+	"fmt"
+	"sort"
+)
+
+const (
+	// HeaderBytes is the bookkeeping overhead the allocator charges per
+	// block, matching a typical 32-bit free-list allocator header
+	// (size word + status/link word).
+	HeaderBytes = 8
+
+	// Alignment is the payload alignment; block payload sizes are rounded
+	// up to a multiple of this.
+	Alignment = 8
+
+	// baseAddr is the virtual address of the first bank. Nonzero so that
+	// address 0 can mean "nil pointer" in the simulated layout.
+	baseAddr = 0x1000_0000
+)
+
+// Policy selects the placement behaviour of a Heap — the axis the
+// companion dynamic-memory-management exploration of the paper's research
+// group tunes. The default models a long-running fragmented heap; turning
+// Scatter off yields the sequential placement of a freshly booted bump
+// heap, which flatters pointer-chasing structures (the ablation
+// benchmarks quantify by how much).
+type Policy struct {
+	// BankBytes is the target address span of one size-class bank; slots
+	// scatter across it. A span several times the L1 capacity makes node
+	// scattering visible to the cache model.
+	BankBytes uint32
+	// MaxBankSlots caps the slots carved from one bank.
+	MaxBankSlots uint32
+	// Scatter selects permuted (true) or sequential (false) slot order
+	// within a bank.
+	Scatter bool
+}
+
+// DefaultPolicy is the fragmented-heap model used across the
+// reproduction.
+func DefaultPolicy() Policy {
+	return Policy{BankBytes: 64 << 10, MaxBankSlots: 256, Scatter: true}
+}
+
+// Heap is a deterministic virtual-memory allocator. The zero value is not
+// usable; call New or NewWithPolicy.
+type Heap struct {
+	policy   Policy
+	next     uint32                // next unreserved address (bank granularity)
+	classes  map[uint32]*sizeClass // rounded payload size -> class
+	blocks   map[uint32]uint32     // live payload addr -> rounded payload size
+	liveByte uint64                // live bytes incl. header + padding
+	peakLive uint64                // max of liveByte over time
+	allocs   uint64
+	frees    uint64
+}
+
+// sizeClass allocates fixed-size slots from scattered bank positions.
+type sizeClass struct {
+	stride   uint32   // slot bytes: header + rounded payload
+	slots    uint32   // slots per bank (power of two)
+	bankBase uint32   // current bank, 0 when none
+	bankUsed uint32   // slots handed out of the current bank
+	banks    int      // banks reserved so far
+	live     int      // live blocks of this class
+	free     []uint32 // freed payload addrs, LIFO
+}
+
+// New returns an empty heap with the default fragmented-heap policy.
+func New() *Heap {
+	return NewWithPolicy(DefaultPolicy())
+}
+
+// NewWithPolicy returns an empty heap with an explicit placement policy.
+// Zero policy fields fall back to their defaults.
+func NewWithPolicy(p Policy) *Heap {
+	def := DefaultPolicy()
+	if p.BankBytes == 0 {
+		p.BankBytes = def.BankBytes
+	}
+	if p.MaxBankSlots == 0 {
+		p.MaxBankSlots = def.MaxBankSlots
+	}
+	return &Heap{
+		policy:  p,
+		next:    baseAddr,
+		classes: make(map[uint32]*sizeClass),
+		blocks:  make(map[uint32]uint32),
+	}
+}
+
+// PolicyInUse returns the heap's placement policy.
+func (h *Heap) PolicyInUse() Policy { return h.policy }
+
+// round returns size rounded up to the allocator alignment. Zero-byte
+// requests still consume one aligned unit, as in real allocators.
+func round(size uint32) uint32 {
+	if size == 0 {
+		size = 1
+	}
+	return (size + Alignment - 1) &^ (Alignment - 1)
+}
+
+// class returns (creating on demand) the size class for rounded payload
+// size rs.
+func (h *Heap) class(rs uint32) *sizeClass {
+	if c, ok := h.classes[rs]; ok {
+		return c
+	}
+	stride := rs + HeaderBytes
+	slots := uint32(1)
+	for slots*stride < h.policy.BankBytes && slots < h.policy.MaxBankSlots {
+		slots *= 2
+	}
+	if slots < 8 {
+		slots = 8
+	}
+	c := &sizeClass{stride: stride, slots: slots}
+	h.classes[rs] = c
+	return c
+}
+
+// Alloc reserves a block of at least size bytes and returns its payload
+// address. The returned address is Alignment-aligned and never 0.
+func (h *Heap) Alloc(size uint32) uint32 {
+	rs := round(size)
+	c := h.class(rs)
+	var addr uint32
+	switch {
+	case len(c.free) > 0:
+		addr = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	default:
+		if c.bankBase == 0 || c.bankUsed == c.slots {
+			span := c.slots * c.stride
+			if h.next > ^uint32(0)-span {
+				// A wrapped bump pointer would silently overlap existing
+				// banks; 3 GiB of 32-bit address space is exhausted.
+				panic("vheap: virtual address space exhausted")
+			}
+			c.bankBase = h.next
+			c.bankUsed = 0
+			c.banks++
+			h.next += span
+		}
+		// Scattered slot order within the bank: multiplying by an odd
+		// constant is a bijection modulo the power-of-two slot count, so
+		// consecutive allocations land far apart but every slot is used
+		// exactly once. Sequential order models a fresh bump heap.
+		slot := c.bankUsed
+		if h.policy.Scatter {
+			slot = (c.bankUsed * 2654435761) & (c.slots - 1)
+		}
+		c.bankUsed++
+		addr = c.bankBase + slot*c.stride + HeaderBytes
+	}
+	h.blocks[addr] = rs
+	c.live++
+	h.liveByte += uint64(rs) + HeaderBytes
+	if h.liveByte > h.peakLive {
+		h.peakLive = h.liveByte
+	}
+	h.allocs++
+	return addr
+}
+
+// Free releases the block at payload address addr. It panics on a double
+// free or an address that was never allocated — both indicate a bug in a
+// DDT implementation and must fail loudly in tests.
+func (h *Heap) Free(addr uint32) {
+	rs, ok := h.blocks[addr]
+	if !ok {
+		panic(fmt.Sprintf("vheap: Free of unknown or already-freed address %#x", addr))
+	}
+	delete(h.blocks, addr)
+	c := h.class(rs)
+	c.free = append(c.free, addr)
+	c.live--
+	h.liveByte -= uint64(rs) + HeaderBytes
+	h.frees++
+}
+
+// SizeOf returns the rounded payload size of the live block at addr, and
+// whether addr is live.
+func (h *Heap) SizeOf(addr uint32) (uint32, bool) {
+	rs, ok := h.blocks[addr]
+	return rs, ok
+}
+
+// LiveBytes returns the bytes currently allocated, including per-block
+// header overhead and alignment padding.
+func (h *Heap) LiveBytes() uint64 { return h.liveByte }
+
+// PeakLiveBytes returns the maximum of LiveBytes over the heap's lifetime.
+// This is the "memory footprint" metric of the paper: the high-water mark
+// of dynamic memory the application requires.
+func (h *Heap) PeakLiveBytes() uint64 { return h.peakLive }
+
+// Extent returns the total virtual address space reserved by banks, which
+// additionally exposes size-class fragmentation.
+func (h *Heap) Extent() uint64 { return uint64(h.next - baseAddr) }
+
+// LiveBlocks returns the number of currently live blocks.
+func (h *Heap) LiveBlocks() int { return len(h.blocks) }
+
+// Allocs returns the total number of Alloc calls.
+func (h *Heap) Allocs() uint64 { return h.allocs }
+
+// Frees returns the total number of Free calls.
+func (h *Heap) Frees() uint64 { return h.frees }
+
+// ClassStats describes one size class of the heap.
+type ClassStats struct {
+	SlotBytes  uint32 // stride: payload + header
+	LiveBlocks int
+	FreeBlocks int // blocks held on the class free list
+	Banks      int // address-space banks reserved
+}
+
+// Stats is a point-in-time summary of the heap, exposing the
+// fragmentation picture behind the footprint metric.
+type Stats struct {
+	LiveBytes     uint64
+	PeakLiveBytes uint64
+	Extent        uint64
+	Allocs, Frees uint64
+	Classes       []ClassStats // ascending by slot size
+}
+
+// Stats snapshots the heap.
+func (h *Heap) Stats() Stats {
+	s := Stats{
+		LiveBytes:     h.liveByte,
+		PeakLiveBytes: h.peakLive,
+		Extent:        h.Extent(),
+		Allocs:        h.allocs,
+		Frees:         h.frees,
+	}
+	for _, c := range h.classes {
+		s.Classes = append(s.Classes, ClassStats{
+			SlotBytes:  c.stride,
+			LiveBlocks: c.live,
+			FreeBlocks: len(c.free),
+			Banks:      c.banks,
+		})
+	}
+	sort.Slice(s.Classes, func(i, j int) bool { return s.Classes[i].SlotBytes < s.Classes[j].SlotBytes })
+	return s
+}
+
+// CheckInvariants verifies internal consistency: live accounting matches
+// the block table and no live block overlaps another. It is O(n log n) and
+// intended for tests. It returns a descriptive error on the first
+// violation found.
+func (h *Heap) CheckInvariants() error {
+	var sum uint64
+	type span struct{ lo, hi uint32 }
+	spans := make([]span, 0, len(h.blocks))
+	for addr, rs := range h.blocks {
+		sum += uint64(rs) + HeaderBytes
+		if addr%Alignment != 0 {
+			return fmt.Errorf("vheap: block %#x misaligned", addr)
+		}
+		spans = append(spans, span{addr - HeaderBytes, addr + rs})
+	}
+	if sum != h.liveByte {
+		return fmt.Errorf("vheap: live accounting %d != block-table sum %d", h.liveByte, sum)
+	}
+	if h.peakLive < h.liveByte {
+		return fmt.Errorf("vheap: peak %d below live %d", h.peakLive, h.liveByte)
+	}
+	// Sort spans by start and check pairwise disjointness.
+	for i := 1; i < len(spans); i++ {
+		for j := i; j > 0 && spans[j-1].lo > spans[j].lo; j-- {
+			spans[j-1], spans[j] = spans[j], spans[j-1]
+		}
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i-1].hi > spans[i].lo {
+			return fmt.Errorf("vheap: blocks overlap: [%#x,%#x) and [%#x,%#x)",
+				spans[i-1].lo, spans[i-1].hi, spans[i].lo, spans[i].hi)
+		}
+	}
+	return nil
+}

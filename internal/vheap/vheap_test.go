@@ -1,0 +1,295 @@
+package vheap_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vheap"
+)
+
+func TestAllocBasics(t *testing.T) {
+	h := vheap.New()
+	a := h.Alloc(16)
+	b := h.Alloc(16)
+	if a == 0 || b == 0 {
+		t.Fatal("Alloc returned the nil address")
+	}
+	if a == b {
+		t.Fatal("two live allocations share an address")
+	}
+	if a%vheap.Alignment != 0 || b%vheap.Alignment != 0 {
+		t.Fatal("misaligned payload address")
+	}
+	want := uint64(2 * (16 + vheap.HeaderBytes))
+	if h.LiveBytes() != want {
+		t.Fatalf("LiveBytes = %d, want %d", h.LiveBytes(), want)
+	}
+	if h.LiveBlocks() != 2 {
+		t.Fatalf("LiveBlocks = %d, want 2", h.LiveBlocks())
+	}
+}
+
+func TestRoundingAndZeroSize(t *testing.T) {
+	h := vheap.New()
+	a := h.Alloc(1) // rounds to Alignment
+	if got, ok := h.SizeOf(a); !ok || got != vheap.Alignment {
+		t.Fatalf("SizeOf(1-byte block) = %d,%v; want %d,true", got, ok, vheap.Alignment)
+	}
+	z := h.Alloc(0) // zero-size requests still consume a unit
+	if got, ok := h.SizeOf(z); !ok || got == 0 {
+		t.Fatalf("zero-size alloc got size %d, ok=%v", got, ok)
+	}
+}
+
+func TestFreeReuseLIFO(t *testing.T) {
+	h := vheap.New()
+	a := h.Alloc(32)
+	h.Free(a)
+	b := h.Alloc(32)
+	if b != a {
+		t.Errorf("exact-fit free list should reuse the freed address: got %#x want %#x", b, a)
+	}
+}
+
+func TestPeakTracksHighWater(t *testing.T) {
+	h := vheap.New()
+	addrs := make([]uint32, 10)
+	for i := range addrs {
+		addrs[i] = h.Alloc(100)
+	}
+	peak := h.PeakLiveBytes()
+	for _, a := range addrs {
+		h.Free(a)
+	}
+	if h.LiveBytes() != 0 {
+		t.Fatalf("LiveBytes after freeing all = %d", h.LiveBytes())
+	}
+	if h.PeakLiveBytes() != peak {
+		t.Fatalf("peak changed after frees: %d != %d", h.PeakLiveBytes(), peak)
+	}
+	want := uint64(10 * (104 + vheap.HeaderBytes)) // 100 rounds to 104
+	if peak != want {
+		t.Fatalf("peak = %d, want %d", peak, want)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	h := vheap.New()
+	a := h.Alloc(8)
+	h.Free(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	h.Free(a)
+}
+
+func TestFreeUnknownPanics(t *testing.T) {
+	h := vheap.New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("freeing an unknown address did not panic")
+		}
+	}()
+	h.Free(0xdeadbeef)
+}
+
+func TestAllocFreeCounters(t *testing.T) {
+	h := vheap.New()
+	a := h.Alloc(8)
+	b := h.Alloc(8)
+	h.Free(a)
+	if h.Allocs() != 2 || h.Frees() != 1 {
+		t.Fatalf("counters = %d allocs / %d frees, want 2/1", h.Allocs(), h.Frees())
+	}
+	h.Free(b)
+}
+
+// allocScript is a random allocation/free schedule for property testing.
+type allocScript []allocStep
+
+type allocStep struct {
+	Size uint32
+	Free int // if >= 0, index (mod live count) of a block to free instead
+}
+
+func (allocScript) Generate(r *rand.Rand, _ int) reflect.Value {
+	n := 100 + r.Intn(300)
+	s := make(allocScript, n)
+	for i := range s {
+		if r.Intn(3) == 0 {
+			s[i] = allocStep{Free: r.Intn(1 << 16)}
+		} else {
+			s[i] = allocStep{Size: uint32(1 + r.Intn(512)), Free: -1}
+		}
+	}
+	return reflect.ValueOf(s)
+}
+
+// TestQuickHeapInvariants drives random schedules and checks the full
+// invariant set after every step batch: no overlap, exact accounting,
+// peak monotonicity.
+func TestQuickHeapInvariants(t *testing.T) {
+	f := func(script allocScript) bool {
+		h := vheap.New()
+		var live []uint32
+		for _, st := range script {
+			if st.Free >= 0 && len(live) > 0 {
+				i := st.Free % len(live)
+				h.Free(live[i])
+				live = append(live[:i], live[i+1:]...)
+			} else if st.Free < 0 {
+				live = append(live, h.Alloc(st.Size))
+			}
+		}
+		if h.CheckInvariants() != nil {
+			return false
+		}
+		if h.LiveBlocks() != len(live) {
+			return false
+		}
+		// Everything still live must be freeable exactly once.
+		for _, a := range live {
+			h.Free(a)
+		}
+		return h.LiveBytes() == 0 && h.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if testing.Short() {
+		cfg.MaxCount = 10
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtentGrowsOnlyWhenNeeded(t *testing.T) {
+	h := vheap.New()
+	// Alternate alloc/free of one size: the address space reserved must
+	// stay constant after the first bank, thanks to free-list reuse.
+	a := h.Alloc(64)
+	h.Free(a)
+	ext := h.Extent()
+	if ext == 0 {
+		t.Fatal("no address space reserved after an allocation")
+	}
+	for i := 0; i < 1000; i++ {
+		x := h.Alloc(64)
+		h.Free(x)
+	}
+	if h.Extent() != ext {
+		t.Fatalf("extent grew from %d to %d despite perfect reuse", ext, h.Extent())
+	}
+}
+
+// TestScatteredPlacement pins the fragmented-heap model: consecutively
+// allocated same-class blocks must not be adjacent in the address space
+// (they model nodes of a long-running heap), while staying inside a
+// bounded bank span.
+func TestScatteredPlacement(t *testing.T) {
+	h := vheap.New()
+	var addrs []uint32
+	for i := 0; i < 64; i++ {
+		addrs = append(addrs, h.Alloc(24))
+	}
+	adjacent := 0
+	lo, hi := addrs[0], addrs[0]
+	for i := 1; i < len(addrs); i++ {
+		d := int64(addrs[i]) - int64(addrs[i-1])
+		if d < 0 {
+			d = -d
+		}
+		if d <= 32+vheap.HeaderBytes {
+			adjacent++
+		}
+		if addrs[i] < lo {
+			lo = addrs[i]
+		}
+		if addrs[i] > hi {
+			hi = addrs[i]
+		}
+	}
+	if adjacent > 8 {
+		t.Errorf("%d of 63 consecutive allocations are cache-line neighbours; placement too sequential", adjacent)
+	}
+	if span := hi - lo; span < 2048 {
+		t.Errorf("allocation span %d too tight to model a fragmented heap", span)
+	}
+}
+
+func TestStats(t *testing.T) {
+	h := vheap.New()
+	a := h.Alloc(24)
+	h.Alloc(24)
+	h.Alloc(100)
+	h.Free(a)
+	s := h.Stats()
+	if s.Allocs != 3 || s.Frees != 1 {
+		t.Fatalf("Stats counters: %+v", s)
+	}
+	if s.LiveBytes != h.LiveBytes() || s.PeakLiveBytes != h.PeakLiveBytes() || s.Extent != h.Extent() {
+		t.Fatalf("Stats totals diverge from accessors: %+v", s)
+	}
+	if len(s.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(s.Classes))
+	}
+	// Classes come out sorted by slot size.
+	if s.Classes[0].SlotBytes >= s.Classes[1].SlotBytes {
+		t.Errorf("classes unsorted: %+v", s.Classes)
+	}
+	small := s.Classes[0]
+	if small.LiveBlocks != 1 || small.FreeBlocks != 1 || small.Banks != 1 {
+		t.Errorf("small class stats: %+v", small)
+	}
+}
+
+func TestAddressSpaceExhaustionPanics(t *testing.T) {
+	h := vheap.New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("address-space exhaustion did not panic")
+		}
+	}()
+	// Huge blocks burn the 32-bit space quickly: ~48 allocations of
+	// 64 MiB (8-slot banks of 512 MiB each would overflow even sooner).
+	for i := 0; i < 1000; i++ {
+		h.Alloc(64 << 20)
+	}
+}
+
+func TestPolicySequentialPlacement(t *testing.T) {
+	h := vheap.NewWithPolicy(vheap.Policy{Scatter: false})
+	var addrs []uint32
+	for i := 0; i < 32; i++ {
+		addrs = append(addrs, h.Alloc(24))
+	}
+	const stride = 24 + vheap.HeaderBytes // rounded payload + header
+	for i := 1; i < len(addrs); i++ {
+		if addrs[i] != addrs[i-1]+stride {
+			t.Fatalf("sequential policy produced non-adjacent blocks: %#x after %#x",
+				addrs[i], addrs[i-1])
+		}
+	}
+}
+
+func TestPolicyZeroFieldsDefaulted(t *testing.T) {
+	h := vheap.NewWithPolicy(vheap.Policy{Scatter: true})
+	p := h.PolicyInUse()
+	def := vheap.DefaultPolicy()
+	if p.BankBytes != def.BankBytes || p.MaxBankSlots != def.MaxBankSlots {
+		t.Fatalf("zero policy fields not defaulted: %+v", p)
+	}
+}
+
+func TestPolicyBankBytesControlsSpan(t *testing.T) {
+	small := vheap.NewWithPolicy(vheap.Policy{BankBytes: 4 << 10, MaxBankSlots: 256, Scatter: true})
+	large := vheap.NewWithPolicy(vheap.Policy{BankBytes: 64 << 10, MaxBankSlots: 4096, Scatter: true})
+	small.Alloc(24)
+	large.Alloc(24)
+	if small.Extent() >= large.Extent() {
+		t.Fatalf("bank spans: small %d >= large %d", small.Extent(), large.Extent())
+	}
+}

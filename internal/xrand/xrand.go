@@ -1,0 +1,146 @@
+// Package xrand provides a small, deterministic pseudo-random number
+// generator used by every stochastic component in the repository.
+//
+// The generator is SplitMix64 (Steele, Lea, Flood; "Fast splittable
+// pseudorandom number generators", OOPSLA 2014). It is chosen over
+// math/rand because its output is fixed by this package alone: results are
+// byte-identical across Go releases and platforms, which the exploration
+// methodology depends on (two runs of an experiment must produce identical
+// logs).
+package xrand
+
+import "math"
+
+// RNG is a deterministic SplitMix64 pseudo-random number generator.
+// The zero value is a valid generator seeded with 0; prefer New so the
+// seed is explicit.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Fork derives an independent generator from r using label to decorrelate
+// streams. Forking with distinct labels yields streams that do not overlap
+// in practice, letting one master seed drive many components.
+func (r *RNG) Fork(label uint64) *RNG {
+	return New(r.Uint64() ^ (label * 0x9e3779b97f4a7c15))
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *RNG) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (r *RNG) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed float64 with the given mean.
+// Exponential inter-arrival gaps drive the synthetic traffic generators.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	// Guard against log(0).
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Pareto returns a Pareto-distributed float64 with minimum xm and shape
+// alpha. Heavy-tailed flow sizes in backbone traffic follow this shape.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return xm / math.Pow(1-u, 1/alpha)
+}
+
+// Norm returns a normally distributed float64 with the given mean and
+// standard deviation, via the Box-Muller transform.
+func (r *RNG) Norm(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	if u1 <= 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// Zipf returns an integer in [0, n) following a Zipf distribution with
+// exponent s (s > 0). Small indices are most likely — the classic skew of
+// destination popularity in network traffic. Sampling is by inverse
+// transform over the precomputed CDF held in z.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with exponent s, drawing
+// randomness from r. It panics if n <= 0 or s <= 0.
+func NewZipf(r *RNG, n int, s float64) *Zipf {
+	if n <= 0 || s <= 0 {
+		panic("xrand: NewZipf needs n > 0 and s > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: r}
+}
+
+// Next returns the next Zipf-distributed index.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,182 @@
+package xrand_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := xrand.New(42), xrand.New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+// TestKnownValues pins the SplitMix64 output so any accidental change to
+// the generator (which would silently change every experiment) fails
+// loudly. Reference values computed from the published SplitMix64
+// algorithm with seed 1.
+func TestKnownValues(t *testing.T) {
+	r := xrand.New(1)
+	want := []uint64{
+		0x910a2dec89025cc1,
+		0xbeeb8da1658eec67,
+		0xf893a2eefb32555e,
+	}
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := xrand.New(1), xrand.New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := xrand.New(7)
+	f1 := r.Fork(1)
+	r2 := xrand.New(7)
+	_ = r2.Fork(1)
+	f2 := r2.Fork(2)
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("forks with different labels produced the same first value")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := xrand.New(3)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	xrand.New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := xrand.New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := xrand.New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(5.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-5.0) > 0.1 {
+		t.Fatalf("Exp mean = %v, want ~5.0", mean)
+	}
+}
+
+func TestParetoMinimum(t *testing.T) {
+	r := xrand.New(13)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(2.0, 1.5); v < 2.0 {
+			t.Fatalf("Pareto below xm: %v", v)
+		}
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := xrand.New(17)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Norm mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Errorf("Norm stddev = %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := xrand.New(19)
+	z := xrand.NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("Zipf not skewed: count[0]=%d count[50]=%d", counts[0], counts[50])
+	}
+	// Rank-1 frequency should be roughly 2x rank-2 for s=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("Zipf rank1/rank2 ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := xrand.New(1)
+	for _, bad := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {5, 0}} {
+		func() {
+			defer func() { _ = recover() }()
+			xrand.NewZipf(r, bad.n, bad.s)
+			t.Errorf("NewZipf(%d, %v) did not panic", bad.n, bad.s)
+		}()
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := xrand.New(23)
+	a := make([]int, 50)
+	for i := range a {
+		a[i] = i
+	}
+	r.Shuffle(len(a), func(i, j int) { a[i], a[j] = a[j], a[i] })
+	seen := make(map[int]bool)
+	for _, v := range a {
+		if seen[v] {
+			t.Fatalf("duplicate %d after shuffle", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("shuffle lost elements: %d", len(seen))
+	}
+}

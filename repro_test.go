@@ -1,0 +1,147 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestKindsRoundTrip(t *testing.T) {
+	kinds := repro.Kinds()
+	if len(kinds) != 10 {
+		t.Fatalf("Kinds() = %d, want 10", len(kinds))
+	}
+	for _, k := range kinds {
+		got, err := repro.ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+}
+
+func TestAppsCatalog(t *testing.T) {
+	apps := repro.Apps()
+	if len(apps) != 4 {
+		t.Fatalf("Apps() = %d, want the paper's 4 case studies", len(apps))
+	}
+	want := []string{"Route", "URL", "IPchains", "DRR"}
+	for i, a := range apps {
+		if a.Name() != want[i] {
+			t.Errorf("app %d = %q, want %q", i, a.Name(), want[i])
+		}
+		byName, err := repro.AppByName(want[i])
+		if err != nil || byName.Name() != want[i] {
+			t.Errorf("AppByName(%q): %v, %v", want[i], byName, err)
+		}
+	}
+	if _, err := repro.AppByName("Quake"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestNewListAllKinds(t *testing.T) {
+	for _, k := range repro.Kinds() {
+		p := repro.NewPlatform()
+		l := repro.NewList[string](k, p, 32)
+		l.Append("hello")
+		l.Append("world")
+		if l.Len() != 2 || l.Get(1) != "world" {
+			t.Fatalf("%v: list misbehaved", k)
+		}
+		if p.Metrics().Accesses == 0 {
+			t.Errorf("%v: platform saw no accesses", k)
+		}
+	}
+}
+
+func TestBuiltinTraceAndParams(t *testing.T) {
+	names := repro.BuiltinTraceNames()
+	if len(names) != 10 {
+		t.Fatalf("built-in traces = %d, want 10", len(names))
+	}
+	tr, err := repro.BuiltinTrace("Berry", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := repro.ExtractParams(tr)
+	if params.PacketCount != 500 || params.Nodes == 0 {
+		t.Fatalf("params = %+v", params)
+	}
+}
+
+func TestSimulateFacade(t *testing.T) {
+	app, err := repro.AppByName("DRR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := repro.ConfigsFor(app)
+	if len(cfgs) != 5 {
+		t.Fatalf("DRR configs = %d, want 5", len(cfgs))
+	}
+	vec, sum, err := repro.Simulate(app, cfgs[0], repro.OriginalAssignment(app), repro.Options{TracePackets: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vec.Energy <= 0 || sum.Packets != 300 {
+		t.Fatalf("vec=%v packets=%d", vec, sum.Packets)
+	}
+}
+
+func TestMethodologyForEndToEnd(t *testing.T) {
+	m, err := repro.MethodologyFor("URL", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.App != "URL" || rep.Reduced == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if _, err := repro.MethodologyFor("nope", 0); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestParetoHelpers(t *testing.T) {
+	pts := []repro.Point{
+		{Label: "a", Vec: repro.Vector{Energy: 1, Time: 2, Accesses: 1, Footprint: 1}},
+		{Label: "b", Vec: repro.Vector{Energy: 2, Time: 1, Accesses: 1, Footprint: 1}},
+		{Label: "c", Vec: repro.Vector{Energy: 3, Time: 3, Accesses: 3, Footprint: 3}},
+	}
+	front := repro.ParetoFront(pts)
+	if len(front) != 2 {
+		t.Fatalf("front = %v", front)
+	}
+	if best := repro.BestPoint(pts, repro.Time); best.Label != "b" {
+		t.Errorf("BestPoint = %q", best.Label)
+	}
+	f2 := repro.ParetoFront2D(pts, repro.Time, repro.Energy)
+	if len(f2) != 2 {
+		t.Errorf("2D front = %v", f2)
+	}
+}
+
+func TestDefaultPlatformConfig(t *testing.T) {
+	cfg := repro.DefaultPlatformConfig()
+	if cfg.L1.SizeBytes == 0 || cfg.ClockHz == 0 {
+		t.Fatalf("degenerate default config %+v", cfg)
+	}
+	p := repro.NewPlatformWith(cfg)
+	if p.Metrics().Accesses != 0 {
+		t.Error("fresh platform not clean")
+	}
+}
+
+func TestFacadeDocNamesMatchPaper(t *testing.T) {
+	// The facade must speak the paper's vocabulary.
+	for _, k := range repro.Kinds() {
+		name := k.String()
+		ok := name == "AR" || name == "AR(P)" || strings.HasPrefix(name, "SLL") || strings.HasPrefix(name, "DLL")
+		if !ok {
+			t.Errorf("kind name %q not from the paper's library", name)
+		}
+	}
+}
