@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -42,20 +43,21 @@ func BenchmarkAblationCacheGeometry(b *testing.B) {
 		urlsw.RolePatterns: ddt.AR,
 		urlsw.RoleServers:  apps.OriginalKind,
 	}
+	ctx := context.Background()
 	for _, g := range geometries {
 		b.Run(g.name, func(b *testing.B) {
 			cfg := memsim.DefaultConfig()
 			cfg.L1.SizeBytes = g.l1
 			cfg.L2.SizeBytes = g.l2
-			opts := explore.Options{TracePackets: 4000, Platform: &cfg}
+			eng := explore.NewEngine(app, explore.Options{TracePackets: 4000, Platform: &cfg, DisableCache: true})
 			ref := explore.Configs(app)[0]
 			var saving float64
 			for i := 0; i < b.N; i++ {
-				orig, err := explore.Simulate(app, ref, apps.Original(app), opts)
+				orig, err := eng.Simulate(ctx, ref, apps.Original(app))
 				if err != nil {
 					b.Fatal(err)
 				}
-				fast, err := explore.Simulate(app, ref, refined, opts)
+				fast, err := eng.Simulate(ctx, ref, refined)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -175,10 +177,10 @@ func TestAblationSanity(t *testing.T) {
 		cfg := memsim.DefaultConfig()
 		cfg.L1.SizeBytes = l1
 		cfg.L2.SizeBytes = l2
-		opts := explore.Options{TracePackets: 2000, Platform: &cfg}
 		app := urlsw.App{}
+		eng := explore.NewEngine(app, explore.Options{TracePackets: 2000, Platform: &cfg})
 		ref := explore.Configs(app)[0]
-		orig, err := explore.Simulate(app, ref, apps.Original(app), opts)
+		orig, err := eng.Simulate(context.Background(), ref, apps.Original(app))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,7 +189,7 @@ func TestAblationSanity(t *testing.T) {
 			urlsw.RolePatterns: ddt.AR,
 			urlsw.RoleServers:  apps.OriginalKind,
 		}
-		fast, err := explore.Simulate(app, ref, refined, opts)
+		fast, err := eng.Simulate(context.Background(), ref, refined)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -104,20 +105,22 @@ func BenchmarkDDT(b *testing.B) {
 
 // BenchmarkSimulation measures one full simulation per iteration for each
 // case study with the original assignment — the unit of design-time cost
-// the paper quotes as 0.8-64 s on its tooling (E-S1).
+// the paper quotes as 0.8-64 s on its tooling (E-S1). The engine's cache
+// is disabled so every iteration pays the real simulation.
 func BenchmarkSimulation(b *testing.B) {
+	ctx := context.Background()
 	for _, a := range netapps.All() {
 		b.Run(a.Name(), func(b *testing.B) {
 			cfg := explore.Configs(a)[0]
-			opts := explore.Options{TracePackets: paper.BenchPackets}
+			eng := explore.NewEngine(a, explore.Options{TracePackets: paper.BenchPackets, DisableCache: true})
 			// Warm the trace cache outside the timing.
-			if _, err := explore.Simulate(a, cfg, apps.Original(a), opts); err != nil {
+			if _, err := eng.Simulate(ctx, cfg, apps.Original(a)); err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			var vec metrics.Vector
 			for i := 0; i < b.N; i++ {
-				res, err := explore.Simulate(a, cfg, apps.Original(a), opts)
+				res, err := eng.Simulate(ctx, cfg, apps.Original(a))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -126,6 +129,30 @@ func BenchmarkSimulation(b *testing.B) {
 			b.ReportMetric(vec.Accesses, "sim-accesses")
 			b.ReportMetric(vec.Energy*1e6, "sim-energy-uJ")
 			b.ReportMetric(vec.Time*1e3, "sim-time-ms")
+		})
+	}
+}
+
+// BenchmarkSimulationCached measures the same unit with the simulation
+// cache on — the steady-state cost the Engine gives repeated
+// explorations of identical points.
+func BenchmarkSimulationCached(b *testing.B) {
+	ctx := context.Background()
+	for _, a := range netapps.All() {
+		b.Run(a.Name(), func(b *testing.B) {
+			cfg := explore.Configs(a)[0]
+			eng := explore.NewEngine(a, explore.Options{TracePackets: paper.BenchPackets})
+			if _, err := eng.Simulate(ctx, cfg, apps.Original(a)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Simulate(ctx, cfg, apps.Original(a)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := eng.Stats()
+			b.ReportMetric(float64(st.CacheHits)/float64(b.N+1), "hit-rate")
 		})
 	}
 }

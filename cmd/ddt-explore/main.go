@@ -1,11 +1,15 @@
 // Command ddt-explore runs the 3-step DDT refinement methodology for one
 // network application — the reproduction of the paper's automated
-// exploration driver. It prints the step-by-step summary and can write
-// the per-simulation log that ddt-pareto post-processes.
+// exploration driver. It drives the streaming exploration Engine: bounded
+// worker pool, incremental Pareto pruning, simulation cache and optional
+// early abort. It prints the step-by-step summary and can write the
+// per-simulation log that ddt-pareto post-processes.
 //
 // Usage:
 //
 //	ddt-explore -app Route [-packets 8000] [-log route.log] [-charts]
+//	ddt-explore -app Route -workers 4 -early-abort -progress
+//	ddt-explore -app URL -cache url.simcache   # warm across runs
 package main
 
 import (
@@ -28,20 +32,51 @@ func main() {
 	logPath := flag.String("log", "", "write the exploration log (for ddt-pareto)")
 	csvPath := flag.String("csv", "", "write the exploration results as CSV")
 	charts := flag.Bool("charts", false, "print per-configuration Pareto charts")
+	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all CPUs)")
+	earlyAbort := flag.Bool("early-abort", false, "stop simulations already dominated by the running front (fronts stay exact; full-space charts thin out)")
+	abortMargin := flag.Float64("abort-margin", 0, "early-abort safety margin (0 = default)")
+	cachePath := flag.String("cache", "", "simulation cache file: loaded before the run, saved after")
+	progress := flag.Bool("progress", false, "report streaming progress per step")
 	flag.Parse()
 
-	if err := run(*app, *packets, *logPath, *csvPath, *charts); err != nil {
+	if err := run(*app, *packets, *logPath, *csvPath, *charts,
+		*workers, *earlyAbort, *abortMargin, *cachePath, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "ddt-explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(appName string, packets int, logPath, csvPath string, charts bool) error {
+func run(appName string, packets int, logPath, csvPath string, charts bool,
+	workers int, earlyAbort bool, abortMargin float64, cachePath string, progress bool) error {
 	a, err := netapps.ByName(appName)
 	if err != nil {
 		return err
 	}
-	m := core.Methodology{App: a, Opts: explore.Options{TracePackets: packets}}
+	opts := explore.Options{
+		TracePackets: packets,
+		Workers:      workers,
+		EarlyAbort:   earlyAbort,
+		AbortMargin:  abortMargin,
+	}
+	if progress {
+		var lastPct int = -1
+		opts.Progress = func(done, total int) {
+			if pct := 100 * done / total; pct != lastPct {
+				lastPct = pct
+				fmt.Fprintf(os.Stderr, "\rstreaming %d/%d simulations (%d%%)", done, total, pct)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	cache, err := loadCache(cachePath)
+	if err != nil {
+		return err
+	}
+	opts.Cache = cache
+	eng := explore.NewEngine(a, opts)
+	m := core.Methodology{App: a, Opts: opts, Engine: eng}
 
 	start := time.Now()
 	r, err := m.Run()
@@ -85,7 +120,10 @@ func run(appName string, packets int, logPath, csvPath string, charts bool) erro
 	fmt.Printf("  best time    %v  (%s)\n", r.BestTime.Vec, r.BestTime.Label)
 	fmt.Printf("  savings: %s energy, %s execution time\n",
 		report.Percent(r.EnergySaving), report.Percent(r.TimeSaving))
-	fmt.Printf("\nexploration wall time: %.1fs (%d simulations)\n", elapsed.Seconds(), r.Reduced)
+
+	st := eng.Stats()
+	fmt.Printf("\nexploration wall time: %.1fs (budget %d; engine simulated %d, cache hits %d, early aborts %d)\n",
+		elapsed.Seconds(), r.Reduced, st.Simulated, st.CacheHits, st.Aborted)
 
 	if charts {
 		for _, cr := range r.Configs {
@@ -112,8 +150,10 @@ func run(appName string, packets int, logPath, csvPath string, charts bool) erro
 		if err := report.WriteResults(f, r.Step2.Results); err != nil {
 			return err
 		}
-		fmt.Printf("\nexploration log written to %s (%d records)\n",
-			logPath, len(r.Step1.Results)+len(r.Step2.Results))
+		// Count what WriteResults actually wrote: aborted results carry
+		// partial vectors and are skipped.
+		written := len(explore.Live(r.Step1.Results)) + len(explore.Live(r.Step2.Results))
+		fmt.Printf("\nexploration log written to %s (%d records)\n", logPath, written)
 	}
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
@@ -127,5 +167,47 @@ func run(appName string, packets int, logPath, csvPath string, charts bool) erro
 		}
 		fmt.Printf("CSV written to %s (%d records)\n", csvPath, len(all))
 	}
+	return saveCache(cachePath, cache)
+}
+
+// loadCache opens the persistent simulation cache, tolerating a missing
+// file (the first run creates it).
+func loadCache(path string) (*explore.Cache, error) {
+	if path == "" {
+		return nil, nil
+	}
+	cache := explore.NewCache()
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return cache, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := cache.Load(f); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d cached simulations from %s\n", cache.Len(), path)
+	return cache, nil
+}
+
+// saveCache persists the cache for the next run.
+func saveCache(path string, cache *explore.Cache) error {
+	if path == "" || cache == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := cache.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("simulation cache saved to %s (%d entries)\n", path, cache.Len())
 	return nil
 }

@@ -12,7 +12,7 @@ import (
 
 func TestRunWritesLog(t *testing.T) {
 	logPath := filepath.Join(t.TempDir(), "url.log")
-	if err := run("URL", 300, logPath, "", false); err != nil {
+	if err := run("URL", 300, logPath, "", false, 0, false, 0, "", false); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(logPath)
@@ -36,26 +36,26 @@ func TestRunWritesLog(t *testing.T) {
 }
 
 func TestRunWithCharts(t *testing.T) {
-	if err := run("DRR", 300, "", "", true); err != nil {
+	if err := run("DRR", 300, "", "", true, 2, true, 0, "", false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownApp(t *testing.T) {
-	if err := run("Quake", 300, "", "", false); err == nil {
+	if err := run("Quake", 300, "", "", false, 0, false, 0, "", false); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 }
 
 func TestRunBadLogPath(t *testing.T) {
-	if err := run("URL", 300, "/nonexistent-dir/x.log", "", false); err == nil {
+	if err := run("URL", 300, "/nonexistent-dir/x.log", "", false, 0, false, 0, "", false); err == nil {
 		t.Fatal("unwritable log path accepted")
 	}
 }
 
 func TestRunWritesCSV(t *testing.T) {
 	csvPath := filepath.Join(t.TempDir(), "url.csv")
-	if err := run("URL", 300, "", csvPath, false); err != nil {
+	if err := run("URL", 300, "", csvPath, false, 0, false, 0, "", false); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(csvPath)
@@ -68,5 +68,32 @@ func TestRunWritesCSV(t *testing.T) {
 	}
 	if len(records) < 101 {
 		t.Fatalf("%d CSV records, want header + >=100 rows", len(records))
+	}
+}
+
+func TestRunPersistsSimulationCache(t *testing.T) {
+	cachePath := filepath.Join(t.TempDir(), "url.simcache")
+	if err := run("URL", 300, "", "", false, 0, false, 0, cachePath, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(cachePath); err != nil {
+		t.Fatalf("cache file not written: %v", err)
+	}
+	// A second run must reload the cache and produce the same artifacts.
+	logPath := filepath.Join(t.TempDir(), "url.log")
+	if err := run("URL", 300, logPath, "", false, 0, false, 0, cachePath, false); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	results, err := report.ReadResults(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 100 {
+		t.Fatalf("warm run logged %d results, want >= 100", len(results))
 	}
 }

@@ -4,7 +4,9 @@
 // forwarding over a PATRICIA radix table, explored across seven networks
 // and two radix-table sizes, ending in the execution-time/energy Pareto
 // curve for the Berry trace and the combination a designer would pick
-// from it.
+// from it. The run streams through the exploration Engine with early
+// abort on: simulations the running Pareto front has already dominated
+// are stopped mid-trace, which changes none of the fronts below.
 //
 //	go run ./examples/routeexplore
 package main
@@ -12,20 +14,35 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro"
 )
 
 func main() {
-	m, err := repro.MethodologyFor("Route", 4000)
+	app, err := repro.AppByName("Route")
 	if err != nil {
 		log.Fatal(err)
 	}
+	opts := repro.Options{
+		TracePackets: 4000,
+		EarlyAbort:   true,
+		Progress: func(done, total int) {
+			if done%25 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "  ... %d/%d simulations\n", done, total)
+			}
+		},
+	}
+	eng := repro.NewEngine(app, opts)
+	m := repro.Methodology{App: app, Opts: opts, Engine: eng}
 	rep, err := m.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := eng.Stats()
+	fmt.Printf("engine: %d simulations run to completion, %d aborted once dominated\n\n",
+		st.Simulated, st.Aborted)
 
 	fmt.Printf("Route: dominant structures %s\n", strings.Join(rep.DominantRoles, " and "))
 	fmt.Printf("step 1 kept %d of %d combinations; step 2 covered %d configurations\n",

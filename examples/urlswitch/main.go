@@ -7,10 +7,15 @@
 // summaries printed at the end are identical by construction — the
 // refinement swaps containers, never semantics.
 //
+// The whole comparison runs through one exploration Engine, so the
+// refined combination's final re-simulation is a cache hit from the
+// methodology run that discovered it.
+//
 //	go run ./examples/urlswitch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -23,21 +28,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	cfg := repro.ConfigsFor(app)[0]
 	opts := repro.Options{TracePackets: 6000}
 
-	// The original: every candidate container a single linked list.
-	original := repro.OriginalAssignment(app)
-	origVec, origSum, err := repro.Simulate(app, cfg, original, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// One engine serves the ad-hoc simulations and the methodology run.
+	eng := repro.NewEngine(app, opts)
 
-	// The refined combination, found by the methodology.
-	m, err := repro.MethodologyFor("URL", 6000)
+	// The original: every candidate container a single linked list.
+	original, err := eng.Simulate(ctx, cfg, repro.OriginalAssignment(app))
 	if err != nil {
 		log.Fatal(err)
 	}
+	origVec, origSum := original.Vec, original.Summary
+
+	// The refined combination, found by the methodology on the same engine.
+	m := repro.Methodology{App: app, Opts: opts, Engine: eng}
 	rep, err := m.Run()
 	if err != nil {
 		log.Fatal(err)
@@ -63,16 +69,24 @@ func main() {
 		fmt.Printf("  %-14s %6d\n", k, origSum.Events[k])
 	}
 
-	// Prove the claim for the refined assignment.
-	_, refinedSum, err := repro.Simulate(app, cfg, assignmentOf(rep), opts)
+	// Prove the claim for the refined assignment. The exploration already
+	// simulated this exact point, so the engine answers from its cache.
+	before := eng.Stats()
+	refinedRes, err := eng.Simulate(ctx, cfg, assignmentOf(rep))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if refinedSum.Equal(origSum) {
+	after := eng.Stats()
+	if refinedRes.Summary.Equal(origSum) {
 		fmt.Println("\nverified: refined run produced exactly the same behaviour.")
 	} else {
 		fmt.Println("\nWARNING: behaviour diverged — this would be a bug.")
 	}
+	if after.CacheHits > before.CacheHits {
+		fmt.Println("(the verification was a simulation-cache hit — nothing re-simulated)")
+	}
+	fmt.Printf("engine totals: %d simulated, %d cache hits\n",
+		after.Simulated, after.CacheHits)
 }
 
 // assignmentOf recovers the best-energy assignment from the report's

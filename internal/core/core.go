@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
@@ -32,6 +33,18 @@ import (
 type Methodology struct {
 	App  apps.App
 	Opts explore.Options
+	// Engine, when set, drives the run instead of a fresh engine built
+	// from App and Opts — the way callers share a simulation cache across
+	// runs and read back EngineStats afterwards. It must wrap App.
+	Engine *explore.Engine
+}
+
+// engine returns the injected engine or builds one from App and Opts.
+func (m Methodology) engine() *explore.Engine {
+	if m.Engine != nil {
+		return m.Engine
+	}
+	return explore.NewEngine(m.App, m.Opts)
 }
 
 // ConfigReport is the step-3 output for one network configuration: the
@@ -93,8 +106,14 @@ type Report struct {
 	TimeSaving   float64 // fractional time reduction of BestTime vs Original
 }
 
-// Run executes the full methodology.
+// Run executes the full methodology with a background context.
 func (m Methodology) Run() (*Report, error) {
+	return m.RunContext(context.Background())
+}
+
+// RunContext executes the full methodology through the exploration
+// Engine; cancelling ctx stops the streaming steps between simulations.
+func (m Methodology) RunContext(ctx context.Context) (*Report, error) {
 	if m.App == nil {
 		return nil, fmt.Errorf("core: Methodology.App is nil")
 	}
@@ -103,13 +122,14 @@ func (m Methodology) Run() (*Report, error) {
 		return nil, fmt.Errorf("core: %s has no network configurations", m.App.Name())
 	}
 	reference := configs[0]
+	eng := m.engine()
 
-	// Steps 1 and 2.
-	s1, err := explore.Step1(m.App, reference, m.Opts)
+	// Steps 1 and 2, streamed over the engine's worker pool.
+	s1, err := eng.Step1(ctx, reference)
 	if err != nil {
 		return nil, err
 	}
-	s2, err := explore.Step2(m.App, s1, configs, m.Opts)
+	s2, err := eng.Step2(ctx, s1, configs)
 	if err != nil {
 		return nil, err
 	}
@@ -129,13 +149,16 @@ func (m Methodology) Run() (*Report, error) {
 
 	// Step 3: per-configuration Pareto fronts. The reference
 	// configuration charts the full combination space from step 1; the
-	// others chart the step-2 survivor results.
+	// others chart the step-2 survivor results. Early-aborted
+	// simulations carry partial vectors and are excluded — their full
+	// vectors are provably dominated, so the fronts are unchanged; only
+	// the scatter of non-optimal points thins out.
 	for _, cfg := range configs {
 		var results []explore.Result
 		if cfg.String() == reference.String() {
-			results = s1.Results
+			results = explore.Live(s1.Results)
 		} else {
-			results = s2.ResultsFor(cfg)
+			results = explore.Live(s2.ResultsFor(cfg))
 		}
 		cr := ConfigReport{Config: cfg, Results: results}
 		pts := cr.Points()
@@ -154,7 +177,7 @@ func (m Methodology) Run() (*Report, error) {
 	// Cross-configuration Pareto-optimal set: average each surviving
 	// combination's vector over every configuration it was simulated on,
 	// then take the 4-D front (Table 1's "Pareto optimal" column).
-	r.ParetoSet = crossConfigFront(s2.Results, s1.DominantRoles)
+	r.ParetoSet = crossConfigFront(explore.Live(s2.Results), s1.DominantRoles)
 	r.ParetoOptimal = len(r.ParetoSet)
 
 	// Reference-configuration factors (all combinations vs its front).
@@ -165,7 +188,7 @@ func (m Methodology) Run() (*Report, error) {
 	}
 
 	// Headline comparison against the original implementation.
-	orig, err := explore.Simulate(m.App, reference, apps.Original(m.App), m.Opts)
+	orig, err := eng.Simulate(ctx, reference, apps.Original(m.App))
 	if err != nil {
 		return nil, err
 	}
@@ -178,19 +201,31 @@ func (m Methodology) Run() (*Report, error) {
 }
 
 // crossConfigFront averages each combination across configurations and
-// returns the 4-D front of the averages.
+// returns the 4-D front of the averages. Only combinations with complete
+// configuration coverage enter the averaging: under early abort a
+// combination may lack samples for exactly the configurations it was
+// worst on, and averaging over the remainder would bias it low enough to
+// falsely join (or reshape) the front. With early abort off every
+// combination has full coverage and nothing is skipped.
 func crossConfigFront(results []explore.Result, roles []string) []pareto.Point {
 	sums := make(map[string]metrics.Vector)
 	counts := make(map[string]int)
 	labels := make(map[string]string)
+	full := 0
 	for _, res := range results {
 		key := explore.ComboKey(res.Assign, roles)
 		sums[key] = sums[key].Add(res.Vec)
 		counts[key]++
+		if counts[key] > full {
+			full = counts[key]
+		}
 		labels[key] = res.Label()
 	}
 	pts := make([]pareto.Point, 0, len(sums))
 	for key, sum := range sums {
+		if counts[key] < full {
+			continue // incomplete coverage: average would be biased low
+		}
 		pts = append(pts, pareto.Point{
 			Label: labels[key],
 			Vec:   sum.Scale(1 / float64(counts[key])),
@@ -219,6 +254,8 @@ type Validation struct {
 // original implementation on cfg, which should not belong to the
 // exploration's configuration set.
 func (m Methodology) Validate(r *Report, cfg explore.Config) (Validation, error) {
+	ctx := context.Background()
+	eng := m.engine()
 	v := Validation{Config: cfg, SetSize: len(r.ParetoSet)}
 	if v.SetSize == 0 {
 		return v, fmt.Errorf("core: report has an empty Pareto set")
@@ -235,7 +272,7 @@ func (m Methodology) Validate(r *Report, cfg explore.Config) (Validation, error)
 		if !ok {
 			return v, fmt.Errorf("core: Pareto label %q not found in step-1 results", p.Label)
 		}
-		res, err := explore.Simulate(m.App, cfg, assign, m.Opts)
+		res, err := eng.Simulate(ctx, cfg, assign)
 		if err != nil {
 			return v, err
 		}
@@ -246,7 +283,7 @@ func (m Methodology) Validate(r *Report, cfg explore.Config) (Validation, error)
 	}
 	v.StillOptimal = len(pareto.Front(pts))
 
-	orig, err := explore.Simulate(m.App, cfg, apps.Original(m.App), m.Opts)
+	orig, err := eng.Simulate(ctx, cfg, apps.Original(m.App))
 	if err != nil {
 		return v, err
 	}

@@ -1,0 +1,140 @@
+package explore
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/apps"
+	"repro/internal/memsim"
+)
+
+// Cache memoizes finished simulation results. The key identifies a
+// simulation completely — application, trace, per-simulation packet count,
+// knobs, platform configuration and DDT assignment — so a hit is exactly
+// the deterministic result the simulation would recompute. The network
+// level exploration re-visits step-1 points, sweeps revisit whole
+// configurations, and repeated CLI runs (via Save/Load) revisit entire
+// explorations; the cache turns all of those into lookups.
+//
+// Aborted results are stored as dominance tombstones: the partial vector
+// plus the proof (by construction) that an identical exploration already
+// found the point dominated. Guarded exploration streams accept them and
+// skip the re-simulation; unguarded callers (Engine.Simulate) treat them
+// as misses and overwrite them with the full result. A Cache is safe for
+// concurrent use and may be shared between engines.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[string]cacheEntry
+
+	hits, misses atomic.Uint64
+}
+
+// cacheEntry is one memoized simulation. Ctx tags tombstones with the
+// exploration semantics (prune mode, dominant-k) that proved the point
+// dominated: a tombstone is only a valid answer for an engine exploring
+// the same job space, while finished results are valid for everyone.
+type cacheEntry struct {
+	Result Result
+	Ctx    string
+}
+
+// NewCache returns an empty simulation cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]cacheEntry)}
+}
+
+// CacheStats reports cache traffic since construction (or Load).
+type CacheStats struct {
+	Hits, Misses uint64
+	Entries      int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// Len returns the number of cached simulations.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// lookup returns a defensive copy of the cached result for key. Aborted
+// (tombstone) entries only count as hits when the caller can use them —
+// a guarded exploration stream with the same exploration semantics the
+// tombstone was proven under; anyone else needs the finished vector.
+func (c *Cache) lookup(key string, acceptAborted bool, ctx string) (Result, bool) {
+	c.mu.RLock()
+	e, ok := c.m[key]
+	c.mu.RUnlock()
+	if !ok || (e.Result.Aborted && !(acceptAborted && e.Ctx == ctx)) {
+		c.misses.Add(1)
+		return Result{}, false
+	}
+	c.hits.Add(1)
+	return cloneResult(e.Result), true
+}
+
+// store saves a defensive copy of r under key, tagged with the storing
+// engine's exploration context.
+func (c *Cache) store(key string, r Result, ctx string) {
+	e := cacheEntry{Result: cloneResult(r), Ctx: ctx}
+	c.mu.Lock()
+	c.m[key] = e
+	c.mu.Unlock()
+}
+
+// Save serializes the cache contents to w (gob). Counters are not saved.
+func (c *Cache) Save(w io.Writer) error {
+	c.mu.RLock()
+	snapshot := make(map[string]cacheEntry, len(c.m))
+	for k, v := range c.m {
+		snapshot[k] = v
+	}
+	c.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(snapshot)
+}
+
+// Load merges previously saved cache contents from r, overwriting entries
+// with equal keys. It is how repeated CLI runs skip simulations earlier
+// runs already paid for.
+func (c *Cache) Load(r io.Reader) error {
+	var loaded map[string]cacheEntry
+	if err := gob.NewDecoder(r).Decode(&loaded); err != nil {
+		return fmt.Errorf("explore: loading simulation cache: %w", err)
+	}
+	c.mu.Lock()
+	for k, v := range loaded {
+		c.m[k] = v
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// cacheKey renders the complete identity of one simulation.
+func cacheKey(app string, cfg Config, assign apps.Assignment, packets int, platform memsim.Config) string {
+	return fmt.Sprintf("%s|%s|%d|%s|%+v", app, cfg, packets, assign, platform)
+}
+
+// cloneResult deep-copies the maps a Result carries so cached entries and
+// the results handed to callers never alias.
+func cloneResult(r Result) Result {
+	r.Config.Knobs = r.Config.Knobs.Clone()
+	r.Assign = r.Assign.Clone()
+	if r.Summary.Events != nil {
+		events := make(map[string]int, len(r.Summary.Events))
+		for k, v := range r.Summary.Events {
+			events[k] = v
+		}
+		r.Summary.Events = events
+	}
+	return r
+}

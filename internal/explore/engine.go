@@ -1,0 +1,569 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/apps"
+	"repro/internal/ddt"
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/pareto"
+	"repro/internal/platform"
+	"repro/internal/profiler"
+	"repro/internal/trace"
+)
+
+// abortCheckProbes is how many cache-line probes pass between dominance
+// checks of an early-abort simulation: rare enough that the 4-metric
+// snapshot is noise, frequent enough that a hopeless simulation dies long
+// before its trace ends.
+const abortCheckProbes = 2048
+
+// DefaultAbortMargin is the safety margin of the early-abort dominance
+// test when Options.AbortMargin is zero: a running simulation is only
+// stopped once its partial cost vector is at least 10% worse than a
+// finished front member on every metric.
+const DefaultAbortMargin = 0.10
+
+// Job is one simulation request: a network configuration plus a DDT
+// assignment for the application's container roles.
+type Job struct {
+	Cfg    Config
+	Assign apps.Assignment
+}
+
+// Outcome is one streamed simulation outcome. Index is the job's position
+// in the submission order, so callers can reassemble deterministic slices
+// from the completion-ordered stream.
+type Outcome struct {
+	Index     int
+	Job       Job
+	Result    Result
+	Err       error
+	FromCache bool // served from the simulation cache, nothing simulated
+	Aborted   bool // stopped early by the dominance guard; Result.Vec is partial
+}
+
+// EngineStats counts what an Engine actually did, as opposed to the
+// methodology-level Simulations counters which report the paper's
+// simulation budget regardless of how cheaply each point was obtained.
+type EngineStats struct {
+	Simulated int // simulations executed to completion
+	CacheHits int // results served from the cache
+	Aborted   int // simulations stopped early by the dominance guard
+}
+
+// Engine is the streaming exploration driver: it expands combination and
+// configuration spaces lazily, schedules simulations over a bounded worker
+// pool, streams results as they finish, maintains the step-1 survivor
+// front incrementally, consults the simulation cache before running
+// anything, and (optionally) aborts simulations the front has already
+// dominated. One Engine serves one application; it is safe for concurrent
+// use and can be shared across methodology steps and repeated runs so the
+// cache keeps paying.
+type Engine struct {
+	app  apps.App
+	opts Options
+
+	cache *Cache
+	// exploreCtx tags this engine's exploration semantics for dominance
+	// tombstones: a tombstone proven under one prune mode / dominant-k is
+	// only reused by engines exploring the identical job space.
+	exploreCtx string
+
+	// profiles memoizes profiling runs per configuration: profiling is
+	// deterministic, and a warm engine should not pay one full
+	// instrumented simulation per repeated Step1.
+	profMu   sync.Mutex
+	profiles map[string]*profiler.Set
+
+	simulated atomic.Int64
+	cacheHits atomic.Int64
+	aborted   atomic.Int64
+}
+
+// NewEngine builds an Engine for the application. Unless
+// Options.DisableCache is set, the engine uses Options.Cache or, when that
+// is nil, a fresh private cache.
+func NewEngine(a apps.App, opts Options) *Engine {
+	e := &Engine{
+		app:        a,
+		opts:       opts,
+		exploreCtx: fmt.Sprintf("prune=%d k=%d", opts.Prune, opts.dominantK()),
+	}
+	if !opts.DisableCache {
+		if opts.Cache != nil {
+			e.cache = opts.Cache
+		} else {
+			e.cache = NewCache()
+		}
+	}
+	return e
+}
+
+// App returns the application the engine explores.
+func (e *Engine) App() apps.App { return e.app }
+
+// Options returns the engine's options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Cache returns the engine's simulation cache (nil when caching is off).
+func (e *Engine) Cache() *Cache { return e.cache }
+
+// Stats snapshots the engine's work counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Simulated: int(e.simulated.Load()),
+		CacheHits: int(e.cacheHits.Load()),
+		Aborted:   int(e.aborted.Load()),
+	}
+}
+
+func (e *Engine) workers() int {
+	if e.opts.Workers > 0 {
+		return e.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// CombinationSeq yields every assignment of the ddt.NumKinds library DDTs
+// to k roles in the same lexicographic order Combinations materializes,
+// without building the 10^k slice — the generator that lets DominantK grow
+// past what a materialized combination table tolerates.
+func CombinationSeq(k int) iter.Seq[[]ddt.Kind] {
+	return func(yield func([]ddt.Kind) bool) {
+		if k <= 0 {
+			return
+		}
+		idx := make([]int, k)
+		for {
+			combo := make([]ddt.Kind, k)
+			for i, v := range idx {
+				combo[i] = ddt.Kind(v)
+			}
+			if !yield(combo) {
+				return
+			}
+			i := k - 1
+			for ; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < ddt.NumKinds {
+					break
+				}
+				idx[i] = 0
+			}
+			if i < 0 {
+				return
+			}
+		}
+	}
+}
+
+// ConfigSeq yields the application's network configurations in Configs
+// order without materializing the trace x knob cross product.
+func ConfigSeq(a apps.App) iter.Seq[Config] {
+	return func(yield func(Config) bool) {
+		knobSets := knobCartesian(a)
+		for _, tn := range a.TraceNames() {
+			for _, ks := range knobSets {
+				if !yield(Config{TraceName: tn, Knobs: ks}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// frontGuard is the concurrency-safe wrapper around the incremental
+// Pareto front the streaming steps maintain: the collector adds finished
+// results, worker goroutines ask it whether a running simulation is
+// already hopeless.
+type frontGuard struct {
+	mu     sync.Mutex
+	front  *pareto.OnlineFront
+	margin float64
+}
+
+func newFrontGuard(margin float64) *frontGuard {
+	return &frontGuard{front: pareto.NewOnlineFront(), margin: margin}
+}
+
+func (g *frontGuard) add(p pareto.Point) {
+	g.mu.Lock()
+	g.front.Add(p)
+	g.mu.Unlock()
+}
+
+func (g *frontGuard) dominatedBeyond(v metrics.Vector) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.front.DominatedBeyond(v, g.margin)
+}
+
+func (g *frontGuard) points() []pareto.Point {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.front.Points()
+}
+
+type indexedJob struct {
+	idx   int
+	job   Job
+	guard *frontGuard
+}
+
+// Stream schedules the jobs over the bounded worker pool and returns the
+// channel the outcomes arrive on, in completion order. The channel closes
+// once every scheduled job has reported or the context is cancelled;
+// after cancellation, jobs not yet started are dropped. Exactly
+// Options.Workers (default GOMAXPROCS) goroutines simulate at any moment,
+// however large the job space is.
+func (e *Engine) Stream(ctx context.Context, jobs iter.Seq[Job]) <-chan Outcome {
+	return e.stream(ctx, jobs, nil)
+}
+
+// stream is Stream plus the per-job early-abort guard hookup used by the
+// methodology steps. guardFor is called from the feeder goroutine only.
+func (e *Engine) stream(ctx context.Context, jobs iter.Seq[Job], guardFor func(Job) *frontGuard) <-chan Outcome {
+	out := make(chan Outcome)
+	feed := make(chan indexedJob)
+
+	go func() { // feeder: lazily expands the job space
+		defer close(feed)
+		i := 0
+		for jb := range jobs {
+			ij := indexedJob{idx: i, job: jb}
+			if guardFor != nil {
+				ij.guard = guardFor(jb)
+			}
+			select {
+			case feed <- ij:
+			case <-ctx.Done():
+				return
+			}
+			i++
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < e.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ij := range feed {
+				o := e.runJob(ij.idx, ij.job, ij.guard)
+				select {
+				case out <- o:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// runJob resolves one job: cache lookup, then a (possibly guarded)
+// simulation, then cache fill.
+func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
+	o := Outcome{Index: idx, Job: jb}
+	var key string
+	if e.cache != nil {
+		key = cacheKey(e.app.Name(), jb.Cfg, jb.Assign, e.opts.packets(), e.opts.platformConfig())
+		// A guarded stream may reuse a dominance tombstone: the job space
+		// of a step is deterministic, so a point an identical exploration
+		// (same simulation identity AND same exploration semantics)
+		// proved dominated is dominated again.
+		if r, ok := e.cache.lookup(key, guard != nil, e.exploreCtx); ok {
+			e.cacheHits.Add(1)
+			o.Result, o.FromCache = r, true
+			o.Aborted = r.Aborted
+			return o
+		}
+	}
+	tr, err := loadTrace(jb.Cfg.TraceName, e.opts.packets())
+	if err != nil {
+		o.Err = err
+		return o
+	}
+	p := platform.New(e.opts.platformConfig())
+	if guard != nil {
+		p.AbortWhen(abortCheckProbes, guard.dominatedBeyond)
+	}
+	sum, abortedRun, err := runRecovering(e.app, tr, p, jb.Assign, jb.Cfg.Knobs)
+	if err != nil {
+		o.Err = fmt.Errorf("explore: %s on %s: %w", e.app.Name(), jb.Cfg, err)
+		return o
+	}
+	o.Result = Result{
+		App:     e.app.Name(),
+		Config:  jb.Cfg,
+		Assign:  jb.Assign,
+		Vec:     p.Metrics(),
+		Summary: sum,
+		Aborted: abortedRun,
+	}
+	if abortedRun {
+		e.aborted.Add(1)
+		o.Aborted = true
+	} else {
+		e.simulated.Add(1)
+	}
+	if e.cache != nil {
+		e.cache.store(key, o.Result, e.exploreCtx) // aborted results become tombstones
+	}
+	return o
+}
+
+// runRecovering executes the application run and converts the memsim
+// early-abort sentinel back into normal control flow. Any other panic
+// propagates untouched.
+func runRecovering(a apps.App, tr *trace.Trace, p *platform.Platform, assign apps.Assignment, knobs apps.Knobs) (sum apps.Summary, aborted bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*memsim.Aborted); ok {
+				aborted = true
+				err = nil
+				return
+			}
+			panic(r)
+		}
+	}()
+	sum, err = a.Run(tr, p, assign, knobs, nil)
+	return sum, false, err
+}
+
+// Simulate runs (or recalls from cache) a single simulation.
+func (e *Engine) Simulate(ctx context.Context, cfg Config, assign apps.Assignment) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	o := e.runJob(0, Job{Cfg: cfg, Assign: assign}, nil)
+	return o.Result, o.Err
+}
+
+// Profile runs the profiling sub-step through the engine: the application
+// with its original DDTs and a probe on every candidate container.
+// Profiling runs are memoized per configuration for the engine's
+// lifetime.
+func (e *Engine) Profile(ctx context.Context, cfg Config) (*profiler.Set, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := cfg.String()
+	e.profMu.Lock()
+	memo := e.profiles[key]
+	e.profMu.Unlock()
+	if memo != nil {
+		return memo, nil
+	}
+	probes, err := Profile(e.app, cfg, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	e.profMu.Lock()
+	if e.profiles == nil {
+		e.profiles = make(map[string]*profiler.Set)
+	}
+	e.profiles[key] = probes
+	e.profMu.Unlock()
+	return probes, nil
+}
+
+// collect drains a stream into an index-ordered result slice, feeding
+// each live result to sink (when non-nil) as it lands. It returns the
+// lowest-index error, if any; on error it cancels the stream's context
+// so unstarted jobs are dropped while in-flight ones drain. total is
+// only used for progress reporting.
+func (e *Engine) collect(cancel context.CancelFunc, outcomes <-chan Outcome, results []Result, total int, sink func(Outcome)) error {
+	var firstErr error
+	firstErrIdx := len(results) + 1
+	done := 0
+	for o := range outcomes {
+		if o.Err != nil {
+			if o.Index < firstErrIdx {
+				firstErr, firstErrIdx = o.Err, o.Index
+			}
+			cancel() // stop feeding; in-flight simulations still drain
+			continue
+		}
+		results[o.Index] = o.Result
+		if sink != nil && !o.Result.Aborted {
+			sink(o)
+		}
+		done++
+		if e.opts.Progress != nil {
+			e.opts.Progress(done, total)
+		}
+	}
+	return firstErr
+}
+
+// Step1 performs the application-level DDT exploration as a stream:
+// profile for dominance, then push all 10^k combinations of the dominant
+// roles through the worker pool, maintaining the 4-metric survivor front
+// incrementally as results land. With Options.EarlyAbort, combinations
+// the running front has already dominated (beyond Options.AbortMargin)
+// are stopped mid-simulation; their entries in Results carry partial
+// vectors and Aborted set, and they are — provably — never survivors.
+func (e *Engine) Step1(ctx context.Context, reference Config) (*Step1Result, error) {
+	probes, err := e.Profile(ctx, reference)
+	if err != nil {
+		return nil, err
+	}
+	dominant := probes.Dominant(e.opts.dominantK())
+	total := 1
+	for range dominant {
+		total *= ddt.NumKinds
+	}
+
+	jobs := func(yield func(Job) bool) {
+		for combo := range CombinationSeq(len(dominant)) {
+			assign := make(apps.Assignment, len(dominant))
+			for r, role := range dominant {
+				assign[role] = combo[r]
+			}
+			if !yield(Job{Cfg: reference, Assign: assign}) {
+				return
+			}
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	guard := newFrontGuard(e.opts.abortMargin())
+	var guardFor func(Job) *frontGuard
+	if e.opts.EarlyAbort {
+		guardFor = func(Job) *frontGuard { return guard }
+	}
+
+	results := make([]Result, total)
+	err = e.collect(cancel, e.stream(runCtx, jobs, guardFor), results, total, func(o Outcome) {
+		guard.add(o.Result.Point(o.Index))
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	s1 := &Step1Result{
+		DominantRoles: dominant,
+		Profile:       probes,
+		Reference:     reference,
+		Results:       results,
+		Simulations:   total,
+	}
+	switch e.opts.Prune {
+	case PruneBestPerMetric:
+		s1.Survivors = pruneBestPerMetric(results)
+	default:
+		front := guard.points()
+		s1.Survivors = make([]Result, len(front))
+		for i, p := range front {
+			s1.Survivors[i] = results[p.Tag]
+		}
+	}
+	for _, r := range results {
+		if r.Aborted {
+			s1.Aborted++
+		}
+	}
+	return s1, nil
+}
+
+// Step2 performs the network-level DDT exploration as a stream: every
+// step-1 survivor crossed with every non-reference configuration, with a
+// per-configuration incremental front guarding early aborts (points only
+// compete within their own configuration, exactly as step 3 charts them).
+// Reference-configuration results propagate from step 1 — via the cache
+// when it is warm, and by construction here regardless.
+func (e *Engine) Step2(ctx context.Context, s1 *Step1Result, configs []Config) (*Step2Result, error) {
+	ref := s1.Reference.String()
+	var streamed []Config
+	guards := make(map[string]*frontGuard)
+	for _, cfg := range configs {
+		if cfg.String() == ref {
+			continue
+		}
+		streamed = append(streamed, cfg)
+		if e.opts.EarlyAbort {
+			guards[cfg.String()] = newFrontGuard(e.opts.abortMargin())
+		}
+	}
+	total := len(streamed) * len(s1.Survivors)
+
+	jobs := func(yield func(Job) bool) {
+		for _, cfg := range streamed {
+			for _, sv := range s1.Survivors {
+				if !yield(Job{Cfg: cfg, Assign: sv.Assign}) {
+					return
+				}
+			}
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var guardFor func(Job) *frontGuard
+	if e.opts.EarlyAbort {
+		guardFor = func(jb Job) *frontGuard { return guards[jb.Cfg.String()] }
+	}
+
+	results := make([]Result, total)
+	err := e.collect(cancel, e.stream(runCtx, jobs, guardFor), results, total, func(o Outcome) {
+		if g := guards[o.Job.Cfg.String()]; g != nil {
+			g.add(o.Result.Point(o.Index))
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	all := make([]Result, 0, len(results)+len(s1.Survivors))
+	all = append(all, s1.Survivors...)
+	all = append(all, results...)
+	s2 := &Step2Result{
+		Configs:     configs,
+		Results:     all,
+		Simulations: total,
+	}
+	for _, r := range results {
+		if r.Aborted {
+			s2.Aborted++
+		}
+	}
+	return s2, nil
+}
+
+// Explore runs both exploration steps over the application's full
+// configuration space and returns them. It is the engine-native
+// equivalent of calling Step1 then Step2 with Configs(app).
+func (e *Engine) Explore(ctx context.Context) (*Step1Result, *Step2Result, error) {
+	configs := Configs(e.app)
+	if len(configs) == 0 {
+		return nil, nil, fmt.Errorf("explore: %s has no network configurations", e.app.Name())
+	}
+	s1, err := e.Step1(ctx, configs[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	s2, err := e.Step2(ctx, s1, configs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s1, s2, nil
+}

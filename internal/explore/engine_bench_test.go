@@ -1,0 +1,126 @@
+package explore_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/route"
+	"repro/internal/explore"
+	"repro/internal/pareto"
+)
+
+// benchOpts is the scale of the engine-vs-barrier comparison: long enough
+// traces that pruning and caching have real work to elide.
+var benchOpts = explore.Options{TracePackets: 2000}
+
+// BenchmarkStep1ColdBarrier is the pre-refactor cost model: every
+// combination simulated to completion, nothing cached between runs,
+// survivors filtered afterwards. (Reimplemented sequentially here so the
+// number is the un-pruned simulation work itself; divide by GOMAXPROCS
+// for the old parallel barrier's ideal wall time.)
+func BenchmarkStep1ColdBarrier(b *testing.B) {
+	a := route.App{}
+	ref := explore.Configs(a)[0]
+	probes, err := explore.Profile(a, ref, benchOpts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dominant := probes.Dominant(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := make([]explore.Result, 0, 100)
+		for combo := range explore.CombinationSeq(len(dominant)) {
+			assign := make(apps.Assignment, len(dominant))
+			for r, role := range dominant {
+				assign[role] = combo[r]
+			}
+			res, err := explore.Simulate(a, ref, assign, benchOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results = append(results, res)
+		}
+		pts := make([]pareto.Point, len(results))
+		for j, r := range results {
+			pts[j] = r.Point(j)
+		}
+		if len(pareto.Front(pts)) == 0 {
+			b.Fatal("empty front")
+		}
+	}
+}
+
+// BenchmarkStep1EngineCold is the streaming engine from scratch: worker
+// pool plus incremental pruning plus early abort, empty cache.
+func BenchmarkStep1EngineCold(b *testing.B) {
+	a := route.App{}
+	ref := explore.Configs(a)[0]
+	opts := benchOpts
+	opts.EarlyAbort = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := explore.NewEngine(a, opts)
+		if _, err := eng.Step1(context.Background(), ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStep1EngineWarm is the engine with a warm simulation cache and
+// early abort — the steady-state cost of re-running an exploration, which
+// the barrier path pays in full every time.
+func BenchmarkStep1EngineWarm(b *testing.B) {
+	a := route.App{}
+	ref := explore.Configs(a)[0]
+	opts := benchOpts
+	opts.EarlyAbort = true
+	eng := explore.NewEngine(a, opts)
+	if _, err := eng.Step1(context.Background(), ref); err != nil {
+		b.Fatal(err) // warm the cache outside the timed region
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Step1(context.Background(), ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestEngineWarmAbortFasterThanColdBarrier is the acceptance check behind
+// the benchmarks above, pinned as a test so every `go test` run verifies
+// it: a warm-cache early-abort engine run must finish the same
+// exploration in measurably less wall time than the cold barrier path.
+func TestEngineWarmAbortFasterThanColdBarrier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	a := route.App{}
+	ref := explore.Configs(a)[0]
+	opts := explore.Options{TracePackets: 1000, EarlyAbort: true}
+
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := explore.NewEngine(a, explore.Options{TracePackets: 1000, DisableCache: true, Workers: 1}).Step1(context.Background(), ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	eng := explore.NewEngine(a, opts)
+	if _, err := eng.Step1(context.Background(), ref); err != nil {
+		t.Fatal(err)
+	}
+	warm := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Step1(context.Background(), ref); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cold, warmNs := res.NsPerOp(), warm.NsPerOp()
+	t.Logf("cold barrier %.1fms vs warm engine %.1fms per exploration", float64(cold)/1e6, float64(warmNs)/1e6)
+	if warmNs*2 >= cold {
+		t.Errorf("warm engine run (%.1fms) not measurably faster than cold barrier (%.1fms)",
+			float64(warmNs)/1e6, float64(cold)/1e6)
+	}
+}

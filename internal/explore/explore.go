@@ -8,11 +8,29 @@
 // A "simulation" in the paper's sense is one execution of an application
 // under study over one input trace (§3.1); Simulate is exactly that, and
 // the step results carry the simulation counts that reproduce Table 1.
+//
+// # Streaming model
+//
+// The exploration runs on the Engine: combination and configuration
+// spaces are expanded lazily (CombinationSeq, ConfigSeq — nothing
+// materializes the 10^k table), simulations are scheduled over a bounded
+// worker pool, and results stream back in completion order. The step-1
+// survivor set is maintained as an incremental Pareto front
+// (pareto.OnlineFront) while results arrive, instead of being filtered at
+// a barrier afterwards; with Options.EarlyAbort the same running front
+// stops simulations mid-trace once their monotonically-growing cost
+// vector is dominated beyond Options.AbortMargin. Finished results are
+// memoized in a Cache keyed by the complete simulation identity, so the
+// network level, platform sweeps and repeated runs never re-simulate a
+// point. Cancellation and deadlines propagate through context.Context.
+//
+// Step1, Step2 and Simulate remain as thin wrappers over a fresh Engine
+// for callers (and tests) that pin the original batch signatures.
 package explore
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -68,6 +86,32 @@ type Options struct {
 	Platform *memsim.Config
 	// Prune selects the step-1 survivor strategy (default PruneFront).
 	Prune PruneMode
+
+	// Workers bounds the Engine's simulation worker pool. Zero selects
+	// GOMAXPROCS. The pool size is the number of goroutines that exist,
+	// not merely the number allowed to run.
+	Workers int
+	// Cache supplies a shared simulation cache; nil gives each Engine a
+	// private one. Share a Cache to carry results across methodology
+	// runs, sweeps or processes (Cache.Save/Load).
+	Cache *Cache
+	// DisableCache turns result memoization off entirely — for benchmarks
+	// that must measure raw simulation cost.
+	DisableCache bool
+	// EarlyAbort stops a running simulation once its cost vector is
+	// dominated by the incremental front beyond AbortMargin. Survivor
+	// fronts are provably unchanged (costs only grow, so a dominated
+	// partial vector proves a dominated final vector); the aborted
+	// entries keep partial vectors and Result.Aborted set, so full-space
+	// charts thin out — step fronts stay exact.
+	EarlyAbort bool
+	// AbortMargin is the relative safety margin of the early-abort
+	// dominance test. Zero selects DefaultAbortMargin.
+	AbortMargin float64
+	// Progress, when set, is called after every completed simulation of a
+	// streaming step with the number done and the step's total. It runs
+	// on the collecting goroutine (the one inside Step1/Step2).
+	Progress func(done, total int)
 }
 
 // DefaultTracePackets is the simulation trace length used when Options
@@ -96,6 +140,13 @@ func (o Options) platformConfig() memsim.Config {
 	return memsim.DefaultConfig()
 }
 
+func (o Options) abortMargin() float64 {
+	if o.AbortMargin > 0 {
+		return o.AbortMargin
+	}
+	return DefaultAbortMargin
+}
+
 // Result is the outcome of one simulation.
 type Result struct {
 	App     string
@@ -103,6 +154,10 @@ type Result struct {
 	Assign  apps.Assignment
 	Vec     metrics.Vector
 	Summary apps.Summary
+	// Aborted marks a simulation the early-abort guard stopped: Vec holds
+	// the partial costs at the stop and must not enter Pareto analyses
+	// (it is incomparable with finished vectors).
+	Aborted bool
 }
 
 // Label is the combination label used in logs and charts: the assignment
@@ -114,17 +169,36 @@ func (r Result) Point(idx int) pareto.Point {
 	return pareto.Point{Label: r.Label(), Vec: r.Vec, Tag: idx}
 }
 
+// Live returns the subset of results that ran to completion — the points
+// that may enter Pareto analyses. With early abort off it returns results
+// unchanged.
+func Live(results []Result) []Result {
+	aborted := 0
+	for _, r := range results {
+		if r.Aborted {
+			aborted++
+		}
+	}
+	if aborted == 0 {
+		return results
+	}
+	out := make([]Result, 0, len(results)-aborted)
+	for _, r := range results {
+		if !r.Aborted {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // Configs enumerates the application's network configurations: its traces
 // crossed with the cartesian product of its knob sweep (knobs without a
 // sweep keep their default). The reference configuration (first trace,
 // default knobs) is always element 0.
 func Configs(a apps.App) []Config {
-	knobSets := knobCartesian(a)
 	var out []Config
-	for _, tn := range a.TraceNames() {
-		for _, ks := range knobSets {
-			out = append(out, Config{TraceName: tn, Knobs: ks})
-		}
+	for cfg := range ConfigSeq(a) {
+		out = append(out, cfg)
 	}
 	return out
 }
@@ -160,7 +234,8 @@ func knobCartesian(a apps.App) []apps.Knobs {
 
 // Combinations enumerates every assignment of the 10 library DDTs to k
 // roles — the 10^k combinations of §3.1 ("if there are two dominant data
-// structures, then we have to simulate 100 times").
+// structures, then we have to simulate 100 times"). It materializes
+// CombinationSeq; streaming callers should range the sequence instead.
 func Combinations(k int) [][]ddt.Kind {
 	if k <= 0 {
 		return nil
@@ -169,15 +244,9 @@ func Combinations(k int) [][]ddt.Kind {
 	for i := 0; i < k; i++ {
 		total *= ddt.NumKinds
 	}
-	out := make([][]ddt.Kind, total)
-	for n := 0; n < total; n++ {
-		combo := make([]ddt.Kind, k)
-		v := n
-		for i := k - 1; i >= 0; i-- {
-			combo[i] = ddt.Kind(v % ddt.NumKinds)
-			v /= ddt.NumKinds
-		}
-		out[n] = combo
+	out := make([][]ddt.Kind, 0, total)
+	for combo := range CombinationSeq(k) {
+		out = append(out, combo)
 	}
 	return out
 }
@@ -200,7 +269,8 @@ func loadTrace(name string, packets int) (*trace.Trace, error) {
 }
 
 // Simulate runs one simulation: the application over the configuration's
-// trace with the given DDT assignment, on a fresh platform.
+// trace with the given DDT assignment, on a fresh platform. It is the raw
+// uncached primitive; Engine.Simulate adds the cache in front of it.
 func Simulate(a apps.App, cfg Config, assign apps.Assignment, opts Options) (Result, error) {
 	tr, err := loadTrace(cfg.TraceName, opts.packets())
 	if err != nil {
@@ -218,36 +288,6 @@ func Simulate(a apps.App, cfg Config, assign apps.Assignment, opts Options) (Res
 		Vec:     p.Metrics(),
 		Summary: sum,
 	}, nil
-}
-
-// simulateAll runs the given (config, assignment) jobs across all CPUs,
-// preserving job order in the result slice.
-func simulateAll(a apps.App, jobs []job, opts Options) ([]Result, error) {
-	results := make([]Result, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = Simulate(a, jobs[i].cfg, jobs[i].assign, opts)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
-}
-
-type job struct {
-	cfg    Config
-	assign apps.Assignment
 }
 
 // Profile runs the profiling sub-step: the application with its original
@@ -274,6 +314,7 @@ type Step1Result struct {
 	Results       []Result // every combination on the reference config
 	Survivors     []Result // the 4-D non-dominated subset
 	Simulations   int
+	Aborted       int // simulations the early-abort guard stopped
 }
 
 // SurvivorFraction reports how much of the combination space survived
@@ -285,78 +326,36 @@ func (s Step1Result) SurvivorFraction() float64 {
 	return float64(len(s.Survivors)) / float64(len(s.Results))
 }
 
-// Step1 performs the application-level DDT exploration: profile for
-// dominance, then simulate all 10^k combinations for the dominant roles on
-// the reference configuration and keep the combinations that are
-// non-dominated in the four metrics.
+// Step1 performs the application-level DDT exploration through a fresh
+// Engine: profile for dominance, then simulate all 10^k combinations for
+// the dominant roles on the reference configuration and keep the
+// combinations that are non-dominated in the four metrics.
 func Step1(a apps.App, reference Config, opts Options) (*Step1Result, error) {
-	probes, err := Profile(a, reference, opts)
-	if err != nil {
-		return nil, err
-	}
-	dominant := probes.Dominant(opts.dominantK())
-
-	combos := Combinations(len(dominant))
-	jobs := make([]job, len(combos))
-	for i, combo := range combos {
-		assign := make(apps.Assignment, len(dominant))
-		for r, role := range dominant {
-			assign[role] = combo[r]
-		}
-		jobs[i] = job{cfg: reference, assign: assign}
-	}
-	results, err := simulateAll(a, jobs, opts)
-	if err != nil {
-		return nil, err
-	}
-	survivors := prune(results, opts.Prune)
-
-	return &Step1Result{
-		DominantRoles: dominant,
-		Profile:       probes,
-		Reference:     reference,
-		Results:       results,
-		Survivors:     survivors,
-		Simulations:   len(results),
-	}, nil
+	return NewEngine(a, opts).Step1(context.Background(), reference)
 }
 
-// prune selects the step-1 survivors under the given mode.
-func prune(results []Result, mode PruneMode) []Result {
-	switch mode {
-	case PruneBestPerMetric:
-		chosen := make(map[int]bool)
-		for _, m := range metrics.AllMetrics() {
-			best := 0
-			for i := 1; i < len(results); i++ {
-				if results[i].Vec.Get(m) < results[best].Vec.Get(m) {
-					best = i
-				}
-			}
-			chosen[best] = true
-		}
-		idxs := make([]int, 0, len(chosen))
-		for i := range chosen {
-			idxs = append(idxs, i)
-		}
-		sort.Ints(idxs)
-		out := make([]Result, len(idxs))
-		for j, i := range idxs {
-			out[j] = results[i]
-		}
-		return out
-	default: // PruneFront
-		pts := make([]pareto.Point, len(results))
-		for i, r := range results {
-			pts[i] = r.Point(i)
-		}
-		front := pareto.Front(pts)
-		out := make([]Result, len(front))
-		for i, p := range front {
-			out[i] = results[p.Tag]
-		}
-		return out
+// pruneBestPerMetric keeps each metric's best finished combination.
+func pruneBestPerMetric(results []Result) []Result {
+	live := Live(results)
+	if len(live) == 0 {
+		return nil
 	}
+	chosen := make(map[string]bool)
+	out := make([]Result, 0, len(metrics.AllMetrics()))
+	for _, m := range metrics.AllMetrics() {
+		best := 0
+		for i := 1; i < len(live); i++ {
+			if live[i].Vec.Get(m) < live[best].Vec.Get(m) {
+				best = i
+			}
+		}
+		key := live[best].Label()
+		if !chosen[key] {
+			chosen[key] = true
+			out = append(out, live[best])
+		}
+	}
+	return out
 }
 
 // Step2Result is the outcome of the network-level exploration.
@@ -364,6 +363,7 @@ type Step2Result struct {
 	Configs     []Config
 	Results     []Result // survivors x configurations (reference included)
 	Simulations int      // new simulations run in this step
+	Aborted     int      // simulations the early-abort guard stopped
 }
 
 // ResultsFor returns the step's results for one configuration.
@@ -378,34 +378,13 @@ func (s Step2Result) ResultsFor(cfg Config) []Result {
 	return out
 }
 
-// Step2 performs the network-level DDT exploration: every step-1 survivor
-// is re-simulated for every network configuration. Reference-configuration
-// results are reused from step 1 rather than re-simulated, which is the
-// "stepwise procedure propagating restrictions from one step to the next"
-// that cuts the simulation count.
+// Step2 performs the network-level DDT exploration through a fresh
+// Engine: every step-1 survivor is re-simulated for every network
+// configuration. Reference-configuration results are reused from step 1
+// rather than re-simulated, which is the "stepwise procedure propagating
+// restrictions from one step to the next" that cuts the simulation count.
 func Step2(a apps.App, s1 *Step1Result, configs []Config, opts Options) (*Step2Result, error) {
-	ref := s1.Reference.String()
-	var jobs []job
-	for _, cfg := range configs {
-		if cfg.String() == ref {
-			continue // already simulated in step 1
-		}
-		for _, sv := range s1.Survivors {
-			jobs = append(jobs, job{cfg: cfg, assign: sv.Assign})
-		}
-	}
-	results, err := simulateAll(a, jobs, opts)
-	if err != nil {
-		return nil, err
-	}
-	all := make([]Result, 0, len(results)+len(s1.Survivors))
-	all = append(all, s1.Survivors...)
-	all = append(all, results...)
-	return &Step2Result{
-		Configs:     configs,
-		Results:     all,
-		Simulations: len(results),
-	}, nil
+	return NewEngine(a, opts).Step2(context.Background(), s1, configs)
 }
 
 // ComboKey returns a canonical string for the kinds assigned to the given

@@ -17,6 +17,8 @@
 // single cycle.
 package memsim
 
+import "fmt"
+
 // Config describes the simulated platform.
 type Config struct {
 	L1 CacheGeometry
@@ -85,6 +87,44 @@ type Hierarchy struct {
 	l1, l2 *cache
 	counts Counts
 	cycles uint64
+
+	// Early-abort hook: abortFn is consulted every abortEvery line probes
+	// and stops the simulation (via an Aborted panic) when it returns
+	// true. Installed by SetAbortCheck; nil when early abort is off.
+	abortFn    func() bool
+	abortEvery uint64
+	sinceCheck uint64
+}
+
+// Aborted is the sentinel the hierarchy panics with when an installed
+// abort check fires. The simulation driver (the exploration Engine)
+// recovers it at the application boundary and records the run as aborted;
+// application code never observes it. Counts and Cycles hold the partial
+// state at the moment of the abort.
+type Aborted struct {
+	Counts Counts
+	Cycles uint64
+}
+
+// Error makes an escaped Aborted readable in a crash log; it is not an
+// error value the simulator ever returns.
+func (a *Aborted) Error() string {
+	return fmt.Sprintf("memsim: simulation aborted by cost check after %d cycles", a.Cycles)
+}
+
+// SetAbortCheck installs fn to be polled every `every` cache-line probes;
+// when fn reports true the hierarchy stops the simulation by panicking
+// with *Aborted, which the caller that installed the check must recover.
+// A nil fn (or every == 0) removes the check. The polling cost is one
+// branch per probe while disabled.
+func (h *Hierarchy) SetAbortCheck(every uint64, fn func() bool) {
+	if fn == nil || every == 0 {
+		h.abortFn, h.abortEvery, h.sinceCheck = nil, 0, 0
+		return
+	}
+	h.abortFn = fn
+	h.abortEvery = every
+	h.sinceCheck = 0
 }
 
 // New builds a hierarchy from cfg.
@@ -141,6 +181,15 @@ func (h *Hierarchy) access(addr, size uint32, write bool) {
 // probeLine walks the hierarchy for one cache line (write-allocate,
 // inclusive fill on miss).
 func (h *Hierarchy) probeLine(line uint32) {
+	if h.abortFn != nil {
+		h.sinceCheck++
+		if h.sinceCheck >= h.abortEvery {
+			h.sinceCheck = 0
+			if h.abortFn() {
+				panic(&Aborted{Counts: h.counts, Cycles: h.cycles})
+			}
+		}
+	}
 	if h.l1.access(line) {
 		h.counts.L1Hits++
 		h.cycles += h.cfg.L1HitCycles

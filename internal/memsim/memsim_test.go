@@ -243,3 +243,38 @@ func TestInclusiveFill(t *testing.T) {
 		t.Fatal("inclusive fill broken: evicted L1 line missing from L2")
 	}
 }
+
+func TestAbortCheckFires(t *testing.T) {
+	h := memsim.New(memsim.DefaultConfig())
+	polled := 0
+	h.SetAbortCheck(4, func() bool {
+		polled++
+		return polled >= 3
+	})
+	defer func() {
+		r := recover()
+		ab, ok := r.(*memsim.Aborted)
+		if !ok {
+			t.Fatalf("recovered %v, want *memsim.Aborted", r)
+		}
+		if ab.Counts.Accesses() == 0 || ab.Cycles == 0 {
+			t.Errorf("aborted snapshot empty: %+v", ab)
+		}
+		if polled != 3 {
+			t.Errorf("check polled %d times, want 3", polled)
+		}
+	}()
+	for i := uint32(0); ; i++ {
+		h.Read(i*64, 4) // distinct lines: one probe per read
+	}
+}
+
+func TestAbortCheckDisable(t *testing.T) {
+	h := memsim.New(memsim.DefaultConfig())
+	h.SetAbortCheck(1, func() bool { return true })
+	h.SetAbortCheck(0, nil)
+	h.Read(0x1000, 64) // must not panic
+	if h.Counts().Accesses() == 0 {
+		t.Error("access not simulated after disabling the check")
+	}
+}

@@ -1,0 +1,84 @@
+package pareto
+
+import "repro/internal/metrics"
+
+// OnlineFront maintains a non-dominated point set incrementally: each Add
+// either rejects the candidate (some member already dominates it) or
+// inserts it and evicts every member it dominates. This is the streaming
+// counterpart of Front — results can be pruned as simulations complete
+// instead of being materialized and filtered at a barrier — and the
+// invariant the exploration Engine's early-abort guard queries while
+// simulations are still running.
+//
+// The zero value is ready to use. OnlineFront is not safe for concurrent
+// use; callers that share one across goroutines must serialize access.
+type OnlineFront struct {
+	pts []Point
+}
+
+// NewOnlineFront returns an empty incremental front.
+func NewOnlineFront() *OnlineFront { return &OnlineFront{} }
+
+// Add offers p to the front. It returns false and leaves the front
+// unchanged when an existing member dominates p; otherwise it inserts p,
+// evicts every member p dominates, and returns true. Points with vectors
+// identical to a member are kept, matching Front's behaviour — they are
+// equally optimal implementations.
+func (f *OnlineFront) Add(p Point) bool {
+	for i := range f.pts {
+		if f.pts[i].Vec.Dominates(p.Vec) {
+			return false
+		}
+	}
+	// No member dominates p, so p may evict. (A member dominated by p and
+	// a member dominating p cannot coexist: dominance would be transitive
+	// and the front would already have been inconsistent.)
+	kept := f.pts[:0]
+	for _, q := range f.pts {
+		if !p.Vec.Dominates(q.Vec) {
+			kept = append(kept, q)
+		}
+	}
+	f.pts = append(kept, p)
+	return true
+}
+
+// Len returns the current front size.
+func (f *OnlineFront) Len() int { return len(f.pts) }
+
+// Points returns the front in the same deterministic order as Front:
+// ascending energy, ties by label then tag.
+func (f *OnlineFront) Points() []Point {
+	out := make([]Point, len(f.pts))
+	copy(out, f.pts)
+	sortPoints(out, metrics.Energy)
+	return out
+}
+
+// DominatedBeyond reports whether some front member dominates v even after
+// the member's costs are inflated by margin (for every metric,
+// member*(1+margin) <= v, strictly on at least one axis). For a cost
+// vector that only grows as a simulation runs, a true result proves the
+// finished simulation cannot join the front — the test behind the
+// exploration Engine's early abort. A positive margin keeps the check
+// conservative against later front churn and float rounding.
+func (f *OnlineFront) DominatedBeyond(v metrics.Vector, margin float64) bool {
+	scale := 1 + margin
+	for _, q := range f.pts {
+		worse, strict := true, false
+		for _, m := range metrics.AllMetrics() {
+			qm, vm := q.Vec.Get(m)*scale, v.Get(m)
+			if qm > vm {
+				worse = false
+				break
+			}
+			if qm < vm {
+				strict = true
+			}
+		}
+		if worse && strict {
+			return true
+		}
+	}
+	return false
+}

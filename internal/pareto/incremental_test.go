@@ -1,0 +1,150 @@
+package pareto
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// naiveFront is the pre-incremental all-pairs filter, kept here as the
+// reference implementation the property tests compare OnlineFront (and the
+// rewritten batch Front) against.
+func naiveFront(pts []Point) []Point {
+	var front []Point
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if q.Vec.Dominates(p.Vec) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sortPoints(front, metrics.Energy)
+	return front
+}
+
+// randomPoints draws n points; quantizing the coordinates to a small grid
+// makes domination, ties and exact-duplicate vectors all common, which is
+// where online insert/evict bookkeeping can go wrong.
+func randomPoints(rng *rand.Rand, n, grid int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{
+			Label: fmt.Sprintf("p%03d", i),
+			Tag:   i,
+			Vec: metrics.Vector{
+				Energy:    float64(rng.Intn(grid)),
+				Time:      float64(rng.Intn(grid)),
+				Accesses:  float64(rng.Intn(grid)),
+				Footprint: float64(rng.Intn(grid)),
+			},
+		}
+	}
+	return pts
+}
+
+func samePoints(t *testing.T, got, want []Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("front size %d, want %d\n got: %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i].Label != want[i].Label || got[i].Vec != want[i].Vec || got[i].Tag != want[i].Tag {
+			t.Fatalf("front[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestOnlineFrontMatchesBatch is the equivalence property the exploration
+// Engine rests on: streaming points through OnlineFront in any order gives
+// exactly the set the batch all-pairs filter gives.
+func TestOnlineFrontMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(120)
+		grid := 2 + rng.Intn(12)
+		pts := randomPoints(rng, n, grid)
+		want := naiveFront(pts)
+
+		// Insertion order must not matter: try the natural order and a
+		// shuffle of the same set.
+		orders := [][]Point{pts, append([]Point(nil), pts...)}
+		rng.Shuffle(len(orders[1]), func(i, j int) {
+			orders[1][i], orders[1][j] = orders[1][j], orders[1][i]
+		})
+		for _, order := range orders {
+			f := NewOnlineFront()
+			for _, p := range order {
+				f.Add(p)
+			}
+			samePoints(t, f.Points(), want)
+			if f.Len() != len(want) {
+				t.Fatalf("Len() = %d, want %d", f.Len(), len(want))
+			}
+		}
+
+		// The rewritten batch Front must agree with the reference too.
+		samePoints(t, Front(pts), want)
+	}
+}
+
+func TestOnlineFrontAddReportsMembership(t *testing.T) {
+	f := NewOnlineFront()
+	base := Point{Label: "base", Vec: metrics.Vector{Energy: 2, Time: 2, Accesses: 2, Footprint: 2}}
+	if !f.Add(base) {
+		t.Fatal("first point rejected")
+	}
+	dominated := Point{Label: "worse", Vec: metrics.Vector{Energy: 3, Time: 3, Accesses: 3, Footprint: 3}}
+	if f.Add(dominated) {
+		t.Fatal("dominated point accepted")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("front size %d after rejected add, want 1", f.Len())
+	}
+	better := Point{Label: "better", Vec: metrics.Vector{Energy: 1, Time: 1, Accesses: 1, Footprint: 1}}
+	if !f.Add(better) {
+		t.Fatal("dominating point rejected")
+	}
+	if f.Len() != 1 || f.Points()[0].Label != "better" {
+		t.Fatalf("eviction failed: %v", f.Points())
+	}
+	// An equal vector is kept alongside, like Front keeps duplicates.
+	twin := Point{Label: "twin", Vec: better.Vec}
+	if !f.Add(twin) || f.Len() != 2 {
+		t.Fatalf("equal-vector point not kept: %v", f.Points())
+	}
+}
+
+func TestDominatedBeyond(t *testing.T) {
+	f := NewOnlineFront()
+	f.Add(Point{Label: "m", Vec: metrics.Vector{Energy: 10, Time: 10, Accesses: 10, Footprint: 10}})
+
+	running := metrics.Vector{Energy: 12, Time: 12, Accesses: 12, Footprint: 12}
+	if !f.DominatedBeyond(running, 0.1) {
+		t.Error("vector 20%% worse on every axis not flagged at margin 0.1")
+	}
+	if f.DominatedBeyond(running, 0.5) {
+		t.Error("margin 0.5 should spare a vector only 20%% worse")
+	}
+	// Better on one axis -> never abortable, whatever the margin.
+	mixed := metrics.Vector{Energy: 100, Time: 100, Accesses: 100, Footprint: 5}
+	if f.DominatedBeyond(mixed, 0) {
+		t.Error("vector better on one axis flagged as dominated")
+	}
+	// Equal vector at margin 0 lacks a strict axis: not beyond.
+	if f.DominatedBeyond(metrics.Vector{Energy: 10, Time: 10, Accesses: 10, Footprint: 10}, 0) {
+		t.Error("equal vector flagged as dominated beyond margin")
+	}
+	if (&OnlineFront{}).DominatedBeyond(running, 0) {
+		t.Error("empty front dominated something")
+	}
+}

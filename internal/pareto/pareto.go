@@ -27,25 +27,18 @@ type Point struct {
 // space, in deterministic order (ascending energy, ties by label). Points
 // with identical vectors are all kept — they are equally optimal
 // implementations.
+//
+// Front is the batch form of OnlineFront: inserting every point into an
+// incremental front yields the same set as the classic all-pairs filter
+// (TestOnlineFrontMatchesBatch pins the equivalence on random sets) while
+// doing dominance work proportional to the running front size, which for
+// exploration results is far smaller than the point count.
 func Front(pts []Point) []Point {
-	var front []Point
-	for i, p := range pts {
-		dominated := false
-		for j, q := range pts {
-			if i == j {
-				continue
-			}
-			if q.Vec.Dominates(p.Vec) {
-				dominated = true
-				break
-			}
-		}
-		if !dominated {
-			front = append(front, p)
-		}
+	f := NewOnlineFront()
+	for _, p := range pts {
+		f.Add(p)
 	}
-	sortPoints(front, metrics.Energy)
-	return front
+	return f.Points()
 }
 
 // Front2D returns the subset of pts non-dominated when only axes x and y

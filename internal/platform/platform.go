@@ -40,6 +40,20 @@ func Default() *Platform {
 	return New(memsim.DefaultConfig())
 }
 
+// AbortWhen arms the platform's early-abort hook: every everyProbes
+// cache-line probes the running 4-metric cost vector is offered to check,
+// and a true result stops the simulation by panicking with
+// *memsim.Aborted (which the exploration Engine recovers and records as
+// an aborted run). All four metrics only grow as a simulation proceeds,
+// so a check that proves the partial vector already hopeless — e.g.
+// dominated by a finished Pareto-front member beyond a safety margin —
+// is sound: the finished run could only have been worse.
+func (p *Platform) AbortWhen(everyProbes uint64, check func(metrics.Vector) bool) {
+	p.Mem.SetAbortCheck(everyProbes, func() bool {
+		return check(p.Metrics())
+	})
+}
+
 // Metrics snapshots the platform into the 4-metric cost vector: dissipated
 // energy, execution time, memory accesses and peak memory footprint.
 func (p *Platform) Metrics() metrics.Vector {

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/memsim"
+	"repro/internal/metrics"
 	"repro/internal/platform"
 )
 
@@ -51,5 +52,30 @@ func TestCustomConfig(t *testing.T) {
 	fast.Mem.Op(1000)
 	if slow.Metrics().Time <= fast.Metrics().Time {
 		t.Error("halving the clock must increase execution time")
+	}
+}
+
+func TestAbortWhenSeesRunningCosts(t *testing.T) {
+	p := platform.Default()
+	var seen []float64
+	p.AbortWhen(2, func(v metrics.Vector) bool {
+		seen = append(seen, v.Accesses)
+		return v.Accesses >= 8
+	})
+	defer func() {
+		if _, ok := recover().(*memsim.Aborted); !ok {
+			t.Fatal("AbortWhen did not stop the simulation")
+		}
+		if len(seen) == 0 {
+			t.Fatal("check never saw a cost vector")
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				t.Error("running cost vector decreased between checks")
+			}
+		}
+	}()
+	for i := uint32(0); ; i++ {
+		p.Mem.Read(i*64, 4)
 	}
 }

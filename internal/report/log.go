@@ -24,10 +24,15 @@ import (
 
 const logTag = "ddtr"
 
-// WriteResults appends one log line per result to w.
+// WriteResults appends one log line per result to w. Early-aborted
+// results are skipped: their vectors are partial and would poison the
+// Pareto analyses ddt-pareto runs over the log.
 func WriteResults(w io.Writer, results []explore.Result) error {
 	bw := bufio.NewWriter(w)
 	for _, r := range results {
+		if r.Aborted {
+			continue
+		}
 		fmt.Fprintf(bw, "%s|%s|%s|%s|%s|%.9g|%.9g|%.0f|%.0f\n",
 			logTag, r.App, r.Config.TraceName,
 			encodeKnobs(r.Config.Knobs), encodeAssign(r.Assign),
@@ -150,6 +155,8 @@ func decodeAssign(s string) (apps.Assignment, error) {
 
 // WriteCSV exports results as CSV with a header row — the
 // spreadsheet/plotting-friendly counterpart of the native log format.
+// Like WriteResults it skips early-aborted results, whose partial
+// vectors would poison downstream analyses.
 func WriteCSV(w io.Writer, results []explore.Result) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
@@ -159,6 +166,9 @@ func WriteCSV(w io.Writer, results []explore.Result) error {
 		return err
 	}
 	for _, r := range results {
+		if r.Aborted {
+			continue
+		}
 		rec := []string{
 			r.App, r.Config.TraceName,
 			encodeKnobs(r.Config.Knobs), encodeAssign(r.Assign),

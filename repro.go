@@ -18,6 +18,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/apps"
 	"repro/internal/apps/netapps"
 	"repro/internal/core"
@@ -78,10 +80,29 @@ type (
 	ConfigReport = core.ConfigReport
 	// Config identifies one network configuration.
 	Config = explore.Config
-	// Options tune exploration scale.
+	// Options tune exploration scale and Engine behaviour (workers,
+	// cache, early abort, progress).
 	Options = explore.Options
 	// Profile is the container access profile of an application run.
 	Profile = profiler.Set
+
+	// Engine is the streaming exploration driver: bounded worker pool,
+	// lazily generated combination/configuration spaces, incremental
+	// Pareto pruning, simulation cache and optional early abort.
+	Engine = explore.Engine
+	// EngineStats counts the work an Engine actually did (simulated,
+	// cache hits, early aborts).
+	EngineStats = explore.EngineStats
+	// Job is one simulation request streamed through an Engine.
+	Job = explore.Job
+	// Outcome is one streamed simulation outcome.
+	Outcome = explore.Outcome
+	// SimCache memoizes simulation results across runs and processes.
+	SimCache = explore.Cache
+	// SimCacheStats reports cache traffic.
+	SimCacheStats = explore.CacheStats
+	// ExploreResult is the outcome of one simulation inside exploration.
+	ExploreResult = explore.Result
 
 	// PlatformPoint is one candidate platform design in a sweep.
 	PlatformPoint = sweep.PlatformPoint
@@ -167,10 +188,23 @@ func MethodologyFor(appName string, packets int) (Methodology, error) {
 	return Methodology{App: a, Opts: explore.Options{TracePackets: packets}}, nil
 }
 
+// NewEngine builds a streaming exploration Engine for the application.
+// One engine per application is the intended shape: share it across
+// methodology steps, repeated runs and ad-hoc Simulate calls so the
+// simulation cache keeps paying.
+func NewEngine(a App, opts Options) *Engine { return explore.NewEngine(a, opts) }
+
+// NewSimCache returns an empty simulation cache to share between engines
+// (and persist across processes via its Save/Load).
+func NewSimCache() *SimCache { return explore.NewCache() }
+
 // Simulate runs a single simulation: app over the configuration's trace
-// under the assignment — the unit the methodology counts.
+// under the assignment — the unit the methodology counts. It goes through
+// a one-shot Engine; callers running more than one simulation should hold
+// a NewEngine themselves and use its cached Simulate.
 func Simulate(a App, cfg Config, assign Assignment, opts Options) (Vector, Summary, error) {
-	res, err := explore.Simulate(a, cfg, assign, opts)
+	opts.DisableCache = true // a one-shot engine's cache would die with it
+	res, err := explore.NewEngine(a, opts).Simulate(context.Background(), cfg, assign)
 	if err != nil {
 		return Vector{}, Summary{}, err
 	}
