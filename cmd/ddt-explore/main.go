@@ -1,64 +1,111 @@
 // Command ddt-explore runs the 3-step DDT refinement methodology for one
 // network application — the reproduction of the paper's automated
 // exploration driver. It drives the streaming exploration Engine: bounded
-// worker pool, incremental Pareto pruning, simulation cache and optional
-// early abort. It prints the step-by-step summary and can write the
-// per-simulation log that ddt-pareto post-processes.
+// worker pool, incremental Pareto pruning, simulation cache, optional
+// early abort and access-stream capture/replay. It prints the
+// step-by-step summary and can write the per-simulation log that
+// ddt-pareto post-processes.
 //
 // Usage:
 //
 //	ddt-explore -app Route [-packets 8000] [-log route.log] [-charts]
 //	ddt-explore -app Route -workers 4 -early-abort -progress
-//	ddt-explore -app URL -cache url.simcache   # warm across runs
+//	ddt-explore -app URL -cache url.simcache         # warm across runs
+//	ddt-explore -app URL -replay-cache url.replay    # + access streams
+//	ddt-explore -app URL -platforms all              # co-design sweep of
+//	                                                 # the recommendation
+//	ddt-explore -app Route -cpuprofile cpu.pprof     # profile the run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"repro/internal/apps"
 	"repro/internal/apps/netapps"
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/memsim"
 	"repro/internal/metrics"
 	"repro/internal/report"
+	"repro/internal/sweep"
 )
 
+// cliConfig carries every flag of the command.
+type cliConfig struct {
+	app         string
+	packets     int
+	logPath     string
+	csvPath     string
+	charts      bool
+	workers     int
+	earlyAbort  bool
+	abortMargin float64
+	cachePath   string // results-only persistent cache
+	replayCache string // results + access streams persistent cache
+	platforms   string // platform names to evaluate the recommendation on
+	cpuProfile  string
+	memProfile  string
+	progress    bool
+}
+
 func main() {
-	app := flag.String("app", "", "application to explore: "+strings.Join(netapps.Names(), ", "))
-	packets := flag.Int("packets", 8000, "packets per simulation trace")
-	logPath := flag.String("log", "", "write the exploration log (for ddt-pareto)")
-	csvPath := flag.String("csv", "", "write the exploration results as CSV")
-	charts := flag.Bool("charts", false, "print per-configuration Pareto charts")
-	workers := flag.Int("workers", 0, "simulation worker goroutines (0 = all CPUs)")
-	earlyAbort := flag.Bool("early-abort", false, "stop simulations already dominated by the running front (fronts stay exact; full-space charts thin out)")
-	abortMargin := flag.Float64("abort-margin", 0, "early-abort safety margin (0 = default)")
-	cachePath := flag.String("cache", "", "simulation cache file: loaded before the run, saved after")
-	progress := flag.Bool("progress", false, "report streaming progress per step")
+	var c cliConfig
+	flag.StringVar(&c.app, "app", "", "application to explore: "+strings.Join(netapps.Names(), ", "))
+	flag.IntVar(&c.packets, "packets", 8000, "packets per simulation trace")
+	flag.StringVar(&c.logPath, "log", "", "write the exploration log (for ddt-pareto)")
+	flag.StringVar(&c.csvPath, "csv", "", "write the exploration results as CSV")
+	flag.BoolVar(&c.charts, "charts", false, "print per-configuration Pareto charts")
+	flag.IntVar(&c.workers, "workers", 0, "simulation worker goroutines (0 = all CPUs)")
+	flag.BoolVar(&c.earlyAbort, "early-abort", false, "stop simulations already dominated by the running front (fronts stay exact; full-space charts thin out)")
+	flag.Float64Var(&c.abortMargin, "abort-margin", 0, "early-abort safety margin (0 = default)")
+	flag.StringVar(&c.cachePath, "cache", "", "simulation cache file: loaded before the run, saved after")
+	flag.StringVar(&c.replayCache, "replay-cache", "", "like -cache, but also captures and persists access streams, so later runs evaluate new platform configurations by replay instead of re-execution")
+	flag.StringVar(&c.platforms, "platforms", "", "comma-separated platform points (or 'all') to evaluate the best-energy recommendation on by stream replay; names from the default sweep set")
+	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile of the exploration to this file")
+	flag.StringVar(&c.memProfile, "memprofile", "", "write a heap profile (taken after the exploration) to this file")
+	flag.BoolVar(&c.progress, "progress", false, "report streaming progress per step")
 	flag.Parse()
 
-	if err := run(*app, *packets, *logPath, *csvPath, *charts,
-		*workers, *earlyAbort, *abortMargin, *cachePath, *progress); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "ddt-explore:", err)
 		os.Exit(1)
 	}
 }
 
-func run(appName string, packets int, logPath, csvPath string, charts bool,
-	workers int, earlyAbort bool, abortMargin float64, cachePath string, progress bool) error {
-	a, err := netapps.ByName(appName)
+func run(c cliConfig) error {
+	a, err := netapps.ByName(c.app)
 	if err != nil {
 		return err
 	}
-	opts := explore.Options{
-		TracePackets: packets,
-		Workers:      workers,
-		EarlyAbort:   earlyAbort,
-		AbortMargin:  abortMargin,
+	if c.cachePath != "" && c.replayCache != "" {
+		return fmt.Errorf("-cache and -replay-cache are mutually exclusive")
 	}
-	if progress {
+	if c.cpuProfile != "" {
+		f, err := os.Create(c.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opts := explore.Options{
+		TracePackets: c.packets,
+		Workers:      c.workers,
+		EarlyAbort:   c.earlyAbort,
+		AbortMargin:  c.abortMargin,
+	}
+	if c.progress {
 		var lastPct int = -1
 		opts.Progress = func(done, total int) {
 			if pct := 100 * done / total; pct != lastPct {
@@ -70,11 +117,23 @@ func run(appName string, packets int, logPath, csvPath string, charts bool,
 			}
 		}
 	}
+	cachePath := c.cachePath
+	if c.replayCache != "" {
+		cachePath = c.replayCache
+	}
 	cache, err := loadCache(cachePath)
 	if err != nil {
 		return err
 	}
+	if cache == nil && c.platforms != "" {
+		// The platform evaluation replays captured streams; give the run
+		// an in-process cache to hold them.
+		cache = explore.NewCache()
+	}
 	opts.Cache = cache
+	// Capture streams whenever something can replay them later: a
+	// persistent replay cache or an in-run platform evaluation.
+	opts.CaptureStreams = c.replayCache != "" || c.platforms != ""
 	eng := explore.NewEngine(a, opts)
 	m := core.Methodology{App: a, Opts: opts, Engine: eng}
 
@@ -122,10 +181,16 @@ func run(appName string, packets int, logPath, csvPath string, charts bool,
 		report.Percent(r.EnergySaving), report.Percent(r.TimeSaving))
 
 	st := eng.Stats()
-	fmt.Printf("\nexploration wall time: %.1fs (budget %d; engine simulated %d, cache hits %d, early aborts %d)\n",
-		elapsed.Seconds(), r.Reduced, st.Simulated, st.CacheHits, st.Aborted)
+	fmt.Printf("\nexploration wall time: %.1fs (budget %d; engine simulated %d, replayed %d, cache hits %d, early aborts %d)\n",
+		elapsed.Seconds(), r.Reduced, st.Simulated, st.Replayed, st.CacheHits, st.Aborted)
 
-	if charts {
+	if c.platforms != "" {
+		if err := evaluatePlatforms(eng, r, c.platforms); err != nil {
+			return err
+		}
+	}
+
+	if c.charts {
 		for _, cr := range r.Configs {
 			fmt.Println()
 			fmt.Print(report.Scatter(
@@ -138,8 +203,8 @@ func run(appName string, packets int, logPath, csvPath string, charts bool,
 		}
 	}
 
-	if logPath != "" {
-		f, err := os.Create(logPath)
+	if c.logPath != "" {
+		f, err := os.Create(c.logPath)
 		if err != nil {
 			return err
 		}
@@ -153,10 +218,10 @@ func run(appName string, packets int, logPath, csvPath string, charts bool,
 		// Count what WriteResults actually wrote: aborted results carry
 		// partial vectors and are skipped.
 		written := len(explore.Live(r.Step1.Results)) + len(explore.Live(r.Step2.Results))
-		fmt.Printf("\nexploration log written to %s (%d records)\n", logPath, written)
+		fmt.Printf("\nexploration log written to %s (%d records)\n", c.logPath, written)
 	}
-	if csvPath != "" {
-		f, err := os.Create(csvPath)
+	if c.csvPath != "" {
+		f, err := os.Create(c.csvPath)
 		if err != nil {
 			return err
 		}
@@ -165,9 +230,104 @@ func run(appName string, packets int, logPath, csvPath string, charts bool,
 		if err := report.WriteCSV(f, all); err != nil {
 			return err
 		}
-		fmt.Printf("CSV written to %s (%d records)\n", csvPath, len(all))
+		fmt.Printf("CSV written to %s (%d records)\n", c.csvPath, len(all))
 	}
-	return saveCache(cachePath, cache)
+	if c.memProfile != "" {
+		f, err := os.Create(c.memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return saveCache(cachePath, cache, c.replayCache != "")
+}
+
+// evaluatePlatforms answers the co-design question for the run's
+// recommendation: the best-energy combination evaluated across the named
+// platform points by replaying its captured access stream — exact
+// results, no re-execution.
+func evaluatePlatforms(eng *explore.Engine, r *core.Report, names string) error {
+	points, err := platformPoints(names)
+	if err != nil {
+		return err
+	}
+	assign := bestAssignment(r)
+	if assign == nil {
+		return fmt.Errorf("no finished best-energy combination to evaluate")
+	}
+	cfgs := make([]memsim.Config, len(points))
+	for i, p := range points {
+		cfgs[i] = p.Config
+	}
+	start := time.Now()
+	vecs, err := eng.EvaluatePlatforms(context.Background(), r.Reference, assign, cfgs)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("\nco-design: best-energy combination (%s) across %d platform designs (%.1fms, stream replay):\n",
+		r.BestEnergy.Label, len(points), float64(elapsed.Microseconds())/1000)
+	var rows [][]string
+	for i, p := range points {
+		rows = append(rows, []string{
+			p.Name,
+			metrics.FormatEnergy(vecs[i].Energy),
+			metrics.FormatTime(vecs[i].Time),
+			fmt.Sprintf("%.0f", vecs[i].Accesses),
+			fmt.Sprintf("%.0fB", vecs[i].Footprint),
+		})
+	}
+	fmt.Println(report.Table([]string{"platform", "energy", "time", "accesses", "footprint"}, rows))
+	return nil
+}
+
+// platformPoints resolves a comma-separated list of platform names (or
+// "all") against the default sweep set.
+func platformPoints(names string) ([]sweep.PlatformPoint, error) {
+	all := sweep.DefaultPlatforms()
+	if names == "all" {
+		return all, nil
+	}
+	byName := make(map[string]sweep.PlatformPoint, len(all))
+	known := make([]string, 0, len(all))
+	for _, p := range all {
+		byName[p.Name] = p
+		known = append(known, p.Name)
+	}
+	var out []sweep.PlatformPoint
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		p, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown platform %q (known: %s)", n, strings.Join(known, ", "))
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no platforms selected")
+	}
+	return out, nil
+}
+
+// bestAssignment recovers the full assignment of the report's
+// best-energy combination from the step-1 survivors.
+func bestAssignment(r *core.Report) apps.Assignment {
+	for _, sv := range r.Step1.Survivors {
+		if sv.Label() == r.BestEnergy.Label {
+			return sv.Assign
+		}
+	}
+	return nil
 }
 
 // loadCache opens the persistent simulation cache, tolerating a missing
@@ -188,12 +348,15 @@ func loadCache(path string) (*explore.Cache, error) {
 	if err := cache.Load(f); err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "loaded %d cached simulations from %s\n", cache.Len(), path)
+	stats := cache.Stats()
+	fmt.Fprintf(os.Stderr, "loaded %d cached simulations (%d access streams) from %s\n",
+		stats.Entries, stats.Streams, path)
 	return cache, nil
 }
 
-// saveCache persists the cache for the next run.
-func saveCache(path string, cache *explore.Cache) error {
+// saveCache persists the cache for the next run; withStreams additionally
+// persists the captured access streams (-replay-cache).
+func saveCache(path string, cache *explore.Cache, withStreams bool) error {
 	if path == "" || cache == nil {
 		return nil
 	}
@@ -201,13 +364,23 @@ func saveCache(path string, cache *explore.Cache) error {
 	if err != nil {
 		return err
 	}
-	if err := cache.Save(f); err != nil {
+	save := cache.Save
+	if withStreams {
+		save = cache.SaveWithStreams
+	}
+	if err := save(f); err != nil {
 		f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("simulation cache saved to %s (%d entries)\n", path, cache.Len())
+	stats := cache.Stats()
+	if withStreams {
+		fmt.Printf("simulation cache saved to %s (%d entries, %d access streams, %dKB of streams)\n",
+			path, stats.Entries, stats.Streams, stats.StreamBytes>>10)
+	} else {
+		fmt.Printf("simulation cache saved to %s (%d entries)\n", path, stats.Entries)
+	}
 	return nil
 }

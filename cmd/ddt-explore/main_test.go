@@ -10,12 +10,18 @@ import (
 	"repro/internal/report"
 )
 
+// base returns the minimal CLI config the tests start from.
+func base(app string) cliConfig {
+	return cliConfig{app: app, packets: 300}
+}
+
 func TestRunWritesLog(t *testing.T) {
-	logPath := filepath.Join(t.TempDir(), "url.log")
-	if err := run("URL", 300, logPath, "", false, 0, false, 0, "", false); err != nil {
+	c := base("URL")
+	c.logPath = filepath.Join(t.TempDir(), "url.log")
+	if err := run(c); err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.Open(logPath)
+	f, err := os.Open(c.logPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,29 +42,36 @@ func TestRunWritesLog(t *testing.T) {
 }
 
 func TestRunWithCharts(t *testing.T) {
-	if err := run("DRR", 300, "", "", true, 2, true, 0, "", false); err != nil {
+	c := base("DRR")
+	c.charts = true
+	c.workers = 2
+	c.earlyAbort = true
+	if err := run(c); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownApp(t *testing.T) {
-	if err := run("Quake", 300, "", "", false, 0, false, 0, "", false); err == nil {
+	if err := run(base("Quake")); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 }
 
 func TestRunBadLogPath(t *testing.T) {
-	if err := run("URL", 300, "/nonexistent-dir/x.log", "", false, 0, false, 0, "", false); err == nil {
+	c := base("URL")
+	c.logPath = "/nonexistent-dir/x.log"
+	if err := run(c); err == nil {
 		t.Fatal("unwritable log path accepted")
 	}
 }
 
 func TestRunWritesCSV(t *testing.T) {
-	csvPath := filepath.Join(t.TempDir(), "url.csv")
-	if err := run("URL", 300, "", csvPath, false, 0, false, 0, "", false); err != nil {
+	c := base("URL")
+	c.csvPath = filepath.Join(t.TempDir(), "url.csv")
+	if err := run(c); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(csvPath)
+	data, err := os.ReadFile(c.csvPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,19 +85,20 @@ func TestRunWritesCSV(t *testing.T) {
 }
 
 func TestRunPersistsSimulationCache(t *testing.T) {
-	cachePath := filepath.Join(t.TempDir(), "url.simcache")
-	if err := run("URL", 300, "", "", false, 0, false, 0, cachePath, false); err != nil {
+	c := base("URL")
+	c.cachePath = filepath.Join(t.TempDir(), "url.simcache")
+	if err := run(c); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(cachePath); err != nil {
+	if _, err := os.Stat(c.cachePath); err != nil {
 		t.Fatalf("cache file not written: %v", err)
 	}
 	// A second run must reload the cache and produce the same artifacts.
-	logPath := filepath.Join(t.TempDir(), "url.log")
-	if err := run("URL", 300, logPath, "", false, 0, false, 0, cachePath, false); err != nil {
+	c.logPath = filepath.Join(t.TempDir(), "url.log")
+	if err := run(c); err != nil {
 		t.Fatal(err)
 	}
-	f, err := os.Open(logPath)
+	f, err := os.Open(c.logPath)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,5 +109,82 @@ func TestRunPersistsSimulationCache(t *testing.T) {
 	}
 	if len(results) < 100 {
 		t.Fatalf("warm run logged %d results, want >= 100", len(results))
+	}
+}
+
+func TestRunReplayCachePersistsStreams(t *testing.T) {
+	c := base("URL")
+	c.replayCache = filepath.Join(t.TempDir(), "url.replay")
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	replayInfo, err := os.Stat(c.replayCache)
+	if err != nil {
+		t.Fatalf("replay cache not written: %v", err)
+	}
+	// A results-only cache of the same run must be much smaller than the
+	// stream-bearing one.
+	lean := base("URL")
+	lean.cachePath = filepath.Join(t.TempDir(), "url.simcache")
+	if err := run(lean); err != nil {
+		t.Fatal(err)
+	}
+	leanInfo, err := os.Stat(lean.cachePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayInfo.Size() <= leanInfo.Size() {
+		t.Fatalf("replay cache (%dB) not larger than results-only cache (%dB); streams missing",
+			replayInfo.Size(), leanInfo.Size())
+	}
+	// Reloading the replay cache must work.
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCacheFlagsExclusive(t *testing.T) {
+	c := base("URL")
+	c.cachePath = filepath.Join(t.TempDir(), "a")
+	c.replayCache = filepath.Join(t.TempDir(), "b")
+	if err := run(c); err == nil {
+		t.Fatal("-cache together with -replay-cache accepted")
+	}
+}
+
+func TestRunEvaluatesPlatforms(t *testing.T) {
+	c := base("URL")
+	c.platforms = "all"
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	c.platforms = "tiny-4K-64K, midrange-32K-512K"
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	c.platforms = "no-such-platform"
+	if err := run(c); err == nil {
+		t.Fatal("unknown platform name accepted")
+	}
+}
+
+func TestRunWritesProfiles(t *testing.T) {
+	c := base("URL")
+	c.cpuProfile = filepath.Join(t.TempDir(), "cpu.pprof")
+	c.memProfile = filepath.Join(t.TempDir(), "mem.pprof")
+	if err := run(c); err != nil {
+		t.Fatal(err)
+	}
+	// CPU profile is finalized by StopCPUProfile when run returns; the
+	// file must exist and the heap profile must be non-empty.
+	if _, err := os.Stat(c.cpuProfile); err != nil {
+		t.Fatalf("cpu profile missing: %v", err)
+	}
+	info, err := os.Stat(c.memProfile)
+	if err != nil {
+		t.Fatalf("heap profile missing: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("heap profile empty")
 	}
 }

@@ -1,0 +1,94 @@
+package astream_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/route"
+	"repro/internal/astream"
+	"repro/internal/memsim"
+	"repro/internal/platform"
+	"repro/internal/trace"
+)
+
+// The capture/replay cost model on a real workload: one Route execution
+// recorded once, then evaluated under other platform configurations by
+// replay. The interesting ratios are capture overhead vs a plain live
+// run, single replay vs live, and the marginal cost of each extra
+// configuration in a multi-config pass.
+
+const benchPackets = 2000
+
+func routeTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	a := route.App{}
+	tr, err := trace.Builtin(a.TraceNames()[0], benchPackets)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+func runRoute(b *testing.B, p *platform.Platform, tr *trace.Trace) {
+	b.Helper()
+	a := route.App{}
+	if _, err := a.Run(tr, p, apps.Original(a), a.DefaultKnobs(), nil); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func captureRoute(b *testing.B, tr *trace.Trace) *astream.Stream {
+	b.Helper()
+	p := platform.New(memsim.DefaultConfig())
+	rec := astream.NewRecorder()
+	p.Capture(rec)
+	runRoute(b, p, tr)
+	p.EndCapture()
+	return rec.Finish(false)
+}
+
+func sweepConfigs() []memsim.Config {
+	base := memsim.DefaultConfig()
+	out := make([]memsim.Config, 4)
+	for i := range out {
+		c := base
+		c.L1.SizeBytes = 4 << (10 + i)
+		c.L2.SizeBytes = 64 << (10 + i)
+		out[i] = c
+	}
+	return out
+}
+
+func BenchmarkCaptureRoute(b *testing.B) {
+	tr := routeTrace(b)
+	b.Run("live", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runRoute(b, platform.New(memsim.DefaultConfig()), tr)
+		}
+	})
+	b.Run("capture", func(b *testing.B) {
+		var bytes, events int64
+		for i := 0; i < b.N; i++ {
+			s := captureRoute(b, tr)
+			bytes, events = int64(s.SizeBytes()), int64(s.NumEvents)
+		}
+		b.ReportMetric(float64(bytes), "stream-B")
+		b.ReportMetric(float64(events), "events")
+	})
+	s := captureRoute(b, tr)
+	b.Run("replay-1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := astream.Replay(s, memsim.DefaultConfig(), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cfgs := sweepConfigs()
+	b.Run("replay-multi-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := astream.ReplayMulti(s, cfgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package astream
+
+import (
+	"errors"
+
+	"repro/internal/memsim"
+)
+
+// ErrPartial is returned when a partial (aborted-capture) stream is asked
+// to replay: the recorded prefix proves nothing about the full run, so
+// replaying it across configurations would poison results.
+var ErrPartial = errors.New("astream: stream is partial (aborted capture); refusing to replay")
+
+// Cost is the outcome of replaying a stream against one platform
+// configuration: exactly the Counts, cycle total and footprint peak a
+// live execution of the same application run on that configuration would
+// produce (the replay-equivalence property tests pin this bit-for-bit).
+type Cost struct {
+	Counts memsim.Counts
+	Cycles uint64
+	Peak   uint64 // footprint high-water mark, bytes
+	// Aborted marks a guarded replay the guard stopped; Counts, Cycles
+	// and Peak then hold the partial totals at the stop.
+	Aborted bool
+}
+
+// GuardFunc is polled during a guarded replay with the running partial
+// cost; returning true stops the replay (the Cost comes back Aborted).
+// All components of a Cost only grow as the replay proceeds, so the same
+// dominance arguments that make live early abort sound apply unchanged.
+// The poll cadence is one check per decoded batch — the same order of
+// magnitude as the live simulation's probe-count cadence.
+type GuardFunc func(Cost) bool
+
+// costOf merges the platform-invariant counters with one LineSim's probe
+// outcomes into the exact cost vector ingredients.
+func costOf(cfg memsim.Config, ls *memsim.LineSim, inv memsim.Counts, peak uint64) Cost {
+	inv.L1Hits = ls.L1Hits
+	inv.L2Hits = ls.L2Hits
+	inv.DRAMFills = ls.DRAMFills
+	return Cost{Counts: inv, Cycles: cfg.CyclesFor(inv, ls.Pipelined()), Peak: peak}
+}
+
+// Replay evaluates the stream under cfg without re-running the
+// application: one decode pass drives the configuration's cache model
+// with the recorded access sequence while the platform-invariant
+// counters (word counts, ALU cycles, footprint) are reconstructed
+// arithmetically. guard, when non-nil, is polled once per batch; a true
+// result stops the replay and returns the partial Cost with Aborted set.
+func Replay(s *Stream, cfg memsim.Config, guard GuardFunc) (Cost, error) {
+	if s.Partial {
+		return Cost{}, ErrPartial
+	}
+	var (
+		ls  = memsim.NewLineSim(cfg)
+		inv memsim.Counts
+		d   = decoder{s: s}
+		b   batch
+	)
+	for {
+		more, err := d.next(&b)
+		if err != nil {
+			return Cost{}, err
+		}
+		inv.ReadWords += b.readWords
+		inv.WriteWords += b.writeWords
+		inv.OpCycles += b.opCycles
+		ls.ProbeAccesses(b.addr[:b.nAcc], b.size[:b.nAcc])
+		if !more {
+			break
+		}
+		if guard != nil {
+			if snap := costOf(cfg, ls, inv, b.peak); guard(snap) {
+				snap.Aborted = true
+				return snap, nil
+			}
+		}
+	}
+	return costOf(cfg, ls, inv, b.peak), nil
+}
+
+// ReplayMulti evaluates K configurations in a single pass over the
+// stream: one decode, K cache models. This is the multi-platform fast
+// path — the decode and invariant accounting are paid once, and each
+// extra configuration costs only its own probe kernel over the shared
+// batch.
+func ReplayMulti(s *Stream, cfgs []memsim.Config) ([]Cost, error) {
+	if s.Partial {
+		return nil, ErrPartial
+	}
+	sims := make([]*memsim.LineSim, len(cfgs))
+	for k, cfg := range cfgs {
+		sims[k] = memsim.NewLineSim(cfg)
+	}
+	var (
+		inv  memsim.Counts
+		peak uint64
+		d    = decoder{s: s}
+		b    batch
+	)
+	for {
+		more, err := d.next(&b)
+		if err != nil {
+			return nil, err
+		}
+		inv.ReadWords += b.readWords
+		inv.WriteWords += b.writeWords
+		inv.OpCycles += b.opCycles
+		peak = b.peak
+		addrs, sizes := b.addr[:b.nAcc], b.size[:b.nAcc]
+		for _, ls := range sims {
+			ls.ProbeAccesses(addrs, sizes)
+		}
+		if !more {
+			break
+		}
+	}
+	out := make([]Cost, len(cfgs))
+	for k, cfg := range cfgs {
+		out[k] = costOf(cfg, sims[k], inv, peak)
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -8,7 +9,9 @@ import (
 	"sync/atomic"
 
 	"repro/internal/apps"
+	"repro/internal/astream"
 	"repro/internal/memsim"
+	"repro/internal/profiler"
 )
 
 // Cache memoizes finished simulation results. The key identifies a
@@ -18,6 +21,21 @@ import (
 // level exploration re-visits step-1 points, sweeps revisit whole
 // configurations, and repeated CLI runs (via Save/Load) revisit entire
 // explorations; the cache turns all of those into lookups.
+//
+// Beside finished results the cache holds two platform-invariant stores
+// keyed by the simulation identity *minus* the platform configuration:
+//
+//   - Access streams (internal/astream): the word-access stream of an
+//     executed simulation, captured once. Any other platform point for
+//     the same (app, config, packets, assignment) is then served by
+//     replaying the stream instead of re-running the application — the
+//     capture-once / replay-many fast path of multi-platform sweeps.
+//     Streams are byte-budgeted (SetStreamBudget); eviction only costs a
+//     potential re-execution later. Partial streams (from aborted
+//     captures) are stored tagged but never replayed.
+//   - Profiles: dominance profiling attributes accesses per container
+//     role, which is platform-invariant, so a sweep profiles each
+//     network configuration once rather than once per platform point.
 //
 // Aborted results are stored as dominance tombstones: the partial vector
 // plus the proof (by construction) that an identical exploration already
@@ -29,7 +47,17 @@ type Cache struct {
 	mu sync.RWMutex
 	m  map[string]cacheEntry
 
-	hits, misses atomic.Uint64
+	sm           sync.RWMutex
+	streams      map[string]streamEntry
+	streamOrder  []string // insertion order, for budget eviction
+	streamBytes  int64
+	streamBudget int64
+
+	pm       sync.Mutex
+	profiles map[string]*profiler.Set
+
+	hits, misses             atomic.Uint64
+	streamHits, streamMisses atomic.Uint64
 }
 
 // cacheEntry is one memoized simulation. Ctx tags tombstones with the
@@ -41,15 +69,50 @@ type cacheEntry struct {
 	Ctx    string
 }
 
+// streamEntry is one captured access stream plus the platform-invariant
+// identity and behavioural summary of the run that produced it. The
+// identity fields let ReplayPlatforms enumerate streams and store exact
+// per-platform results without re-deriving keys from the outside.
+type streamEntry struct {
+	App     string
+	Cfg     Config
+	Assign  apps.Assignment
+	Packets int
+	Stream  *astream.Stream
+	Summary apps.Summary
+}
+
+// DefaultStreamBudget bounds the encoded bytes of retained access
+// streams: generous enough to hold a full step-1 combination space at
+// benchmark scale, small enough to keep multi-application sweeps from
+// growing without bound.
+const DefaultStreamBudget = 256 << 20
+
 // NewCache returns an empty simulation cache.
 func NewCache() *Cache {
-	return &Cache{m: make(map[string]cacheEntry)}
+	return &Cache{
+		m:            make(map[string]cacheEntry),
+		streams:      make(map[string]streamEntry),
+		streamBudget: DefaultStreamBudget,
+	}
+}
+
+// SetStreamBudget overrides the byte budget for retained access streams.
+// A non-positive budget disables stream retention entirely.
+func (c *Cache) SetStreamBudget(bytes int64) {
+	c.sm.Lock()
+	c.streamBudget = bytes
+	c.evictLocked()
+	c.sm.Unlock()
 }
 
 // CacheStats reports cache traffic since construction (or Load).
 type CacheStats struct {
-	Hits, Misses uint64
-	Entries      int
+	Hits, Misses             uint64
+	Entries                  int
+	Streams                  int   // retained access streams
+	StreamBytes              int64 // encoded bytes of retained streams
+	StreamHits, StreamMisses uint64
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -57,7 +120,14 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.RLock()
 	n := len(c.m)
 	c.mu.RUnlock()
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	c.sm.RLock()
+	ns, nb := len(c.streams), c.streamBytes
+	c.sm.RUnlock()
+	return CacheStats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n,
+		Streams: ns, StreamBytes: nb,
+		StreamHits: c.streamHits.Load(), StreamMisses: c.streamMisses.Load(),
+	}
 }
 
 // Len returns the number of cached simulations.
@@ -92,36 +162,206 @@ func (c *Cache) store(key string, r Result, ctx string) {
 	c.mu.Unlock()
 }
 
-// Save serializes the cache contents to w (gob). Counters are not saved.
-func (c *Cache) Save(w io.Writer) error {
-	c.mu.RLock()
-	snapshot := make(map[string]cacheEntry, len(c.m))
-	for k, v := range c.m {
-		snapshot[k] = v
+// lookupStream returns the complete captured stream for the platform-
+// invariant key, with a defensive copy of its summary. Partial streams
+// never hit: the recorded prefix of an aborted run proves nothing about
+// the full run.
+func (c *Cache) lookupStream(key string) (*astream.Stream, apps.Summary, bool) {
+	c.sm.RLock()
+	e, ok := c.streams[key]
+	c.sm.RUnlock()
+	if !ok || e.Stream.Partial {
+		c.streamMisses.Add(1)
+		return nil, apps.Summary{}, false
 	}
-	c.mu.RUnlock()
-	return gob.NewEncoder(w).Encode(snapshot)
+	c.streamHits.Add(1)
+	return e.Stream, cloneSummary(e.Summary), true
 }
 
-// Load merges previously saved cache contents from r, overwriting entries
-// with equal keys. It is how repeated CLI runs skip simulations earlier
-// runs already paid for.
+// storeStream retains a captured stream under the platform-invariant
+// key. A partial stream never replaces a complete one; budget overflow
+// evicts the oldest streams first (a pure performance loss, never a
+// correctness one). Streams are immutable once stored.
+func (c *Cache) storeStream(key string, e streamEntry) {
+	c.sm.Lock()
+	defer c.sm.Unlock()
+	if c.streamBudget <= 0 {
+		return
+	}
+	if old, ok := c.streams[key]; ok {
+		if e.Stream.Partial && !old.Stream.Partial {
+			return
+		}
+		c.streamBytes -= int64(old.Stream.SizeBytes())
+	} else {
+		c.streamOrder = append(c.streamOrder, key)
+	}
+	e.Cfg.Knobs = e.Cfg.Knobs.Clone()
+	e.Assign = e.Assign.Clone()
+	e.Summary = cloneSummary(e.Summary)
+	c.streams[key] = e
+	c.streamBytes += int64(e.Stream.SizeBytes())
+	c.evictLocked()
+}
+
+// streamEntries snapshots the retained streams (complete and partial).
+func (c *Cache) streamEntries() []streamEntry {
+	c.sm.RLock()
+	defer c.sm.RUnlock()
+	out := make([]streamEntry, 0, len(c.streams))
+	for _, e := range c.streams {
+		out = append(out, e)
+	}
+	return out
+}
+
+// has reports whether a finished (non-tombstone) result exists for key,
+// without touching the hit/miss counters.
+func (c *Cache) has(key string) bool {
+	c.mu.RLock()
+	e, ok := c.m[key]
+	c.mu.RUnlock()
+	return ok && !e.Result.Aborted
+}
+
+// evictLocked drops the oldest streams until the budget holds. Called
+// with sm held.
+func (c *Cache) evictLocked() {
+	for c.streamBytes > c.streamBudget && len(c.streamOrder) > 0 {
+		key := c.streamOrder[0]
+		c.streamOrder = c.streamOrder[1:]
+		if e, ok := c.streams[key]; ok {
+			c.streamBytes -= int64(e.Stream.SizeBytes())
+			delete(c.streams, key)
+		}
+	}
+	if len(c.streamOrder) == 0 {
+		c.streamOrder = nil
+	}
+}
+
+// lookupProfile returns the memoized dominance profile for the platform-
+// invariant key. Profiles are shared, not copied: a profiler.Set is
+// effectively immutable once the profiling run finishes.
+func (c *Cache) lookupProfile(key string) *profiler.Set {
+	c.pm.Lock()
+	defer c.pm.Unlock()
+	return c.profiles[key]
+}
+
+// storeProfile memoizes a dominance profile.
+func (c *Cache) storeProfile(key string, p *profiler.Set) {
+	c.pm.Lock()
+	if c.profiles == nil {
+		c.profiles = make(map[string]*profiler.Set)
+	}
+	c.profiles[key] = p
+	c.pm.Unlock()
+}
+
+// cacheFile is the persistent form of a Cache. Streams are optional
+// (SaveWithStreams); profiles are runtime-only.
+type cacheFile struct {
+	Entries map[string]cacheEntry
+	Streams map[string]streamEntry
+}
+
+// Save serializes the cached results to w (gob), without the access
+// streams; use SaveWithStreams to persist those too. Counters are not
+// saved.
+func (c *Cache) Save(w io.Writer) error {
+	return c.save(w, false)
+}
+
+// SaveWithStreams serializes the cached results and the retained access
+// streams, so a later process can replay new platform points without
+// re-executing anything.
+func (c *Cache) SaveWithStreams(w io.Writer) error {
+	return c.save(w, true)
+}
+
+func (c *Cache) save(w io.Writer, withStreams bool) error {
+	var f cacheFile
+	c.mu.RLock()
+	f.Entries = make(map[string]cacheEntry, len(c.m))
+	for k, v := range c.m {
+		f.Entries[k] = v
+	}
+	c.mu.RUnlock()
+	if withStreams {
+		c.sm.RLock()
+		f.Streams = make(map[string]streamEntry, len(c.streams))
+		for k, v := range c.streams {
+			f.Streams[k] = v
+		}
+		c.sm.RUnlock()
+	}
+	return gob.NewEncoder(w).Encode(f)
+}
+
+// Load merges previously saved cache contents from r, overwriting
+// entries with equal keys (except that a loaded partial stream never
+// replaces a complete one, mirroring storeStream). It is how repeated
+// CLI runs skip simulations earlier runs already paid for. Cache files
+// written before the access-stream format (a bare entry map) still load.
 func (c *Cache) Load(r io.Reader) error {
-	var loaded map[string]cacheEntry
-	if err := gob.NewDecoder(r).Decode(&loaded); err != nil {
+	raw, err := io.ReadAll(r)
+	if err != nil {
 		return fmt.Errorf("explore: loading simulation cache: %w", err)
 	}
+	var f cacheFile
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&f); err != nil {
+		// Pre-stream format: the file is the entry map itself.
+		f = cacheFile{}
+		if legacyErr := gob.NewDecoder(bytes.NewReader(raw)).Decode(&f.Entries); legacyErr != nil {
+			return fmt.Errorf("explore: loading simulation cache: %w", err)
+		}
+	}
 	c.mu.Lock()
-	for k, v := range loaded {
+	for k, v := range f.Entries {
 		c.m[k] = v
 	}
 	c.mu.Unlock()
+	c.sm.Lock()
+	for k, v := range f.Streams {
+		if old, ok := c.streams[k]; !ok {
+			c.streamOrder = append(c.streamOrder, k)
+		} else {
+			if v.Stream.Partial && !old.Stream.Partial {
+				continue
+			}
+			c.streamBytes -= int64(old.Stream.SizeBytes())
+		}
+		c.streams[k] = v
+		c.streamBytes += int64(v.Stream.SizeBytes())
+	}
+	c.evictLocked()
+	c.sm.Unlock()
 	return nil
 }
 
-// cacheKey renders the complete identity of one simulation.
+// cacheKey renders the complete identity of one simulation: the
+// platform-invariant part (streamKey) plus the platform configuration.
 func cacheKey(app string, cfg Config, assign apps.Assignment, packets int, platform memsim.Config) string {
-	return fmt.Sprintf("%s|%s|%d|%s|%+v", app, cfg, packets, assign, platform)
+	return fmt.Sprintf("%s|%+v", streamKey(app, cfg, assign, packets), platform)
+}
+
+// streamKey renders the platform-invariant part of a simulation's
+// identity — everything that determines the word-access stream.
+func streamKey(app string, cfg Config, assign apps.Assignment, packets int) string {
+	return fmt.Sprintf("%s|%s|%d|%s", app, cfg, packets, assign)
+}
+
+// cloneSummary deep-copies a behavioural summary.
+func cloneSummary(s apps.Summary) apps.Summary {
+	if s.Events != nil {
+		events := make(map[string]int, len(s.Events))
+		for k, v := range s.Events {
+			events[k] = v
+		}
+		s.Events = events
+	}
+	return s
 }
 
 // cloneResult deep-copies the maps a Result carries so cached entries and
@@ -129,12 +369,6 @@ func cacheKey(app string, cfg Config, assign apps.Assignment, packets int, platf
 func cloneResult(r Result) Result {
 	r.Config.Knobs = r.Config.Knobs.Clone()
 	r.Assign = r.Assign.Clone()
-	if r.Summary.Events != nil {
-		events := make(map[string]int, len(r.Summary.Events))
-		for k, v := range r.Summary.Events {
-			events[k] = v
-		}
-		r.Summary.Events = events
-	}
+	r.Summary = cloneSummary(r.Summary)
 	return r
 }

@@ -1,0 +1,79 @@
+package explore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/astream"
+)
+
+// TestLoadLegacyCacheFormat pins that cache files written before the
+// access-stream format — a bare gob entry map — still load.
+func TestLoadLegacyCacheFormat(t *testing.T) {
+	legacy := map[string]cacheEntry{
+		"k1": {Result: Result{App: "URL"}, Ctx: "prune=0 k=2"},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(legacy); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache()
+	if err := c.Load(&buf); err != nil {
+		t.Fatalf("legacy cache rejected: %v", err)
+	}
+	if r, ok := c.lookup("k1", false, ""); !ok || r.App != "URL" {
+		t.Fatalf("legacy entry missing: %+v ok=%v", r, ok)
+	}
+	// Garbage must still error.
+	if err := NewCache().Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("garbage cache file accepted")
+	}
+}
+
+// mkStream records one tiny stream, optionally partial.
+func mkStream(partial bool) *astream.Stream {
+	rec := astream.NewRecorder()
+	rec.RecordAccess(false, 0x1000_0000, 4, 2)
+	return rec.Finish(partial)
+}
+
+// TestLoadPartialDoesNotReplaceComplete pins that merging a saved cache
+// whose stream for a key is partial never clobbers a complete stream
+// already held in memory — the same invariant storeStream enforces.
+func TestLoadPartialDoesNotReplaceComplete(t *testing.T) {
+	donor := NewCache()
+	donor.storeStream("K", streamEntry{App: "URL", Packets: 300, Stream: mkStream(true)})
+	var buf bytes.Buffer
+	if err := donor.SaveWithStreams(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache()
+	c.storeStream("K", streamEntry{App: "URL", Packets: 300, Stream: mkStream(false)})
+	if err := c.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if st, _, ok := c.lookupStream("K"); !ok || st.Partial {
+		t.Fatalf("complete stream lost to a loaded partial (ok=%v)", ok)
+	}
+	// The reverse direction: loading a complete stream over a partial
+	// one must upgrade it.
+	donor2 := NewCache()
+	donor2.storeStream("K", streamEntry{App: "URL", Packets: 300, Stream: mkStream(false)})
+	var buf2 bytes.Buffer
+	if err := donor2.SaveWithStreams(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCache()
+	c2.storeStream("K", streamEntry{App: "URL", Packets: 300, Stream: mkStream(true)})
+	if err := c2.Load(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c2.lookupStream("K"); !ok {
+		t.Fatal("loaded complete stream did not replace the partial one")
+	}
+	if c2.Stats().StreamBytes <= 0 {
+		t.Fatal("stream byte accounting broken after merge")
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"sync/atomic"
 
 	"repro/internal/apps"
+	"repro/internal/astream"
 	"repro/internal/ddt"
+	"repro/internal/energy"
 	"repro/internal/memsim"
 	"repro/internal/metrics"
 	"repro/internal/pareto"
@@ -46,6 +48,7 @@ type Outcome struct {
 	Result    Result
 	Err       error
 	FromCache bool // served from the simulation cache, nothing simulated
+	Replayed  bool // served by replaying a captured access stream
 	Aborted   bool // stopped early by the dominance guard; Result.Vec is partial
 }
 
@@ -54,8 +57,9 @@ type Outcome struct {
 // simulation budget regardless of how cheaply each point was obtained.
 type EngineStats struct {
 	Simulated int // simulations executed to completion
+	Replayed  int // results produced by replaying captured access streams
 	CacheHits int // results served from the cache
-	Aborted   int // simulations stopped early by the dominance guard
+	Aborted   int // simulations (live or replayed) stopped early by the dominance guard
 }
 
 // Engine is the streaming exploration driver: it expands combination and
@@ -83,6 +87,7 @@ type Engine struct {
 	profiles map[string]*profiler.Set
 
 	simulated atomic.Int64
+	replayed  atomic.Int64
 	cacheHits atomic.Int64
 	aborted   atomic.Int64
 }
@@ -119,6 +124,7 @@ func (e *Engine) Cache() *Cache { return e.cache }
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
 		Simulated: int(e.simulated.Load()),
+		Replayed:  int(e.replayed.Load()),
 		CacheHits: int(e.cacheHits.Load()),
 		Aborted:   int(e.aborted.Load()),
 	}
@@ -272,11 +278,14 @@ func (e *Engine) stream(ctx context.Context, jobs iter.Seq[Job], guardFor func(J
 	return out
 }
 
-// runJob resolves one job: cache lookup, then a (possibly guarded)
-// simulation, then cache fill.
+// runJob resolves one job along the cheapest sound path: exact-key cache
+// lookup, then replay of a captured access stream for the same platform-
+// invariant identity, then a (possibly guarded) live simulation — which,
+// when capture is on, records the stream so every other platform point
+// of this identity becomes a replay. All three paths fill the cache.
 func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
 	o := Outcome{Index: idx, Job: jb}
-	var key string
+	var key, skey string
 	if e.cache != nil {
 		key = cacheKey(e.app.Name(), jb.Cfg, jb.Assign, e.opts.packets(), e.opts.platformConfig())
 		// A guarded stream may reuse a dominance tombstone: the job space
@@ -289,6 +298,13 @@ func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
 			o.Aborted = r.Aborted
 			return o
 		}
+		if e.opts.CaptureStreams {
+			skey = streamKey(e.app.Name(), jb.Cfg, jb.Assign, e.opts.packets())
+			if st, sum, ok := e.cache.lookupStream(skey); ok && e.replayJob(&o, st, sum, jb, guard) {
+				e.cache.store(key, o.Result, e.exploreCtx)
+				return o
+			}
+		}
 	}
 	tr, err := loadTrace(jb.Cfg.TraceName, e.opts.packets())
 	if err != nil {
@@ -299,10 +315,24 @@ func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
 	if guard != nil {
 		p.AbortWhen(abortCheckProbes, guard.dominatedBeyond)
 	}
+	var rec *astream.Recorder
+	if skey != "" {
+		rec = astream.NewRecorder()
+		p.Capture(rec)
+	}
 	sum, abortedRun, err := runRecovering(e.app, tr, p, jb.Assign, jb.Cfg.Knobs)
 	if err != nil {
 		o.Err = fmt.Errorf("explore: %s on %s: %w", e.app.Name(), jb.Cfg, err)
 		return o
+	}
+	if rec != nil {
+		// Aborted runs leave a partial stream: retained (tagged) for
+		// inspection, never replayed.
+		p.EndCapture()
+		e.cache.storeStream(skey, streamEntry{
+			App: e.app.Name(), Cfg: jb.Cfg, Assign: jb.Assign, Packets: e.opts.packets(),
+			Stream: rec.Finish(abortedRun), Summary: sum,
+		})
 	}
 	o.Result = Result{
 		App:     e.app.Name(),
@@ -322,6 +352,55 @@ func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
 		e.cache.store(key, o.Result, e.exploreCtx) // aborted results become tombstones
 	}
 	return o
+}
+
+// replayVector assembles the cost vector a live platform.Metrics would
+// report from a replay outcome: same energy model, same seconds
+// conversion, exact counts.
+func replayVector(cfg memsim.Config, model energy.Model, c astream.Cost) metrics.Vector {
+	seconds := float64(c.Cycles) / cfg.ClockHz
+	return metrics.Vector{
+		Energy:    model.Energy(c.Counts, seconds),
+		Time:      seconds,
+		Accesses:  float64(c.Counts.Accesses()),
+		Footprint: float64(c.Peak),
+	}
+}
+
+// replayJob satisfies a job by replaying a captured access stream
+// against the engine's platform, with the early-abort guard (when
+// present) polled on the running partial vector exactly as a live
+// simulation would be. It reports false when the stream cannot be used
+// (decode error), sending the caller down the live-execution path.
+func (e *Engine) replayJob(o *Outcome, st *astream.Stream, sum apps.Summary, jb Job, guard *frontGuard) bool {
+	cfg := e.opts.platformConfig()
+	model := energy.CACTILike(cfg)
+	var g astream.GuardFunc
+	if guard != nil {
+		g = func(c astream.Cost) bool {
+			return guard.dominatedBeyond(replayVector(cfg, model, c))
+		}
+	}
+	cost, err := astream.Replay(st, cfg, g)
+	if err != nil {
+		return false
+	}
+	o.Result = Result{
+		App:     e.app.Name(),
+		Config:  jb.Cfg,
+		Assign:  jb.Assign,
+		Vec:     replayVector(cfg, model, cost),
+		Summary: sum,
+		Aborted: cost.Aborted,
+	}
+	o.Replayed = true
+	o.Aborted = cost.Aborted
+	if cost.Aborted {
+		e.aborted.Add(1)
+	} else {
+		e.replayed.Add(1)
+	}
+	return true
 }
 
 // runRecovering executes the application run and converts the memsim
@@ -354,7 +433,9 @@ func (e *Engine) Simulate(ctx context.Context, cfg Config, assign apps.Assignmen
 // Profile runs the profiling sub-step through the engine: the application
 // with its original DDTs and a probe on every candidate container.
 // Profiling runs are memoized per configuration for the engine's
-// lifetime.
+// lifetime, and — because per-role access attribution is platform-
+// invariant — shared through the simulation cache across engines, so a
+// platform sweep profiles each network configuration exactly once.
 func (e *Engine) Profile(ctx context.Context, cfg Config) (*profiler.Set, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -366,9 +447,20 @@ func (e *Engine) Profile(ctx context.Context, cfg Config) (*profiler.Set, error)
 	if memo != nil {
 		return memo, nil
 	}
-	probes, err := Profile(e.app, cfg, e.opts)
-	if err != nil {
-		return nil, err
+	shared := fmt.Sprintf("%s|%s|%d", e.app.Name(), cfg, e.opts.packets())
+	probes := (*profiler.Set)(nil)
+	if e.cache != nil {
+		probes = e.cache.lookupProfile(shared)
+	}
+	if probes == nil {
+		var err error
+		probes, err = Profile(e.app, cfg, e.opts)
+		if err != nil {
+			return nil, err
+		}
+		if e.cache != nil {
+			e.cache.storeProfile(shared, probes)
+		}
 	}
 	e.profMu.Lock()
 	if e.profiles == nil {
@@ -377,6 +469,99 @@ func (e *Engine) Profile(ctx context.Context, cfg Config) (*profiler.Set, error)
 	e.profiles[key] = probes
 	e.profMu.Unlock()
 	return probes, nil
+}
+
+// EvaluatePlatforms returns the cost vector of one simulation point
+// (configuration + assignment) under each given platform configuration,
+// executing the application at most once: the access stream is taken
+// from the cache or captured by a single execution, then every platform
+// is evaluated in one multi-config replay pass (one decode, K cache
+// models). Results are exact — identical to live simulation on each
+// platform — and are stored in the cache under their full identities.
+// Without a cache to hold the stream it falls back to one live
+// simulation per platform.
+func (e *Engine) EvaluatePlatforms(ctx context.Context, cfg Config, assign apps.Assignment, platforms []memsim.Config) ([]metrics.Vector, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(platforms) == 0 {
+		return nil, nil
+	}
+	st, sum, err := e.captureStream(cfg, assign)
+	if err != nil {
+		return nil, err
+	}
+	if st == nil {
+		// Capture unavailable: one live simulation per platform.
+		vecs := make([]metrics.Vector, len(platforms))
+		for i, pc := range platforms {
+			o := Options{TracePackets: e.opts.packets(), Platform: &pc, DisableCache: true}
+			r, err := Simulate(e.app, cfg, assign, o)
+			if err != nil {
+				return nil, err
+			}
+			e.simulated.Add(1)
+			vecs[i] = r.Vec
+		}
+		return vecs, nil
+	}
+	costs, err := astream.ReplayMulti(st, platforms)
+	if err != nil {
+		return nil, err
+	}
+	e.replayed.Add(int64(len(platforms)))
+	vecs := make([]metrics.Vector, len(costs))
+	for i, pc := range platforms {
+		vecs[i] = replayVector(pc, energy.CACTILike(pc), costs[i])
+		if e.cache != nil {
+			key := cacheKey(e.app.Name(), cfg, assign, e.opts.packets(), pc)
+			e.cache.store(key, Result{
+				App:     e.app.Name(),
+				Config:  cfg,
+				Assign:  assign,
+				Vec:     vecs[i],
+				Summary: sum,
+			}, e.exploreCtx)
+		}
+	}
+	return vecs, nil
+}
+
+// captureStream returns the complete access stream for the point, from
+// the cache or by executing once with capture attached. A nil stream
+// (without error) means capture is unavailable (no cache to retain it).
+func (e *Engine) captureStream(cfg Config, assign apps.Assignment) (*astream.Stream, apps.Summary, error) {
+	if e.cache == nil {
+		return nil, apps.Summary{}, nil
+	}
+	skey := streamKey(e.app.Name(), cfg, assign, e.opts.packets())
+	if st, sum, ok := e.cache.lookupStream(skey); ok {
+		return st, sum, nil
+	}
+	tr, err := loadTrace(cfg.TraceName, e.opts.packets())
+	if err != nil {
+		return nil, apps.Summary{}, err
+	}
+	p := platform.New(e.opts.platformConfig())
+	rec := astream.NewRecorder()
+	p.Capture(rec)
+	sum, err := e.app.Run(tr, p, assign, cfg.Knobs, nil)
+	if err != nil {
+		return nil, apps.Summary{}, fmt.Errorf("explore: %s on %s: %w", e.app.Name(), cfg, err)
+	}
+	p.EndCapture()
+	st := rec.Finish(false)
+	e.cache.storeStream(skey, streamEntry{
+		App: e.app.Name(), Cfg: cfg, Assign: assign, Packets: e.opts.packets(),
+		Stream: st, Summary: sum,
+	})
+	e.simulated.Add(1)
+	key := cacheKey(e.app.Name(), cfg, assign, e.opts.packets(), e.opts.platformConfig())
+	e.cache.store(key, Result{
+		App: e.app.Name(), Config: cfg, Assign: assign,
+		Vec: p.Metrics(), Summary: sum,
+	}, e.exploreCtx)
+	return st, sum, nil
 }
 
 // collect drains a stream into an index-ordered result slice, feeding

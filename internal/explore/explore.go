@@ -22,7 +22,14 @@
 // vector is dominated beyond Options.AbortMargin. Finished results are
 // memoized in a Cache keyed by the complete simulation identity, so the
 // network level, platform sweeps and repeated runs never re-simulate a
-// point. Cancellation and deadlines propagate through context.Context.
+// point. With Options.CaptureStreams the Cache additionally retains each
+// executed simulation's platform-invariant word-access stream
+// (internal/astream), and any job differing only in platform
+// configuration is served by replaying the stream — exact counts, cycles
+// and energy without re-running the application; ReplayPlatforms and
+// Engine.EvaluatePlatforms batch this across many platforms with one
+// decode per stream. Cancellation and deadlines propagate through
+// context.Context.
 //
 // Step1, Step2 and Simulate remain as thin wrappers over a fresh Engine
 // for callers (and tests) that pin the original batch signatures.
@@ -98,6 +105,17 @@ type Options struct {
 	// DisableCache turns result memoization off entirely — for benchmarks
 	// that must measure raw simulation cost.
 	DisableCache bool
+	// CaptureStreams enables access-stream capture and replay (requires
+	// a cache). Every executed simulation then records its platform-
+	// invariant word-access stream, and any later job with the same
+	// (app, config, packets, assignment) identity on a *different*
+	// platform configuration is served by replaying the stream — exact
+	// counts, cycles and energy without re-running the application.
+	// Platform sweeps (sweep.Run, Engine.EvaluatePlatforms) enable it
+	// automatically; single-platform explorations leave it off, since
+	// capture costs live-simulation overhead and stream memory without a
+	// second platform to pay it back.
+	CaptureStreams bool
 	// EarlyAbort stops a running simulation once its cost vector is
 	// dominated by the incremental front beyond AbortMargin. Survivor
 	// fronts are provably unchanged (costs only grow, so a dominated

@@ -1,0 +1,62 @@
+package explore
+
+import (
+	"repro/internal/astream"
+	"repro/internal/energy"
+	"repro/internal/memsim"
+)
+
+// ReplayPlatforms evaluates every complete captured access stream in the
+// cache against the given platform configurations, storing the exact
+// per-platform results back into the cache — the warm pass of a platform
+// sweep. Each stream is decoded once and all its missing platforms are
+// driven in a single multi-config replay, so the marginal cost of one
+// more platform point is only its own cache-model probes. Platforms a
+// stream already has finished results for are skipped; partial streams
+// and streams that fail to decode are skipped (they fall back to live
+// execution on demand). It returns the number of (stream, platform)
+// evaluations performed.
+func ReplayPlatforms(c *Cache, platforms []memsim.Config) int {
+	if c == nil || len(platforms) == 0 {
+		return 0
+	}
+	models := make([]energy.Model, len(platforms))
+	for i, pc := range platforms {
+		models[i] = energy.CACTILike(pc)
+	}
+	n := 0
+	for _, e := range c.streamEntries() {
+		if e.Stream.Partial {
+			continue
+		}
+		var missing []int
+		for i := range platforms {
+			if !c.has(cacheKey(e.App, e.Cfg, e.Assign, e.Packets, platforms[i])) {
+				missing = append(missing, i)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		cfgs := make([]memsim.Config, len(missing))
+		for j, i := range missing {
+			cfgs[j] = platforms[i]
+		}
+		costs, err := astream.ReplayMulti(e.Stream, cfgs)
+		if err != nil {
+			continue
+		}
+		for j, i := range missing {
+			vec := replayVector(platforms[i], models[i], costs[j])
+			c.store(cacheKey(e.App, e.Cfg, e.Assign, e.Packets, platforms[i]), Result{
+				App:     e.App,
+				Config:  e.Cfg,
+				Assign:  e.Assign,
+				Vec:     vec,
+				Summary: e.Summary,
+			}, "")
+			n++
+		}
+	}
+	return n
+}

@@ -79,6 +79,28 @@ func (c Counts) Accesses() uint64 { return c.ReadWords + c.WriteWords }
 // LineProbes returns total cache line probes.
 func (c Counts) LineProbes() uint64 { return c.L1Hits + c.L2Hits + c.DRAMFills }
 
+// EventSink observes the word-access stream a Hierarchy is driven with.
+// The stream is platform-invariant — addresses come from the virtual
+// heap and operation sequences from the application, neither of which
+// consults cache state — which is what makes recording it once and
+// replaying it against other platform configurations sound (see
+// internal/astream).
+//
+// To keep the live-simulation overhead to one dynamic call per memory
+// access, ALU ops are not reported individually: the hierarchy
+// accumulates them and hands the total charged since the previous event
+// to the next RecordAccess. RecordOps only carries trailing ops forced
+// out by a detach (SetEventSink). The reordering is unobservable: op
+// totals are additive and every cost snapshot the simulator takes
+// happens on an access.
+type EventSink interface {
+	// RecordAccess observes one load (write=false) or store, together
+	// with the ALU op cycles charged since the previous recorded event.
+	RecordAccess(write bool, addr, size uint32, ops uint64)
+	// RecordOps observes ALU op cycles with no following access.
+	RecordOps(ops uint64)
+}
+
 // Hierarchy is the simulated memory subsystem. Create one per simulation
 // with New; it is not safe for concurrent use (one simulation = one
 // goroutine, matching the single-threaded NetBench applications).
@@ -88,12 +110,29 @@ type Hierarchy struct {
 	counts Counts
 	cycles uint64
 
+	// sink, when set, receives every access before it is accounted;
+	// sinkOps accumulates op cycles not yet handed to it.
+	sink    EventSink
+	sinkOps uint64
+
 	// Early-abort hook: abortFn is consulted every abortEvery line probes
 	// and stops the simulation (via an Aborted panic) when it returns
 	// true. Installed by SetAbortCheck; nil when early abort is off.
 	abortFn    func() bool
 	abortEvery uint64
 	sinceCheck uint64
+}
+
+// SetEventSink tees the hierarchy's event stream into s; nil detaches.
+// Detaching (or replacing) flushes op cycles not yet reported to the
+// outgoing sink via RecordOps, so a capture always accounts the full op
+// total. The cost while detached is one branch per Read/Write/Op.
+func (h *Hierarchy) SetEventSink(s EventSink) {
+	if h.sink != nil && h.sinkOps != 0 {
+		h.sink.RecordOps(h.sinkOps)
+	}
+	h.sinkOps = 0
+	h.sink = s
 }
 
 // Aborted is the sentinel the hierarchy panics with when an installed
@@ -138,17 +177,28 @@ func New(cfg Config) *Hierarchy {
 
 // Read simulates loading size bytes starting at virtual address addr.
 func (h *Hierarchy) Read(addr, size uint32) {
+	if h.sink != nil {
+		h.sink.RecordAccess(false, addr, size, h.sinkOps)
+		h.sinkOps = 0
+	}
 	h.access(addr, size, false)
 }
 
 // Write simulates storing size bytes starting at virtual address addr.
 func (h *Hierarchy) Write(addr, size uint32) {
+	if h.sink != nil {
+		h.sink.RecordAccess(true, addr, size, h.sinkOps)
+		h.sinkOps = 0
+	}
 	h.access(addr, size, true)
 }
 
 // Op charges n ALU cycles (comparisons, pointer arithmetic, checksum
 // work inside the application) without touching memory.
 func (h *Hierarchy) Op(n uint64) {
+	if h.sink != nil {
+		h.sinkOps += n
+	}
 	h.counts.OpCycles += n
 	h.cycles += n
 }
@@ -223,25 +273,41 @@ func (h *Hierarchy) Seconds() float64 {
 func (h *Hierarchy) Config() Config { return h.cfg }
 
 // cache is one set-associative LRU cache level tracked at line
-// granularity. Tags are stored most-recently-used first per set; with the
-// small associativities used here a linear scan beats fancier structures.
+// granularity. Tags live in one flat array with a fixed stride of assoc
+// entries per set, most-recently-used first, empty ways holding a
+// sentinel; the contiguous layout keeps the whole simulated tag store in
+// a few host cache lines per set, and with the small associativities
+// used here a linear scan beats fancier structures.
 type cache struct {
-	sets  [][]uint32 // per-set line tags, MRU first
-	assoc int
+	tags  []uint32 // nsets*assoc entries, MRU first within each set
+	assoc uint32
+	nsets uint32
 	mask  uint32 // set-index mask when the set count is a power of two
 	pow2  bool
 }
+
+// invalidTag marks an empty way. Real line indices stay below it for
+// every line size >= 2 bytes of the 32-bit simulated address space.
+const invalidTag = ^uint32(0)
 
 func newCache(g CacheGeometry) *cache {
 	sets := g.Sets()
 	if sets == 0 {
 		sets = 1
 	}
+	assoc := g.Assoc
+	if assoc == 0 {
+		assoc = 1
+	}
 	c := &cache{
-		sets:  make([][]uint32, sets),
-		assoc: int(g.Assoc),
+		tags:  make([]uint32, sets*assoc),
+		assoc: assoc,
+		nsets: sets,
 		mask:  sets - 1,
 		pow2:  sets&(sets-1) == 0,
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 	}
 	return c
 }
@@ -251,16 +317,22 @@ func (c *cache) setIndex(line uint32) uint32 {
 	if c.pow2 {
 		return line & c.mask
 	}
-	return line % uint32(len(c.sets))
+	return line % c.nsets
 }
 
 // access returns true on hit, updating LRU order. On miss it does NOT
-// install the line; the caller decides fill policy.
+// install the line; the caller decides fill policy. The MRU position is
+// checked first: repeated probes of the hot line (adjacent words of a
+// record, pointer-then-payload pairs) are the common case and need no
+// reordering.
 func (c *cache) access(line uint32) bool {
-	set := c.setIndex(line)
-	tags := c.sets[set]
-	for i, t := range tags {
-		if t == line {
+	base := c.setIndex(line) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	if tags[0] == line {
+		return true
+	}
+	for i := uint32(1); i < c.assoc; i++ {
+		if tags[i] == line {
 			// Move to front (MRU).
 			copy(tags[1:i+1], tags[:i])
 			tags[0] = line
@@ -272,12 +344,8 @@ func (c *cache) access(line uint32) bool {
 
 // fill installs line as MRU, evicting the LRU way if the set is full.
 func (c *cache) fill(line uint32) {
-	set := c.setIndex(line)
-	tags := c.sets[set]
-	if len(tags) < c.assoc {
-		tags = append(tags, 0)
-	}
-	copy(tags[1:], tags[:len(tags)-1])
+	base := c.setIndex(line) * c.assoc
+	tags := c.tags[base : base+c.assoc]
+	copy(tags[1:], tags[:c.assoc-1])
 	tags[0] = line
-	c.sets[set] = tags
 }

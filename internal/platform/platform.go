@@ -10,6 +10,7 @@
 package platform
 
 import (
+	"repro/internal/astream"
 	"repro/internal/energy"
 	"repro/internal/memsim"
 	"repro/internal/metrics"
@@ -34,10 +35,31 @@ func New(cfg memsim.Config) *Platform {
 	}
 }
 
-// Default builds a platform with the default configuration (32 KiB L1,
-// 512 KiB L2, 1.6 GHz clock).
+// Default builds a platform with the default configuration (8 KiB L1,
+// 128 KiB L2, 1.6 GHz clock — see memsim.DefaultConfig).
 func Default() *Platform {
 	return New(memsim.DefaultConfig())
+}
+
+// Capture tees the platform's activity into rec: every memory event goes
+// through the hierarchy's event sink and every footprint high-water-mark
+// growth through the heap's peak hook. The recorded stream is the
+// platform-invariant behavior of the run — replaying it (internal/
+// astream) against any other memory-subsystem configuration reproduces
+// that configuration's live metrics exactly, without re-executing the
+// application. Attach before the application runs; the capture overhead
+// is a few nanoseconds per event on the live simulation.
+func (p *Platform) Capture(rec *astream.Recorder) {
+	p.Mem.SetEventSink(rec)
+	p.Heap.SetPeakHook(rec.RecordPeak)
+}
+
+// EndCapture detaches a recorder attached by Capture, flushing any ALU
+// ops the hierarchy has not yet reported. Call it after the application
+// run (normal or aborted), before Recorder.Finish.
+func (p *Platform) EndCapture() {
+	p.Mem.SetEventSink(nil)
+	p.Heap.SetPeakHook(nil)
 }
 
 // AbortWhen arms the platform's early-abort hook: every everyProbes

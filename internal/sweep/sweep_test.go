@@ -1,10 +1,12 @@
 package sweep_test
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
 	"repro/internal/apps/urlsw"
+	"repro/internal/core"
 	"repro/internal/explore"
 	"repro/internal/memsim"
 	"repro/internal/sweep"
@@ -12,13 +14,35 @@ import (
 
 func TestDefaultPlatforms(t *testing.T) {
 	pts := sweep.DefaultPlatforms()
-	if len(pts) < 3 {
-		t.Fatalf("%d platform points", len(pts))
+	if len(pts) < 5 {
+		t.Fatalf("%d platform points, want >= 5 (size, line and associativity variants)", len(pts))
 	}
-	for i := 1; i < len(pts); i++ {
-		if pts[i].Config.L1.SizeBytes <= pts[i-1].Config.L1.SizeBytes {
-			t.Errorf("platform points not ordered by L1 size")
+	names := make(map[string]bool)
+	configs := make(map[string]bool)
+	var lineVariant, assocVariant bool
+	base := memsim.DefaultConfig()
+	for _, p := range pts {
+		if names[p.Name] {
+			t.Errorf("duplicate platform name %q", p.Name)
 		}
+		names[p.Name] = true
+		key := fmt.Sprintf("%+v", p.Config)
+		if configs[key] {
+			t.Errorf("duplicate platform config %q", p.Name)
+		}
+		configs[key] = true
+		if p.Config.L1.LineBytes != base.L1.LineBytes {
+			lineVariant = true
+		}
+		if p.Config.L1.Assoc != base.L1.Assoc {
+			assocVariant = true
+		}
+	}
+	if !lineVariant {
+		t.Error("no line-size variant in the default platform set")
+	}
+	if !assocVariant {
+		t.Error("no associativity variant in the default platform set")
 	}
 }
 
@@ -60,6 +84,63 @@ func TestRunAndRender(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	if _, err := sweep.Run(urlsw.App{}, nil, explore.Options{}); err == nil {
 		t.Fatal("empty platform list accepted")
+	}
+}
+
+// TestRunEnlargedSetReplays covers sweep.Run over the full default
+// platform set: the first platform executes and captures, every later
+// platform is served (almost) entirely by stream replay, and the
+// recommendations match what independent full executions produce.
+func TestRunEnlargedSetReplays(t *testing.T) {
+	app := urlsw.App{}
+	platforms := sweep.DefaultPlatforms()
+	results, err := sweep.Run(app, platforms, explore.Options{TracePackets: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(platforms) {
+		t.Fatalf("%d results for %d platforms", len(results), len(platforms))
+	}
+	if results[0].Stats.Replayed != 0 {
+		t.Errorf("first platform replayed %d simulations with an empty cache", results[0].Stats.Replayed)
+	}
+	for i, r := range results {
+		if r.Report == nil || r.BestEnergy.Label == "" {
+			t.Fatalf("platform %s: incomplete result", platforms[i].Name)
+		}
+		if i == 0 {
+			if r.Warmed != 0 {
+				t.Errorf("cold sweep warmed %d evaluations before any capture", r.Warmed)
+			}
+			continue
+		}
+		if i == 1 && r.Warmed == 0 {
+			t.Error("no warm pass after the capture platform")
+		}
+		if r.Stats.Replayed+r.Stats.CacheHits == 0 {
+			t.Errorf("platform %s: nothing served by replay or warm cache", platforms[i].Name)
+		}
+		if r.Stats.Simulated > results[0].Stats.Simulated/4 {
+			t.Errorf("platform %s: executed %d simulations (first platform: %d); replay barely used",
+				platforms[i].Name, r.Stats.Simulated, results[0].Stats.Simulated)
+		}
+	}
+
+	// The replayed sweep must recommend exactly what independent full
+	// executions recommend: replay is bit-exact, so best points match.
+	for i, pp := range platforms {
+		cfg := pp.Config
+		rep, err := (core.Methodology{App: app, Opts: explore.Options{TracePackets: 300, Platform: &cfg}}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.BestEnergy.Label != results[i].BestEnergy.Label || rep.BestEnergy.Vec != results[i].BestEnergy.Vec {
+			t.Errorf("platform %s: replayed best-energy %s %v != executed %s %v", pp.Name,
+				results[i].BestEnergy.Label, results[i].BestEnergy.Vec, rep.BestEnergy.Label, rep.BestEnergy.Vec)
+		}
+		if rep.EnergySaving != results[i].Report.EnergySaving {
+			t.Errorf("platform %s: energy saving %v != %v", pp.Name, results[i].Report.EnergySaving, rep.EnergySaving)
+		}
 	}
 }
 

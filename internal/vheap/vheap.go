@@ -76,7 +76,17 @@ type Heap struct {
 	peakLive uint64                // max of liveByte over time
 	allocs   uint64
 	frees    uint64
+
+	// peakHook, when set, observes every growth of the footprint
+	// high-water mark (see SetPeakHook).
+	peakHook func(peak uint64)
 }
+
+// SetPeakHook installs fn to be called whenever PeakLiveBytes grows, with
+// the new high-water mark; nil detaches. Access-stream capture uses it to
+// snapshot the footprint metric alongside the memory events, so a replay
+// can reconstruct the peak without a heap.
+func (h *Heap) SetPeakHook(fn func(peak uint64)) { h.peakHook = fn }
 
 // sizeClass allocates fixed-size slots from scattered bank positions.
 type sizeClass struct {
@@ -182,6 +192,9 @@ func (h *Heap) Alloc(size uint32) uint32 {
 	h.liveByte += uint64(rs) + HeaderBytes
 	if h.liveByte > h.peakLive {
 		h.peakLive = h.liveByte
+		if h.peakHook != nil {
+			h.peakHook(h.peakLive)
+		}
 	}
 	h.allocs++
 	return addr

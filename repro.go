@@ -231,15 +231,30 @@ func BestPoint(pts []Point, m Metric) Point { return pareto.Best(pts, m) }
 // into any network application.
 func ExtensionApps() []App { return netapps.Extensions() }
 
-// DefaultPlatformPoints spans embedded-to-midrange platform designs for
-// SweepPlatforms.
+// DefaultPlatformPoints spans embedded-to-midrange platform designs —
+// capacity, line-size and associativity variants — for SweepPlatforms.
 func DefaultPlatformPoints() []PlatformPoint { return sweep.DefaultPlatforms() }
 
 // SweepPlatforms runs the full methodology under each platform design —
 // the co-design extension: how does the recommended DDT combination move
-// with the memory hierarchy?
+// with the memory hierarchy? Unless caching is disabled the sweep is
+// capture-once/replay-many: only the first platform executes the
+// applications; every later platform is evaluated by replaying the
+// recorded word-access streams against its cache model, with results
+// identical to live simulation (see the Capture & replay section of the
+// README).
 func SweepPlatforms(a App, platforms []PlatformPoint, opts Options) ([]SweepResult, error) {
 	return sweep.Run(a, platforms, opts)
+}
+
+// ReplayCachedPlatforms evaluates every access stream captured in cache
+// against the given platform configurations — one decode per stream, one
+// cache model per platform — storing the exact results back into the
+// cache. It returns the number of (stream, platform) evaluations
+// performed. Use it to extend an explored design space to new platform
+// points without re-executing anything.
+func ReplayCachedPlatforms(cache *SimCache, platforms []PlatformConfig) int {
+	return explore.ReplayPlatforms(cache, platforms)
 }
 
 // RenderSweep formats a platform sweep as an aligned table.

@@ -4,6 +4,13 @@
 //
 //	go test -bench . -benchtime=1x ./... | go run ./tools/benchjson > BENCH_baseline.json
 //
+// With -compare it instead diffs the fresh run against a committed
+// baseline and exits nonzero when any shared benchmark regressed beyond
+// the threshold (relative ns/op growth):
+//
+//	go test -bench . -benchtime=1x ./... | \
+//	    go run ./tools/benchjson -compare BENCH_baseline.json -threshold 0.5
+//
 // Only benchmark result lines are parsed; the regenerated paper tables
 // and other log output pass through untouched (and are dropped).
 package main
@@ -11,9 +18,12 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -35,28 +45,111 @@ type Document struct {
 }
 
 func main() {
+	comparePath := flag.String("compare", "", "baseline JSON to diff the fresh run against instead of emitting JSON")
+	threshold := flag.Float64("threshold", 0.5, "relative ns/op growth past which a shared benchmark counts as regressed")
+	flag.Parse()
+
+	doc, err := convert(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *comparePath == "" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	f, err := os.Open(*comparePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	var baseline Document
+	err = json.NewDecoder(f).Decode(&baseline)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: decoding %s: %v\n", *comparePath, err)
+		os.Exit(1)
+	}
+	report, regressed := compare(doc, baseline, *threshold)
+	fmt.Print(report)
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%\n", regressed, *threshold*100)
+		os.Exit(1)
+	}
+}
+
+// convert parses `go test -bench` text into a Document.
+func convert(r io.Reader) (Document, error) {
 	doc := Document{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 	}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	for sc.Scan() {
-		if r, ok := parseLine(sc.Text()); ok {
-			doc.Results = append(doc.Results, r)
+		if res, ok := parseLine(sc.Text()); ok {
+			doc.Results = append(doc.Results, res)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return doc, sc.Err()
+}
+
+// compare diffs a fresh run against a baseline: shared benchmarks are
+// listed with their ns/op ratio, and the count of those whose growth
+// exceeds threshold is returned. Benchmarks present on only one side are
+// reported but never counted as regressions (renames and new benches
+// should not fail anyone's build).
+func compare(fresh, baseline Document, threshold float64) (string, int) {
+	base := make(map[string]Result, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark comparison vs baseline (%s %s/%s), threshold +%.0f%%\n",
+		baseline.GoVersion, baseline.GOOS, baseline.GOARCH, threshold*100)
+	regressed := 0
+	seen := make(map[string]bool, len(fresh.Results))
+	for _, r := range fresh.Results {
+		seen[r.Name] = true
+		old, ok := base[r.Name]
+		if !ok {
+			fmt.Fprintf(&b, "  NEW      %-60s %12.0f ns/op\n", r.Name, r.NsPerOp)
+			continue
+		}
+		if old.NsPerOp <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / old.NsPerOp
+		verdict := "ok"
+		if ratio > 1+threshold {
+			verdict = "REGRESSED"
+			regressed++
+		} else if ratio < 1/(1+threshold) {
+			verdict = "improved"
+		}
+		fmt.Fprintf(&b, "  %-8s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n",
+			verdict, r.Name, old.NsPerOp, r.NsPerOp, (ratio-1)*100)
 	}
+	var gone []string
+	for name := range base {
+		if !seen[name] {
+			gone = append(gone, name)
+		}
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(&b, "  GONE     %s\n", name)
+	}
+	fmt.Fprintf(&b, "%d compared, %d regressed\n", len(seen), regressed)
+	return b.String(), regressed
 }
 
 // parseLine recognizes "BenchmarkName-8  12  345 ns/op  6.7 metric ...".

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkFoo/bar-8   \t12\t  345 ns/op\t 6.7 widgets/s")
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if r.Name != "BenchmarkFoo/bar-8" || r.Iters != 12 || r.NsPerOp != 345 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics["widgets/s"] != 6.7 {
+		t.Fatalf("metrics %+v", r.Metrics)
+	}
+	for _, junk := range []string{
+		"", "ok  \trepro\t1.0s", "--- PASS: TestX", "Benchmark", "BenchmarkX notanumber 3 ns/op",
+	} {
+		if _, ok := parseLine(junk); ok {
+			t.Errorf("junk line parsed: %q", junk)
+		}
+	}
+}
+
+func TestConvert(t *testing.T) {
+	in := `goos: linux
+BenchmarkA-4    10    100 ns/op
+random noise
+BenchmarkB-4    1     200 ns/op    3 things
+`
+	doc, err := convert(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("%d results", len(doc.Results))
+	}
+	if doc.Results[1].Metrics["things"] != 3 {
+		t.Fatalf("metrics lost: %+v", doc.Results[1])
+	}
+}
+
+func TestCompare(t *testing.T) {
+	baseline := Document{Results: []Result{
+		{Name: "BenchmarkA-4", NsPerOp: 100},
+		{Name: "BenchmarkB-4", NsPerOp: 200},
+		{Name: "BenchmarkGone-4", NsPerOp: 50},
+	}}
+	fresh := Document{Results: []Result{
+		{Name: "BenchmarkA-4", NsPerOp: 120}, // +20%: within a 50% threshold
+		{Name: "BenchmarkB-4", NsPerOp: 700}, // +250%: regressed
+		{Name: "BenchmarkNew-4", NsPerOp: 10},
+	}}
+	report, regressed := compare(fresh, baseline, 0.5)
+	if regressed != 1 {
+		t.Fatalf("regressed = %d, want 1\n%s", regressed, report)
+	}
+	for _, frag := range []string{"REGRESSED", "BenchmarkB-4", "NEW", "BenchmarkNew-4", "GONE", "BenchmarkGone-4"} {
+		if !strings.Contains(report, frag) {
+			t.Errorf("report missing %q:\n%s", frag, report)
+		}
+	}
+	// Below threshold nothing regresses; improvements are labelled.
+	report, regressed = compare(fresh, baseline, 10)
+	if regressed != 0 {
+		t.Fatalf("regressed = %d with huge threshold\n%s", regressed, report)
+	}
+}
