@@ -12,6 +12,9 @@
 //	ddt-explore -app Route -workers 4 -early-abort -progress
 //	ddt-explore -app URL -cache url.simcache         # warm across runs
 //	ddt-explore -app URL -replay-cache url.replay    # + access streams
+//	ddt-explore -app DRR -compose                    # compositional capture:
+//	                                                 # 10*K executions serve
+//	                                                 # the 10^K combinations
 //	ddt-explore -app URL -platforms all              # co-design sweep of
 //	                                                 # the recommendation
 //	ddt-explore -app Route -cpuprofile cpu.pprof     # profile the run
@@ -22,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -49,6 +53,7 @@ type cliConfig struct {
 	abortMargin float64
 	cachePath   string // results-only persistent cache
 	replayCache string // results + access streams persistent cache
+	compose     bool   // compositional capture: per-role sub-streams
 	platforms   string // platform names to evaluate the recommendation on
 	cpuProfile  string
 	memProfile  string
@@ -67,6 +72,7 @@ func main() {
 	flag.Float64Var(&c.abortMargin, "abort-margin", 0, "early-abort safety margin (0 = default)")
 	flag.StringVar(&c.cachePath, "cache", "", "simulation cache file: loaded before the run, saved after")
 	flag.StringVar(&c.replayCache, "replay-cache", "", "like -cache, but also captures and persists access streams, so later runs evaluate new platform configurations by replay instead of re-execution")
+	flag.BoolVar(&c.compose, "compose", false, "compositional capture: record one access sub-stream per container role (per-role heap arenas) and evaluate DDT combinations by interleaving cached sub-streams instead of re-executing — the 10^K cross-product costs ~10*K executions")
 	flag.StringVar(&c.platforms, "platforms", "", "comma-separated platform points (or 'all') to evaluate the best-energy recommendation on by stream replay; names from the default sweep set")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile of the exploration to this file")
 	flag.StringVar(&c.memProfile, "memprofile", "", "write a heap profile (taken after the exploration) to this file")
@@ -130,10 +136,17 @@ func run(c cliConfig) error {
 		// an in-process cache to hold them.
 		cache = explore.NewCache()
 	}
+	if cache == nil && c.compose {
+		// Composition stores per-role sub-streams in the cache; give the
+		// run an in-process one when no persistent cache is configured.
+		cache = explore.NewCache()
+	}
 	opts.Cache = cache
 	// Capture streams whenever something can replay them later: a
 	// persistent replay cache or an in-run platform evaluation.
-	opts.CaptureStreams = c.replayCache != "" || c.platforms != ""
+	// Composition replaces whole-run capture entirely.
+	opts.Compose = c.compose
+	opts.CaptureStreams = !c.compose && (c.replayCache != "" || c.platforms != "")
 	eng := explore.NewEngine(a, opts)
 	m := core.Methodology{App: a, Opts: opts, Engine: eng}
 
@@ -181,8 +194,8 @@ func run(c cliConfig) error {
 		report.Percent(r.EnergySaving), report.Percent(r.TimeSaving))
 
 	st := eng.Stats()
-	fmt.Printf("\nexploration wall time: %.1fs (budget %d; engine simulated %d, replayed %d, cache hits %d, early aborts %d)\n",
-		elapsed.Seconds(), r.Reduced, st.Simulated, st.Replayed, st.CacheHits, st.Aborted)
+	fmt.Printf("\nexploration wall time: %.1fs (budget %d; engine simulated %d, replayed %d, composed %d, cache hits %d, early aborts %d)\n",
+		elapsed.Seconds(), r.Reduced, st.Simulated, st.Replayed, st.Composed, st.CacheHits, st.Aborted)
 
 	if c.platforms != "" {
 		if err := evaluatePlatforms(eng, r, c.platforms); err != nil {
@@ -349,36 +362,47 @@ func loadCache(path string) (*explore.Cache, error) {
 		return nil, err
 	}
 	stats := cache.Stats()
-	fmt.Fprintf(os.Stderr, "loaded %d cached simulations (%d access streams) from %s\n",
-		stats.Entries, stats.Streams, path)
+	fmt.Fprintf(os.Stderr, "loaded %d cached simulations (%d access streams, %d role lanes) from %s\n",
+		stats.Entries, stats.Streams, stats.Lanes, path)
 	return cache, nil
 }
 
 // saveCache persists the cache for the next run; withStreams additionally
-// persists the captured access streams (-replay-cache).
+// persists the captured access streams and per-role sub-streams
+// (-replay-cache). The write is atomic: the cache is serialized to a
+// temporary file in the destination directory and renamed into place, so
+// an interrupt mid-save can never destroy the previous cache.
 func saveCache(path string, cache *explore.Cache, withStreams bool) error {
 	if path == "" || cache == nil {
 		return nil
 	}
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	save := cache.Save
 	if withStreams {
 		save = cache.SaveWithStreams
 	}
 	if err := save(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	stats := cache.Stats()
 	if withStreams {
-		fmt.Printf("simulation cache saved to %s (%d entries, %d access streams, %dKB of streams)\n",
-			path, stats.Entries, stats.Streams, stats.StreamBytes>>10)
+		fmt.Printf("simulation cache saved to %s (%d entries, %d access streams, %d role lanes, %dKB of streams)\n",
+			path, stats.Entries, stats.Streams, stats.Lanes, stats.StreamBytes>>10)
 	} else {
 		fmt.Printf("simulation cache saved to %s (%d entries)\n", path, stats.Entries)
 	}

@@ -153,13 +153,30 @@ type App interface {
 }
 
 // EnvFor builds the ddt.Env for one container role on p, attaching the
-// role's probe when profiling.
+// role's probe when profiling. On an arena-mode platform (UseArenas) the
+// environment is additionally bound to the role's private address arena
+// and boundary lane, which is what isolates the role's access sub-stream
+// for compositional capture.
 func EnvFor(p *platform.Platform, probes *profiler.Set, role string) *ddt.Env {
 	env := &ddt.Env{Heap: p.Heap, Mem: p.Mem}
+	if a, lane, ok := p.ArenaFor(role); ok {
+		env.Arena, env.Lane = a, lane
+	}
 	if probes != nil {
 		env.Probe = probes.Probe(role)
 	}
 	return env
+}
+
+// RoleNames returns the application's role names in Roles() order — the
+// lane order of arena-mode platforms.
+func RoleNames(a App) []string {
+	roles := a.Roles()
+	names := make([]string, len(roles))
+	for i, r := range roles {
+		names[i] = r.Name
+	}
+	return names
 }
 
 // KindFor resolves the DDT kind for a role under an assignment, falling

@@ -17,6 +17,14 @@
 // access, 4-byte accesses in a dedicated compact form, consecutive ALU
 // ops coalesced) into fixed-size chunks, so recording never reallocates
 // large buffers and a stream costs a few bytes per event.
+//
+// Beyond whole-run streams, the package implements compositional
+// capture (see compose.go): one arena-mode run records a segmented
+// sub-stream per container role plus the DDT-invariant operation
+// schedule, and any DDT combination's stream is synthesized by
+// interleaving per-role sub-streams at the recorded operation
+// boundaries — the seam that collapses a 10^K combination cross-product
+// to ~10·K captures.
 package astream
 
 import (
@@ -46,6 +54,7 @@ const (
 
 	tagOp   = 1 // cycles varint
 	tagPeak = 2 // peak delta varint
+	tagSeg  = 3 // segment end: footprint max-delta varint + zigzag end-delta varint
 )
 
 // chunkBytes is the size of one encoded chunk. Chunks are sealed with
@@ -114,6 +123,7 @@ type Recorder struct {
 	pendingOp uint64
 	events    uint64
 	accesses  uint64
+	segments  uint64
 }
 
 // NewRecorder returns an empty recorder.
@@ -137,6 +147,16 @@ func zigzag32(d int32) uint32 {
 // unzigzag32 is the inverse of zigzag32.
 func unzigzag32(u uint32) int32 {
 	return int32(u>>1) ^ -int32(u&1)
+}
+
+// zigzag64/unzigzag64 are the 64-bit pair, used for the signed live-byte
+// deltas of segment events.
+func zigzag64(d int64) uint64 {
+	return uint64((d << 1) ^ (d >> 63))
+}
+
+func unzigzag64(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
 }
 
 // deltaMasks selects the live bytes of a fixed-width address delta.
@@ -238,6 +258,25 @@ func (r *Recorder) RecordPeak(peak uint64) {
 	r.events++
 }
 
+// recordSeg seals one capture segment: pending ops are flushed into the
+// segment, then a tagSeg event records the segment's footprint deltas
+// (high-water mark and net change of the owning arena's live bytes,
+// relative to the segment start). Only compositional capture writes
+// segments; plain streams never contain tagSeg.
+func (r *Recorder) recordSeg(maxDelta uint64, endDelta int64) {
+	if r.pendingOp != 0 {
+		r.flushOp()
+	}
+	if r.w >= chunkHighMark {
+		r.grow()
+	}
+	r.buf[r.w] = tagSeg
+	w := putUvarint(r.buf, r.w+1, maxDelta)
+	r.w = putUvarint(r.buf, w, zigzag64(endDelta))
+	r.events++
+	r.segments++
+}
+
 // Finish seals the stream. partial marks a capture that was cut short by
 // an aborted run; such streams are never replayed. The recorder must not
 // be used afterwards.
@@ -268,15 +307,19 @@ const (
 	EvWrite
 	EvOp
 	EvPeak
+	EvSeg
 )
 
 // Event is one decoded stream event. Addr/Size are set for accesses; N
-// holds the cycle count of an op or the absolute footprint of a peak.
+// holds the cycle count of an op, the absolute footprint of a peak, or
+// the footprint max-delta of a segment end (whose signed net live-byte
+// change is in Delta).
 type Event struct {
-	Kind EventKind
-	Addr uint32
-	Size uint32
-	N    uint64
+	Kind  EventKind
+	Addr  uint32
+	Size  uint32
+	N     uint64
+	Delta int64
 }
 
 // ForEach decodes the stream in order, calling fn for each logical event
@@ -286,14 +329,14 @@ type Event struct {
 // coalescing). It is the inspection and test path; replay uses the
 // batched decoder.
 func (s *Stream) ForEach(fn func(Event) bool) error {
-	d := decoder{s: s}
+	d := decoder{chunks: s.Chunks}
 	for {
 		buf := d.buf
 		if d.pos >= len(buf) {
-			if d.ci >= len(s.Chunks) {
+			if d.ci >= len(d.chunks) {
 				return nil
 			}
-			d.buf = s.Chunks[d.ci]
+			d.buf = d.chunks[d.ci]
 			d.ci++
 			d.pos = 0
 			continue
@@ -342,6 +385,18 @@ func (s *Stream) ForEach(fn func(Event) bool) error {
 			if !fn(Event{Kind: EvPeak, N: d.lastPeak}) {
 				return nil
 			}
+		case tag == tagSeg:
+			maxD, ok := d.uvarint()
+			if !ok {
+				return d.corrupt()
+			}
+			endU, ok := d.uvarint()
+			if !ok {
+				return d.corrupt()
+			}
+			if !fn(Event{Kind: EvSeg, N: maxD, Delta: unzigzag64(endU)}) {
+				return nil
+			}
 		default:
 			return fmt.Errorf("astream: unknown event tag %d in chunk %d", tag, d.ci-1)
 		}
@@ -371,9 +426,9 @@ type batch struct {
 	peak       uint64 // footprint high-water mark as of the batch end
 }
 
-// decoder walks a stream's chunks, maintaining the delta state.
+// decoder walks a chunk sequence, maintaining the delta state.
 type decoder struct {
-	s        *Stream
+	chunks   [][]byte
 	ci       int // next chunk index
 	buf      []byte
 	pos      int
@@ -442,12 +497,12 @@ func (d *decoder) next(b *batch) (bool, error) {
 	b.readWords, b.writeWords, b.opCycles = 0, 0, 0
 	for n < batchEvents {
 		if d.pos >= len(d.buf) {
-			if d.ci >= len(d.s.Chunks) {
+			if d.ci >= len(d.chunks) {
 				b.nAcc = n
 				b.peak = d.lastPeak
 				return false, nil // stream exhausted
 			}
-			d.buf = d.s.Chunks[d.ci]
+			d.buf = d.chunks[d.ci]
 			d.ci++
 			d.pos = 0
 			continue

@@ -77,6 +77,7 @@ func BenchmarkCaptureRoute(b *testing.B) {
 	})
 	s := captureRoute(b, tr)
 	b.Run("replay-1", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := astream.Replay(s, memsim.DefaultConfig(), nil); err != nil {
 				b.Fatal(err)
@@ -85,10 +86,47 @@ func BenchmarkCaptureRoute(b *testing.B) {
 	})
 	cfgs := sweepConfigs()
 	b.Run("replay-multi-4", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := astream.ReplayMulti(s, cfgs); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
+}
+
+// TestReplaySteadyStateAllocs asserts the replay hot path recycles its
+// working set: after a warm-up replay has populated the scratch pool,
+// further replays of the same configuration must not allocate — the
+// batch arrays and the LineSim tag stores come from the pool, with a
+// geometry-matched simulator Reset instead of rebuilt.
+func TestReplaySteadyStateAllocs(t *testing.T) {
+	p := platform.New(memsim.DefaultConfig())
+	rec := astream.NewRecorder()
+	p.Capture(rec)
+	a := route.App{}
+	tr, err := trace.Builtin(a.TraceNames()[0], 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Run(tr, p, apps.Original(a), a.DefaultKnobs(), nil); err != nil {
+		t.Fatal(err)
+	}
+	p.EndCapture()
+	s := rec.Finish(false)
+
+	cfg := memsim.DefaultConfig()
+	if _, err := astream.Replay(s, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := astream.Replay(s, cfg, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The pool is shared across goroutines, so tolerate a stray refill;
+	// steady state is zero.
+	if allocs > 2 {
+		t.Errorf("steady-state Replay allocates %.1f objects/op, want ~0", allocs)
+	}
 }

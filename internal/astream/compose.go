@@ -1,0 +1,526 @@
+package astream
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/memsim"
+)
+
+// Compositional capture: instead of recording one flat stream per DDT
+// combination (10^K captures for K instrumented roles), a single
+// arena-mode run records one segmented sub-stream per lane — lane 0 for
+// ambient application work, lanes 1..K for the container roles — plus
+// the schedule of which lane owns each operation. Because every role
+// allocates from a private address arena and the application's logical
+// operation sequence is DDT-invariant (the refinement never changes
+// functionality), a lane's sub-stream depends only on that lane's own
+// DDT kind. Any combination's full access stream is therefore the
+// deterministic interleave of per-lane sub-streams at the recorded
+// operation boundaries: 10 all-same-kind runs yield all 10·K sub-streams
+// the whole 10^K combination space composes from.
+//
+// A segment is the event span from one operation boundary to the next:
+// the owning role's accesses and op cycles, plus any ambient work until
+// the next operation starts (ambient content is DDT-invariant, so its
+// attribution to the preceding segment composes exactly). Each segment
+// ends with a tagSeg event carrying the owning arena's footprint deltas,
+// which is how a composed replay reconstructs the global footprint peak
+// bit-exactly: while one lane's segment runs, every other lane's live
+// bytes are constant, so the global high-water mark is the maximum over
+// segments of (total live at segment start + segment max-delta).
+
+// SubStream is one lane's segmented access sub-stream, captured for one
+// (role, kind) pair. The embedded Stream holds the event chunks (with
+// tagSeg segment terminators); Peak is meaningless here — footprint
+// travels in the segment deltas instead.
+type SubStream struct {
+	Stream
+	// Role is the container role this lane captures ("" for the ambient
+	// lane 0).
+	Role string
+	// Lane is the lane index the sub-stream was recorded on.
+	Lane int
+	// Segments counts the tagSeg-terminated segments.
+	Segments uint64
+}
+
+// Schedule is the DDT-invariant interleave order of a run: one token per
+// segment, in execution order, naming the lane that owns it. Token 0 is
+// always lane 0 (the ambient prelude up to the first container
+// operation).
+type Schedule struct {
+	// Tokens holds one lane index per segment.
+	Tokens []byte
+	// Roles names lanes 1..len(Roles) in order; lane 0 is ambient.
+	Roles []string
+}
+
+// SizeBytes returns the encoded size of the schedule.
+func (s *Schedule) SizeBytes() int { return len(s.Tokens) }
+
+// String summarizes the schedule for logs.
+func (s *Schedule) String() string {
+	return fmt.Sprintf("astream.Schedule{%d segments, %d roles}", len(s.Tokens), len(s.Roles))
+}
+
+// LaneMeter reports per-lane footprint metering to a composed capture.
+// vheap.Arena implements it: BeginSegment snapshots the arena's live
+// bytes, SegmentStats reports the high-water and net deltas since.
+type LaneMeter interface {
+	BeginSegment()
+	SegmentStats() (maxDelta uint64, endDelta int64)
+}
+
+// ComposedRecorder captures all lanes of an arena-mode run at once. It
+// implements memsim.BoundarySink: every event routes to the sub-stream
+// of the lane the most recent boundary announced, and each boundary
+// seals the previous lane's segment with its arena's footprint deltas.
+// Like Recorder it is single-simulation, single-goroutine state; call
+// Finish exactly once.
+type ComposedRecorder struct {
+	roles  []string
+	lanes  []*Recorder
+	meters []LaneMeter
+	tokens []byte
+	cur    int
+}
+
+// NewComposedRecorder returns a composed recorder for the given role
+// order. meters must hold one LaneMeter per lane: meters[0] for the
+// ambient (default-arena) lane, meters[i+1] for roles[i]. The ambient
+// prelude segment is open on return.
+func NewComposedRecorder(roles []string, meters []LaneMeter) *ComposedRecorder {
+	if len(meters) != len(roles)+1 {
+		panic(fmt.Sprintf("astream: %d roles need %d lane meters, got %d", len(roles), len(roles)+1, len(meters)))
+	}
+	c := &ComposedRecorder{
+		roles:  append([]string(nil), roles...),
+		lanes:  make([]*Recorder, len(meters)),
+		meters: meters,
+	}
+	for i := range c.lanes {
+		c.lanes[i] = NewRecorder()
+	}
+	c.meters[0].BeginSegment()
+	c.tokens = append(c.tokens, 0)
+	return c
+}
+
+// RecordAccess routes one access to the current lane (memsim.EventSink).
+func (c *ComposedRecorder) RecordAccess(write bool, addr, size uint32, ops uint64) {
+	c.lanes[c.cur].RecordAccess(write, addr, size, ops)
+}
+
+// RecordOps routes op cycles to the current lane (memsim.EventSink).
+func (c *ComposedRecorder) RecordOps(n uint64) { c.lanes[c.cur].RecordOps(n) }
+
+// RecordBoundary seals the current lane's segment and opens one for lane
+// (memsim.BoundarySink).
+func (c *ComposedRecorder) RecordBoundary(lane int) {
+	maxD, endD := c.meters[c.cur].SegmentStats()
+	c.lanes[c.cur].recordSeg(maxD, endD)
+	c.cur = lane
+	c.meters[lane].BeginSegment()
+	c.tokens = append(c.tokens, byte(lane))
+}
+
+// Finish seals the final segment and every lane, returning the run's
+// schedule and per-lane sub-streams (index = lane). partial marks an
+// aborted capture; partial sub-streams are never composed. The recorder
+// must not be used afterwards.
+func (c *ComposedRecorder) Finish(partial bool) (*Schedule, []*SubStream) {
+	maxD, endD := c.meters[c.cur].SegmentStats()
+	c.lanes[c.cur].recordSeg(maxD, endD)
+	subs := make([]*SubStream, len(c.lanes))
+	for i, r := range c.lanes {
+		segs := r.segments
+		role := ""
+		if i > 0 {
+			role = c.roles[i-1]
+		}
+		subs[i] = &SubStream{Stream: *r.Finish(partial), Role: role, Lane: i, Segments: segs}
+	}
+	sched := &Schedule{Tokens: c.tokens, Roles: c.roles}
+	c.lanes, c.meters, c.tokens = nil, nil, nil
+	return sched, subs
+}
+
+// errSegMismatch reports a schedule that demands more segments than a
+// lane recorded — a corrupted or mismatched lane set.
+var errSegMismatch = errors.New("astream: schedule and sub-stream segments disagree")
+
+// decodeSeg decodes events of the current segment into b, appending
+// accesses from b.nAcc and accumulating the invariant aggregates, until
+// the segment's tagSeg terminator (done=true, deltas returned) or a full
+// batch (done=false). Running out of encoded data before a terminator is
+// an error: every sub-stream segment ends explicitly.
+func (d *decoder) decodeSeg(b *batch) (done bool, maxDelta uint64, endDelta int64, err error) {
+	n := b.nAcc
+	for {
+		if d.pos >= len(d.buf) {
+			if d.ci >= len(d.chunks) {
+				return false, 0, 0, errSegMismatch
+			}
+			d.buf = d.chunks[d.ci]
+			d.ci++
+			d.pos = 0
+			continue
+		}
+		buf, pos := d.buf, d.pos
+		lastAddr := d.lastAddr
+		// Hot loop mirrors decoder.next: one masked 4-byte load per
+		// address delta, one-byte varint fast paths inline.
+		for n < batchEvents && pos < len(buf) {
+			tag := buf[pos]
+			pos++
+			if tag&flagAccess != 0 {
+				if tag&flagOps != 0 {
+					var ops uint64
+					if pos < len(buf) && buf[pos] < 0x80 {
+						ops = uint64(buf[pos])
+						pos++
+					} else if ops, pos = uvarintAt(buf, pos); pos < 0 {
+						return false, 0, 0, d.corrupt()
+					}
+					b.opCycles += ops
+				}
+				widthM1 := int(tag>>widthShift) & 3
+				var du uint32
+				if pos+4 <= len(buf) {
+					du = binary.LittleEndian.Uint32(buf[pos:]) & deltaMasks[widthM1]
+				} else {
+					if pos+widthM1 >= len(buf) {
+						return false, 0, 0, d.corrupt()
+					}
+					for k := 0; k <= widthM1; k++ {
+						du |= uint32(buf[pos+k]) << (8 * k)
+					}
+				}
+				pos += widthM1 + 1
+				addr := lastAddr + uint32(unzigzag32(du))
+				lastAddr = addr
+				size := uint64(4)
+				if tag&flagSized != 0 {
+					if pos < len(buf) && buf[pos] < 0x80 {
+						size = uint64(buf[pos])
+						pos++
+					} else if size, pos = uvarintAt(buf, pos); pos < 0 {
+						return false, 0, 0, d.corrupt()
+					}
+				}
+				words := (size + 3) / 4
+				if tag&flagWrite != 0 {
+					b.writeWords += words
+				} else {
+					b.readWords += words
+				}
+				b.addr[n] = addr
+				b.size[n] = uint32(size)
+				n++
+			} else if tag == tagOp {
+				var u uint64
+				if u, pos = uvarintAt(buf, pos); pos < 0 {
+					return false, 0, 0, d.corrupt()
+				}
+				b.opCycles += u
+			} else if tag == tagSeg {
+				var maxD, endU uint64
+				if maxD, pos = uvarintAt(buf, pos); pos < 0 {
+					return false, 0, 0, d.corrupt()
+				}
+				if endU, pos = uvarintAt(buf, pos); pos < 0 {
+					return false, 0, 0, d.corrupt()
+				}
+				d.pos = pos
+				d.lastAddr = lastAddr
+				b.nAcc = n
+				return true, maxD, unzigzag64(endU), nil
+			} else if tag == tagPeak {
+				// Sub-streams carry footprint in segment deltas; tolerate
+				// (and skip) a stray peak event.
+				var u uint64
+				if u, pos = uvarintAt(buf, pos); pos < 0 {
+					return false, 0, 0, d.corrupt()
+				}
+				d.lastPeak += u
+			} else {
+				return false, 0, 0, fmt.Errorf("astream: unknown event tag %d in chunk %d", tag, d.ci-1)
+			}
+		}
+		d.pos = pos
+		d.lastAddr = lastAddr
+		if n == batchEvents {
+			b.nAcc = n
+			return false, 0, 0, nil
+		}
+	}
+}
+
+// UnpackedLane is a lane sub-stream decoded once into the struct-of-
+// arrays form the probe kernel consumes directly: flat address/size
+// arrays indexed per segment, with the platform-invariant per-segment
+// aggregates (op cycles, word counts, footprint deltas) precomputed.
+// Composition pays varint decoding 10·K times — once per lane — instead
+// of 10^K times, so evaluating one more combination is a probe-only
+// pass over shared arrays. An UnpackedLane is immutable and safe for
+// concurrent replays; it is derived data, rebuilt from its SubStream on
+// demand and never persisted.
+type UnpackedLane struct {
+	Role string
+	Lane int
+
+	Addr []uint32
+	Size []uint32
+
+	// SegIdx[s] .. SegIdx[s+1] bound segment s's accesses in Addr/Size.
+	SegIdx []uint32
+	// Per-segment platform-invariant aggregates.
+	SegOps    []uint64
+	SegReadW  []uint32
+	SegWriteW []uint32
+	SegMax    []uint64
+	SegEnd    []int64
+}
+
+// Segments returns the number of decoded segments.
+func (u *UnpackedLane) Segments() int { return len(u.SegOps) }
+
+// SizeBytes returns the decoded in-memory footprint of the lane.
+func (u *UnpackedLane) SizeBytes() int {
+	return 8*len(u.Addr) + 4*len(u.SegIdx) + 32*len(u.SegOps)
+}
+
+// Unpack decodes the sub-stream into its struct-of-arrays form.
+func (s *SubStream) Unpack() (*UnpackedLane, error) {
+	if s.Partial {
+		return nil, ErrPartial
+	}
+	u := &UnpackedLane{
+		Role:   s.Role,
+		Lane:   s.Lane,
+		Addr:   make([]uint32, 0, s.Accesses),
+		Size:   make([]uint32, 0, s.Accesses),
+		SegIdx: make([]uint32, 1, s.Segments+1),
+	}
+	d := decoder{chunks: s.Chunks}
+	var b batch
+	for seg := uint64(0); seg < s.Segments; seg++ {
+		var ops, readW, writeW uint64
+		for {
+			b.nAcc, b.readWords, b.writeWords, b.opCycles = 0, 0, 0, 0
+			done, maxD, endD, err := d.decodeSeg(&b)
+			if err != nil {
+				return nil, err
+			}
+			u.Addr = append(u.Addr, b.addr[:b.nAcc]...)
+			u.Size = append(u.Size, b.size[:b.nAcc]...)
+			ops += b.opCycles
+			readW += b.readWords
+			writeW += b.writeWords
+			if done {
+				u.SegIdx = append(u.SegIdx, uint32(len(u.Addr)))
+				u.SegOps = append(u.SegOps, ops)
+				u.SegReadW = append(u.SegReadW, uint32(readW))
+				u.SegWriteW = append(u.SegWriteW, uint32(writeW))
+				u.SegMax = append(u.SegMax, maxD)
+				u.SegEnd = append(u.SegEnd, endD)
+				break
+			}
+		}
+	}
+	return u, nil
+}
+
+// ReplayComposedUnpacked is ReplayComposed over pre-decoded lanes, for
+// one or many platform configurations in a single merged pass: no
+// varint decoding remains on this path — each scheduled segment probes
+// its slice of the lane's address array and adds precomputed aggregates.
+// guard (single-configuration only) is polled about once per batchEvents
+// probed accesses.
+func ReplayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsim.Config, guard GuardFunc) ([]Cost, error) {
+	if len(lanes) != len(sched.Roles)+1 {
+		return nil, fmt.Errorf("astream: schedule names %d roles but %d lanes supplied", len(sched.Roles), len(lanes))
+	}
+	for i, u := range lanes {
+		if u == nil {
+			return nil, fmt.Errorf("astream: missing unpacked lane %d", i)
+		}
+	}
+	if guard != nil && len(cfgs) != 1 {
+		return nil, fmt.Errorf("astream: guarded composed replay supports exactly one configuration")
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	sims := make([]*memsim.LineSim, len(cfgs))
+	for k, cfg := range cfgs {
+		sims[k] = sc.simFor(k, cfg)
+	}
+	cursor := sc.cursorsFor(len(lanes))
+
+	var (
+		inv        memsim.Counts
+		totalLive  uint64
+		peak       uint64
+		sinceGuard int
+		toks       = sched.Tokens
+	)
+	for i := 0; i < len(toks); {
+		t := int(toks[i])
+		if t >= len(lanes) {
+			return nil, fmt.Errorf("astream: schedule token %d outside %d lanes", t, len(lanes))
+		}
+		// Consecutive segments of one lane (a radix descent, a queue
+		// drain) are contiguous in the lane's arrays: fold the run into
+		// a single probe call.
+		run := 1
+		for i+run < len(toks) && int(toks[i+run]) == t {
+			run++
+		}
+		i += run
+		u := lanes[t]
+		s0 := cursor[t]
+		sEnd := s0 + run
+		if sEnd > len(u.SegOps) {
+			return nil, errSegMismatch
+		}
+		cursor[t] = sEnd
+		lo, hi := u.SegIdx[s0], u.SegIdx[sEnd]
+		if hi > lo {
+			addrs, sizes := u.Addr[lo:hi], u.Size[lo:hi]
+			for _, ls := range sims {
+				ls.ProbeAccesses(addrs, sizes)
+			}
+		}
+		for s := s0; s < sEnd; s++ {
+			inv.ReadWords += uint64(u.SegReadW[s])
+			inv.WriteWords += uint64(u.SegWriteW[s])
+			inv.OpCycles += u.SegOps[s]
+			if c := totalLive + u.SegMax[s]; c > peak {
+				peak = c
+			}
+			totalLive = uint64(int64(totalLive) + u.SegEnd[s])
+		}
+		if guard != nil {
+			if sinceGuard += int(hi - lo); sinceGuard >= batchEvents {
+				sinceGuard = 0
+				if snap := costOf(cfgs[0], sims[0], inv, peak); guard(snap) {
+					snap.Aborted = true
+					return []Cost{snap}, nil
+				}
+			}
+		}
+	}
+	out := make([]Cost, len(cfgs))
+	for k, cfg := range cfgs {
+		out[k] = costOf(cfg, sims[k], inv, peak)
+	}
+	return out, nil
+}
+
+// ReplayComposed evaluates one DDT combination under cfg by merging the
+// K+1 lane decoders into a single probe stream in schedule order —
+// without materializing the combination's flat encoding — and driving
+// the same LineSim kernel a flat replay uses. lanes[i] must be the
+// sub-stream for lane i: lanes[0] ambient, lanes[i] the sub-stream
+// captured for (sched.Roles[i-1], chosen kind). The result is exactly
+// what an arena-mode live simulation of that combination would produce.
+// guard, when non-nil, is polled once per batch as in Replay.
+func ReplayComposed(sched *Schedule, lanes []*SubStream, cfg memsim.Config, guard GuardFunc) (Cost, error) {
+	costs, err := replayComposed(sched, lanes, []memsim.Config{cfg}, guard)
+	if err != nil {
+		return Cost{}, err
+	}
+	return costs[0], nil
+}
+
+// ReplayComposedMulti evaluates one DDT combination under K platform
+// configurations in a single merged pass: the lanes are decoded and
+// interleaved once, and every configuration probes the shared batches —
+// the composed counterpart of ReplayMulti.
+func ReplayComposedMulti(sched *Schedule, lanes []*SubStream, cfgs []memsim.Config) ([]Cost, error) {
+	return replayComposed(sched, lanes, cfgs, nil)
+}
+
+func replayComposed(sched *Schedule, lanes []*SubStream, cfgs []memsim.Config, guard GuardFunc) ([]Cost, error) {
+	if len(lanes) != len(sched.Roles)+1 {
+		return nil, fmt.Errorf("astream: schedule names %d roles but %d lanes supplied", len(sched.Roles), len(lanes))
+	}
+	for i, ls := range lanes {
+		if ls == nil {
+			return nil, fmt.Errorf("astream: missing sub-stream for lane %d", i)
+		}
+		if ls.Partial {
+			return nil, ErrPartial
+		}
+	}
+	if guard != nil && len(cfgs) != 1 {
+		return nil, fmt.Errorf("astream: guarded composed replay supports exactly one configuration")
+	}
+
+	sc := getScratch()
+	defer putScratch(sc)
+	sims := make([]*memsim.LineSim, len(cfgs))
+	for k, cfg := range cfgs {
+		sims[k] = sc.simFor(k, cfg)
+	}
+	ds := sc.decodersFor(len(lanes))
+	for i, ls := range lanes {
+		ds[i] = decoder{chunks: ls.Chunks}
+	}
+
+	var (
+		b         = &sc.b
+		inv       memsim.Counts
+		totalLive uint64
+		peak      uint64
+	)
+	b.nAcc, b.readWords, b.writeWords, b.opCycles = 0, 0, 0, 0
+	flush := func() {
+		inv.ReadWords += b.readWords
+		inv.WriteWords += b.writeWords
+		inv.OpCycles += b.opCycles
+		addrs, sizes := b.addr[:b.nAcc], b.size[:b.nAcc]
+		for _, ls := range sims {
+			ls.ProbeAccesses(addrs, sizes)
+		}
+		b.nAcc, b.readWords, b.writeWords, b.opCycles = 0, 0, 0, 0
+	}
+
+	for _, tok := range sched.Tokens {
+		t := int(tok)
+		if t >= len(ds) {
+			return nil, fmt.Errorf("astream: schedule token %d outside %d lanes", t, len(ds))
+		}
+		for {
+			done, maxD, endD, err := ds[t].decodeSeg(b)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				// Other lanes' live bytes are constant during this
+				// segment, so the global footprint candidate is the total
+				// at segment start plus this lane's in-segment high-water.
+				if c := totalLive + maxD; c > peak {
+					peak = c
+				}
+				totalLive = uint64(int64(totalLive) + endD)
+				break
+			}
+			flush()
+			if guard != nil {
+				if snap := costOf(cfgs[0], sims[0], inv, peak); guard(snap) {
+					snap.Aborted = true
+					return []Cost{snap}, nil
+				}
+			}
+		}
+	}
+	flush()
+	out := make([]Cost, len(cfgs))
+	for k, cfg := range cfgs {
+		out[k] = costOf(cfg, sims[k], inv, peak)
+	}
+	return out, nil
+}

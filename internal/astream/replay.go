@@ -2,6 +2,7 @@ package astream
 
 import (
 	"errors"
+	"sync"
 
 	"repro/internal/memsim"
 )
@@ -41,6 +42,61 @@ func costOf(cfg memsim.Config, ls *memsim.LineSim, inv memsim.Counts, peak uint6
 	return Cost{Counts: inv, Cycles: cfg.CyclesFor(inv, ls.Pipelined()), Peak: peak}
 }
 
+// scratch is the reusable per-replay working set: the decode batch (the
+// two 8 KiB struct-of-array halves), the probe simulators, and the lane
+// decoders of composed replays. Replays run steadily inside the
+// exploration engine's worker pool — thousands per exploration — so this
+// state is pooled rather than reallocated per call; a recycled LineSim
+// whose geometry matches the requested configuration is Reset instead of
+// rebuilt. The astream benchmarks assert the resulting steady-state
+// allocation count.
+type scratch struct {
+	b       batch
+	sims    []*memsim.LineSim
+	ds      []decoder
+	cursors []int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// simFor returns slot i's simulator, cold and configured for cfg —
+// recycled when the geometry matches, freshly built otherwise.
+func (s *scratch) simFor(i int, cfg memsim.Config) *memsim.LineSim {
+	for len(s.sims) <= i {
+		s.sims = append(s.sims, nil)
+	}
+	if ls := s.sims[i]; ls != nil && ls.Reset(cfg) {
+		return ls
+	}
+	ls := memsim.NewLineSim(cfg)
+	s.sims[i] = ls
+	return ls
+}
+
+// decodersFor returns a lane-decoder slice of length n, reusing capacity.
+func (s *scratch) decodersFor(n int) []decoder {
+	if cap(s.ds) < n {
+		s.ds = make([]decoder, n)
+	}
+	s.ds = s.ds[:n]
+	return s.ds
+}
+
+// cursorsFor returns a zeroed per-lane segment-cursor slice of length n.
+func (s *scratch) cursorsFor(n int) []int {
+	if cap(s.cursors) < n {
+		s.cursors = make([]int, n)
+	}
+	s.cursors = s.cursors[:n]
+	for i := range s.cursors {
+		s.cursors[i] = 0
+	}
+	return s.cursors
+}
+
 // Replay evaluates the stream under cfg without re-running the
 // application: one decode pass drives the configuration's cache model
 // with the recorded access sequence while the platform-invariant
@@ -51,14 +107,16 @@ func Replay(s *Stream, cfg memsim.Config, guard GuardFunc) (Cost, error) {
 	if s.Partial {
 		return Cost{}, ErrPartial
 	}
+	sc := getScratch()
+	defer putScratch(sc)
 	var (
-		ls  = memsim.NewLineSim(cfg)
+		ls  = sc.simFor(0, cfg)
 		inv memsim.Counts
-		d   = decoder{s: s}
-		b   batch
+		d   = decoder{chunks: s.Chunks}
+		b   = &sc.b
 	)
 	for {
-		more, err := d.next(&b)
+		more, err := d.next(b)
 		if err != nil {
 			return Cost{}, err
 		}
@@ -88,18 +146,20 @@ func ReplayMulti(s *Stream, cfgs []memsim.Config) ([]Cost, error) {
 	if s.Partial {
 		return nil, ErrPartial
 	}
+	sc := getScratch()
+	defer putScratch(sc)
 	sims := make([]*memsim.LineSim, len(cfgs))
 	for k, cfg := range cfgs {
-		sims[k] = memsim.NewLineSim(cfg)
+		sims[k] = sc.simFor(k, cfg)
 	}
 	var (
 		inv  memsim.Counts
 		peak uint64
-		d    = decoder{s: s}
-		b    batch
+		d    = decoder{chunks: s.Chunks}
+		b    = &sc.b
 	)
 	for {
-		more, err := d.next(&b)
+		more, err := d.next(b)
 		if err != nil {
 			return nil, err
 		}

@@ -36,7 +36,8 @@ func newArrayList[V any](k Kind, env *Env, recordBytes uint32) *arrayList[V] {
 	if k == ARP {
 		a.slot = PtrBytes
 	}
-	a.hdrAddr = env.Heap.Alloc(arrayHdrBytes)
+	env.boundary()
+	a.hdrAddr = env.heapAlloc(arrayHdrBytes)
 	env.write(a.hdrAddr, arrayHdrBytes) // initialize ptr/len/cap
 	return a
 }

@@ -53,7 +53,8 @@ func newChunkedList[V any](k Kind, env *Env, recordBytes uint32, chunkCap int) *
 	if c.roving {
 		hdrBytes = 20
 	}
-	c.hdrAddr = env.Heap.Alloc(hdrBytes)
+	env.boundary()
+	c.hdrAddr = env.heapAlloc(hdrBytes)
 	env.write(c.hdrAddr, hdrBytes)
 	return c
 }

@@ -136,10 +136,26 @@ type List[V any] interface {
 // provides addresses and tracks footprint, the hierarchy accounts accesses,
 // cycles and (via the energy model) joules, and the optional probe
 // attributes the accesses to the container's role for dominance profiling.
+//
+// Arena and Lane, when set (apps.EnvFor wires them on an arena-enabled
+// platform), bind the environment to one container role: blocks come from
+// the role's private address arena, and every container operation
+// announces the role's lane through the hierarchy's boundary seam. That
+// pair of properties — role-private addresses, role-attributed event
+// spans — is what makes one role's access sub-stream independent of every
+// other role's DDT choice, the soundness basis of compositional capture.
 type Env struct {
 	Heap  *vheap.Heap
 	Mem   *memsim.Hierarchy
 	Probe *profiler.Probe
+
+	// Arena, when non-nil, supplies this role's block addresses instead
+	// of the heap's default space.
+	Arena *vheap.Arena
+	// Lane is the boundary-marker lane announced at every operation
+	// start: 0 (ambient) without role binding, the role's 1-based index
+	// otherwise.
+	Lane int
 }
 
 func (e *Env) read(addr, size uint32) {
@@ -168,9 +184,27 @@ func (e *Env) Op(n uint64) {
 }
 
 func (e *Env) startOp() {
+	e.Mem.Boundary(e.Lane)
 	if e.Probe != nil {
 		e.Probe.AddOp()
 	}
+}
+
+// boundary announces an operation start without counting a profiled op —
+// constructors use it so their allocations are attributed to the role's
+// lane while profiling still counts only List operations.
+func (e *Env) boundary() {
+	e.Mem.Boundary(e.Lane)
+}
+
+// heapAlloc reserves a raw block from the role's arena (or the heap's
+// default space), without charging allocator bookkeeping — the
+// constructor-header path.
+func (e *Env) heapAlloc(size uint32) uint32 {
+	if e.Arena != nil {
+		return e.Arena.Alloc(size)
+	}
+	return e.Heap.Alloc(size)
 }
 
 // alloc reserves a block and charges the allocator's own work: writing the
@@ -179,7 +213,7 @@ func (e *Env) startOp() {
 // (SLL/DLL/AR(P)) visibly more expensive than bulk array growth under
 // churn — a first-order effect in the paper's trade-offs.
 func (e *Env) alloc(size uint32) uint32 {
-	addr := e.Heap.Alloc(size)
+	addr := e.heapAlloc(size)
 	e.write(addr-vheap.HeaderBytes, vheap.HeaderBytes)
 	e.op(4)
 	return addr

@@ -51,7 +51,8 @@ func newLinkedList[V any](k Kind, env *Env, recordBytes uint32) *linkedList[V] {
 	if l.roving {
 		hdrBytes = 20
 	}
-	l.hdrAddr = env.Heap.Alloc(hdrBytes)
+	env.boundary()
+	l.hdrAddr = env.heapAlloc(hdrBytes)
 	env.write(l.hdrAddr, hdrBytes)
 	return l
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/astream"
+	"repro/internal/ddt"
 	"repro/internal/memsim"
 	"repro/internal/profiler"
 )
@@ -36,6 +37,13 @@ import (
 //   - Profiles: dominance profiling attributes accesses per container
 //     role, which is platform-invariant, so a sweep profiles each
 //     network configuration once rather than once per platform point.
+//   - Compositional stores (Options.Compose): per-(role, kind) lane
+//     sub-streams and per-configuration operation schedules, keyed by
+//     the DDT-invariant run identity. Any combination whose K lanes are
+//     all present is served by composed replay; ~10·K lanes stand in
+//     for the 10^K whole-run streams a flat capture would need. Each
+//     lane's decoded struct-of-arrays form is memoized at runtime so
+//     composition decodes a lane once, not once per combination.
 //
 // Aborted results are stored as dominance tombstones: the partial vector
 // plus the proof (by construction) that an identical exploration already
@@ -53,11 +61,23 @@ type Cache struct {
 	streamBytes  int64
 	streamBudget int64
 
+	// Compositional stores (also guarded by sm, counted against the
+	// stream budget): per-(role, kind) lane sub-streams and per-
+	// configuration schedules. unpacked memoizes each lane's decoded
+	// struct-of-arrays form — derived data, rebuilt on demand and
+	// dropped with its lane, so composition decodes each lane once per
+	// process instead of once per combination.
+	lanes     map[string]*astream.SubStream
+	laneOrder []string
+	scheds    map[string]schedEntry
+	unpacked  map[string]*astream.UnpackedLane
+
 	pm       sync.Mutex
 	profiles map[string]*profiler.Set
 
 	hits, misses             atomic.Uint64
 	streamHits, streamMisses atomic.Uint64
+	laneHits, laneMisses     atomic.Uint64
 }
 
 // cacheEntry is one memoized simulation. Ctx tags tombstones with the
@@ -73,6 +93,8 @@ type cacheEntry struct {
 // identity and behavioural summary of the run that produced it. The
 // identity fields let ReplayPlatforms enumerate streams and store exact
 // per-platform results without re-deriving keys from the outside.
+// Arenas records the address model the stream was captured under; replay
+// results are stored under matching keys so the two models never mix.
 type streamEntry struct {
 	App     string
 	Cfg     Config
@@ -80,6 +102,22 @@ type streamEntry struct {
 	Packets int
 	Stream  *astream.Stream
 	Summary apps.Summary
+	Arenas  bool
+}
+
+// schedEntry is one run's operation schedule plus everything about the
+// run that is DDT-invariant: the ambient lane's sub-stream and the
+// behavioural summary (the refinement never changes functionality, so
+// one summary serves every combination of the same configuration).
+type schedEntry struct {
+	Sched   *astream.Schedule
+	Ambient *astream.SubStream
+	Summary apps.Summary
+}
+
+// sizeBytes reports the entry's retained bytes for the stream budget.
+func (e schedEntry) sizeBytes() int64 {
+	return int64(e.Sched.SizeBytes() + e.Ambient.SizeBytes())
 }
 
 // DefaultStreamBudget bounds the encoded bytes of retained access
@@ -93,6 +131,9 @@ func NewCache() *Cache {
 	return &Cache{
 		m:            make(map[string]cacheEntry),
 		streams:      make(map[string]streamEntry),
+		lanes:        make(map[string]*astream.SubStream),
+		scheds:       make(map[string]schedEntry),
+		unpacked:     make(map[string]*astream.UnpackedLane),
 		streamBudget: DefaultStreamBudget,
 	}
 }
@@ -111,8 +152,11 @@ type CacheStats struct {
 	Hits, Misses             uint64
 	Entries                  int
 	Streams                  int   // retained access streams
-	StreamBytes              int64 // encoded bytes of retained streams
+	StreamBytes              int64 // retained bytes: encoded streams/lanes/schedules + memoized decoded lanes
 	StreamHits, StreamMisses uint64
+	Lanes                    int // retained per-(role, kind) lane sub-streams
+	Schedules                int // retained per-configuration schedules
+	LaneHits, LaneMisses     uint64
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -122,11 +166,14 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.RUnlock()
 	c.sm.RLock()
 	ns, nb := len(c.streams), c.streamBytes
+	nl, nsch := len(c.lanes), len(c.scheds)
 	c.sm.RUnlock()
 	return CacheStats{
 		Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n,
 		Streams: ns, StreamBytes: nb,
 		StreamHits: c.streamHits.Load(), StreamMisses: c.streamMisses.Load(),
+		Lanes: nl, Schedules: nsch,
+		LaneHits: c.laneHits.Load(), LaneMisses: c.laneMisses.Load(),
 	}
 }
 
@@ -204,6 +251,115 @@ func (c *Cache) storeStream(key string, e streamEntry) {
 	c.evictLocked()
 }
 
+// lookupLane returns the complete lane sub-stream for a (role, kind)
+// key. Partial lanes never hit.
+func (c *Cache) lookupLane(key string) (*astream.SubStream, bool) {
+	c.sm.RLock()
+	s, ok := c.lanes[key]
+	c.sm.RUnlock()
+	if !ok || s.Partial {
+		c.laneMisses.Add(1)
+		return nil, false
+	}
+	c.laneHits.Add(1)
+	return s, true
+}
+
+// storeLane retains one (role, kind) lane sub-stream. Partial lanes are
+// dropped outright: a lane from an aborted capture proves nothing, and
+// unlike whole streams there is no inspection value in keeping it.
+func (c *Cache) storeLane(key string, s *astream.SubStream) {
+	if s.Partial {
+		return
+	}
+	c.sm.Lock()
+	defer c.sm.Unlock()
+	if c.streamBudget <= 0 {
+		return
+	}
+	if old, ok := c.lanes[key]; ok {
+		c.streamBytes -= int64(old.SizeBytes())
+	} else {
+		c.laneOrder = append(c.laneOrder, key)
+	}
+	c.lanes[key] = s
+	c.streamBytes += int64(s.SizeBytes())
+	c.evictLocked()
+}
+
+// unpackedLane returns the memoized decoded form of the lane stored
+// under key, decoding it once on demand. sub must be the sub-stream the
+// key resolves to. ambient marks the schedule's ambient lane, whose key
+// is a schedule key rather than a lane key.
+func (c *Cache) unpackedLane(key string, sub *astream.SubStream, ambient bool) (*astream.UnpackedLane, bool) {
+	c.sm.RLock()
+	u, ok := c.unpacked[key]
+	c.sm.RUnlock()
+	if ok {
+		return u, true
+	}
+	u, err := sub.Unpack()
+	if err != nil {
+		return nil, false
+	}
+	c.sm.Lock()
+	if exist, ok := c.unpacked[key]; ok {
+		u = exist // another goroutine won the decode race
+	} else {
+		// Only memoize while the backing entry is retained, so evicting
+		// a lane cannot strand its decoded form. Decoded bytes count
+		// against the stream budget like their encoded backing.
+		_, live := c.lanes[key]
+		if ambient {
+			_, live = c.scheds[key]
+		}
+		if live {
+			c.unpacked[key] = u
+			c.streamBytes += int64(u.SizeBytes())
+			c.evictLocked()
+		}
+	}
+	c.sm.Unlock()
+	return u, true
+}
+
+// lookupSchedule returns the DDT-invariant schedule entry (operation
+// schedule, ambient lane, summary) for a configuration key.
+func (c *Cache) lookupSchedule(key string) (*astream.Schedule, *astream.SubStream, apps.Summary, bool) {
+	c.sm.RLock()
+	e, ok := c.scheds[key]
+	c.sm.RUnlock()
+	if !ok || e.Ambient.Partial {
+		c.laneMisses.Add(1)
+		return nil, nil, apps.Summary{}, false
+	}
+	c.laneHits.Add(1)
+	return e.Sched, e.Ambient, cloneSummary(e.Summary), true
+}
+
+// storeSchedule retains a configuration's schedule entry. The schedule
+// is DDT-invariant, so the first complete capture of a configuration
+// wins and later stores are no-ops. Schedules are charged against the
+// stream budget but never evicted: without one, every lane of its
+// configuration is useless.
+func (c *Cache) storeSchedule(key string, e schedEntry) {
+	if e.Ambient.Partial {
+		return
+	}
+	c.sm.Lock()
+	defer c.sm.Unlock()
+	if c.streamBudget <= 0 {
+		return
+	}
+	if _, ok := c.scheds[key]; ok {
+		return
+	}
+	e.Summary = cloneSummary(e.Summary)
+	c.scheds[key] = e
+	c.streamBytes += e.sizeBytes()
+	c.evictLocked()
+}
+
 // streamEntries snapshots the retained streams (complete and partial).
 func (c *Cache) streamEntries() []streamEntry {
 	c.sm.RLock()
@@ -224,8 +380,11 @@ func (c *Cache) has(key string) bool {
 	return ok && !e.Result.Aborted
 }
 
-// evictLocked drops the oldest streams until the budget holds. Called
-// with sm held.
+// evictLocked drops retained stream data until the budget holds: whole
+// streams first (each is one simulation point; a lane serves 10^(K-1)
+// combinations), then lane sub-streams, oldest first. Schedules stay —
+// they are small and every lane of their configuration depends on them.
+// Called with sm held.
 func (c *Cache) evictLocked() {
 	for c.streamBytes > c.streamBudget && len(c.streamOrder) > 0 {
 		key := c.streamOrder[0]
@@ -235,8 +394,23 @@ func (c *Cache) evictLocked() {
 			delete(c.streams, key)
 		}
 	}
+	for c.streamBytes > c.streamBudget && len(c.laneOrder) > 0 {
+		key := c.laneOrder[0]
+		c.laneOrder = c.laneOrder[1:]
+		if s, ok := c.lanes[key]; ok {
+			c.streamBytes -= int64(s.SizeBytes())
+			delete(c.lanes, key)
+			if u, ok := c.unpacked[key]; ok {
+				c.streamBytes -= int64(u.SizeBytes())
+				delete(c.unpacked, key)
+			}
+		}
+	}
 	if len(c.streamOrder) == 0 {
 		c.streamOrder = nil
+	}
+	if len(c.laneOrder) == 0 {
+		c.laneOrder = nil
 	}
 }
 
@@ -259,11 +433,14 @@ func (c *Cache) storeProfile(key string, p *profiler.Set) {
 	c.pm.Unlock()
 }
 
-// cacheFile is the persistent form of a Cache. Streams are optional
-// (SaveWithStreams); profiles are runtime-only.
+// cacheFile is the persistent form of a Cache. Streams, lane sub-streams
+// and schedules are optional (SaveWithStreams); profiles are runtime-
+// only. Files written before a field existed decode it as empty.
 type cacheFile struct {
 	Entries map[string]cacheEntry
 	Streams map[string]streamEntry
+	Lanes   map[string]*astream.SubStream
+	Scheds  map[string]schedEntry
 }
 
 // Save serializes the cached results to w (gob), without the access
@@ -274,8 +451,9 @@ func (c *Cache) Save(w io.Writer) error {
 }
 
 // SaveWithStreams serializes the cached results and the retained access
-// streams, so a later process can replay new platform points without
-// re-executing anything.
+// streams — whole-run streams, per-(role, kind) lane sub-streams and
+// schedules — so a later process can replay new platform points or
+// compose new combinations without re-executing anything.
 func (c *Cache) SaveWithStreams(w io.Writer) error {
 	return c.save(w, true)
 }
@@ -293,6 +471,14 @@ func (c *Cache) save(w io.Writer, withStreams bool) error {
 		f.Streams = make(map[string]streamEntry, len(c.streams))
 		for k, v := range c.streams {
 			f.Streams[k] = v
+		}
+		f.Lanes = make(map[string]*astream.SubStream, len(c.lanes))
+		for k, v := range c.lanes {
+			f.Lanes[k] = v
+		}
+		f.Scheds = make(map[string]schedEntry, len(c.scheds))
+		for k, v := range c.scheds {
+			f.Scheds[k] = v
 		}
 		c.sm.RUnlock()
 	}
@@ -335,6 +521,28 @@ func (c *Cache) Load(r io.Reader) error {
 		c.streams[k] = v
 		c.streamBytes += int64(v.Stream.SizeBytes())
 	}
+	for k, v := range f.Lanes {
+		if v == nil || v.Partial {
+			continue
+		}
+		if old, ok := c.lanes[k]; ok {
+			c.streamBytes -= int64(old.SizeBytes())
+		} else {
+			c.laneOrder = append(c.laneOrder, k)
+		}
+		c.lanes[k] = v
+		c.streamBytes += int64(v.SizeBytes())
+	}
+	for k, v := range f.Scheds {
+		if v.Sched == nil || v.Ambient == nil || v.Ambient.Partial {
+			continue
+		}
+		if _, ok := c.scheds[k]; ok {
+			continue
+		}
+		c.scheds[k] = v
+		c.streamBytes += v.sizeBytes()
+	}
 	c.evictLocked()
 	c.sm.Unlock()
 	return nil
@@ -342,14 +550,33 @@ func (c *Cache) Load(r io.Reader) error {
 
 // cacheKey renders the complete identity of one simulation: the
 // platform-invariant part (streamKey) plus the platform configuration.
-func cacheKey(app string, cfg Config, assign apps.Assignment, packets int, platform memsim.Config) string {
-	return fmt.Sprintf("%s|%+v", streamKey(app, cfg, assign, packets), platform)
+// arenas distinguishes the per-role-arena address model, whose results
+// are deliberately never interchangeable with shared-heap ones.
+func cacheKey(app string, cfg Config, assign apps.Assignment, packets int, platform memsim.Config, arenas bool) string {
+	return fmt.Sprintf("%s|%+v", streamKey(app, cfg, assign, packets, arenas), platform)
 }
 
 // streamKey renders the platform-invariant part of a simulation's
-// identity — everything that determines the word-access stream.
-func streamKey(app string, cfg Config, assign apps.Assignment, packets int) string {
-	return fmt.Sprintf("%s|%s|%d|%s", app, cfg, packets, assign)
+// identity — everything that determines the word-access stream,
+// including the address model.
+func streamKey(app string, cfg Config, assign apps.Assignment, packets int, arenas bool) string {
+	k := fmt.Sprintf("%s|%s|%d|%s", app, cfg, packets, assign)
+	if arenas {
+		k += "|arenas"
+	}
+	return k
+}
+
+// laneKey identifies one (role, kind) lane sub-stream: the DDT-invariant
+// run identity plus the single role and the kind implementing it. Lane
+// capture always runs arena-mode, so no address-model marker is needed.
+func laneKey(app string, cfg Config, packets int, role string, kind ddt.Kind) string {
+	return fmt.Sprintf("%s|%s|%d|lane|%s=%s", app, cfg, packets, role, kind)
+}
+
+// schedKey identifies a configuration's DDT-invariant schedule entry.
+func schedKey(app string, cfg Config, packets int) string {
+	return fmt.Sprintf("%s|%s|%d|sched", app, cfg, packets)
 }
 
 // cloneSummary deep-copies a behavioural summary.

@@ -49,6 +49,7 @@ type Outcome struct {
 	Err       error
 	FromCache bool // served from the simulation cache, nothing simulated
 	Replayed  bool // served by replaying a captured access stream
+	Composed  bool // served by composing per-role sub-streams
 	Aborted   bool // stopped early by the dominance guard; Result.Vec is partial
 }
 
@@ -58,8 +59,9 @@ type Outcome struct {
 type EngineStats struct {
 	Simulated int // simulations executed to completion
 	Replayed  int // results produced by replaying captured access streams
+	Composed  int // results produced by composing per-role sub-streams
 	CacheHits int // results served from the cache
-	Aborted   int // simulations (live or replayed) stopped early by the dominance guard
+	Aborted   int // simulations (live, replayed or composed) stopped early by the dominance guard
 }
 
 // Engine is the streaming exploration driver: it expands combination and
@@ -88,6 +90,7 @@ type Engine struct {
 
 	simulated atomic.Int64
 	replayed  atomic.Int64
+	composed  atomic.Int64
 	cacheHits atomic.Int64
 	aborted   atomic.Int64
 }
@@ -96,6 +99,9 @@ type Engine struct {
 // Options.DisableCache is set, the engine uses Options.Cache or, when that
 // is nil, a fresh private cache.
 func NewEngine(a apps.App, opts Options) *Engine {
+	if opts.Compose {
+		opts.Arenas = true // composition is defined on the arena address model
+	}
 	e := &Engine{
 		app:        a,
 		opts:       opts,
@@ -125,6 +131,7 @@ func (e *Engine) Stats() EngineStats {
 	return EngineStats{
 		Simulated: int(e.simulated.Load()),
 		Replayed:  int(e.replayed.Load()),
+		Composed:  int(e.composed.Load()),
 		CacheHits: int(e.cacheHits.Load()),
 		Aborted:   int(e.aborted.Load()),
 	}
@@ -279,15 +286,17 @@ func (e *Engine) stream(ctx context.Context, jobs iter.Seq[Job], guardFor func(J
 }
 
 // runJob resolves one job along the cheapest sound path: exact-key cache
-// lookup, then replay of a captured access stream for the same platform-
-// invariant identity, then a (possibly guarded) live simulation — which,
-// when capture is on, records the stream so every other platform point
-// of this identity becomes a replay. All three paths fill the cache.
+// lookup, then composition of cached per-role sub-streams (Compose),
+// then replay of a captured whole-run access stream for the same
+// platform-invariant identity, then a (possibly guarded) live simulation
+// — which records whatever capture mode is on, so later jobs take a
+// cheaper path. All paths fill the cache.
 func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
 	o := Outcome{Index: idx, Job: jb}
 	var key, skey string
+	compose := e.opts.Compose && e.cache != nil
 	if e.cache != nil {
-		key = cacheKey(e.app.Name(), jb.Cfg, jb.Assign, e.opts.packets(), e.opts.platformConfig())
+		key = cacheKey(e.app.Name(), jb.Cfg, jb.Assign, e.opts.packets(), e.opts.platformConfig(), e.opts.Arenas)
 		// A guarded stream may reuse a dominance tombstone: the job space
 		// of a step is deterministic, so a point an identical exploration
 		// (same simulation identity AND same exploration semantics)
@@ -298,8 +307,12 @@ func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
 			o.Aborted = r.Aborted
 			return o
 		}
-		if e.opts.CaptureStreams {
-			skey = streamKey(e.app.Name(), jb.Cfg, jb.Assign, e.opts.packets())
+		if compose && e.composeJob(&o, jb, guard) {
+			e.cache.store(key, o.Result, e.exploreCtx)
+			return o
+		}
+		if e.opts.CaptureStreams && !compose {
+			skey = streamKey(e.app.Name(), jb.Cfg, jb.Assign, e.opts.packets(), e.opts.Arenas)
 			if st, sum, ok := e.cache.lookupStream(skey); ok && e.replayJob(&o, st, sum, jb, guard) {
 				e.cache.store(key, o.Result, e.exploreCtx)
 				return o
@@ -311,14 +324,26 @@ func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
 		o.Err = err
 		return o
 	}
-	p := platform.New(e.opts.platformConfig())
-	if guard != nil {
-		p.AbortWhen(abortCheckProbes, guard.dominatedBeyond)
-	}
-	var rec *astream.Recorder
-	if skey != "" {
-		rec = astream.NewRecorder()
-		p.Capture(rec)
+	p := newPlatform(e.app, e.opts)
+	var (
+		rec *astream.Recorder
+		cr  *astream.ComposedRecorder
+	)
+	switch {
+	case compose:
+		// A compositional capture run is one of the ~10·K executions the
+		// whole combination space composes from; letting the guard kill
+		// it would forfeit lanes that 10^(K-1) other jobs need, so it
+		// runs unguarded.
+		cr = p.CaptureComposed()
+	default:
+		if guard != nil {
+			p.AbortWhen(abortCheckProbes, guard.dominatedBeyond)
+		}
+		if skey != "" {
+			rec = astream.NewRecorder()
+			p.Capture(rec)
+		}
 	}
 	sum, abortedRun, err := runRecovering(e.app, tr, p, jb.Assign, jb.Cfg.Knobs)
 	if err != nil {
@@ -331,8 +356,12 @@ func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
 		p.EndCapture()
 		e.cache.storeStream(skey, streamEntry{
 			App: e.app.Name(), Cfg: jb.Cfg, Assign: jb.Assign, Packets: e.opts.packets(),
-			Stream: rec.Finish(abortedRun), Summary: sum,
+			Stream: rec.Finish(abortedRun), Summary: sum, Arenas: e.opts.Arenas,
 		})
+	}
+	if cr != nil {
+		p.EndCapture()
+		e.storeComposed(jb, cr, sum, abortedRun)
 	}
 	o.Result = Result{
 		App:     e.app.Name(),
@@ -352,6 +381,93 @@ func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
 		e.cache.store(key, o.Result, e.exploreCtx) // aborted results become tombstones
 	}
 	return o
+}
+
+// storeComposed files one compositional capture: the configuration's
+// schedule entry (DDT-invariant) plus one lane sub-stream per role,
+// keyed by the kind that implemented the role in this run.
+func (e *Engine) storeComposed(jb Job, cr *astream.ComposedRecorder, sum apps.Summary, aborted bool) {
+	sched, subs := cr.Finish(aborted)
+	if aborted {
+		return // partial lanes prove nothing; compose mode runs unguarded anyway
+	}
+	app, packets := e.app.Name(), e.opts.packets()
+	e.cache.storeSchedule(schedKey(app, jb.Cfg, packets), schedEntry{
+		Sched: sched, Ambient: subs[0], Summary: sum,
+	})
+	for i, role := range sched.Roles {
+		kind := apps.KindFor(jb.Assign, role)
+		e.cache.storeLane(laneKey(app, jb.Cfg, packets, role, kind), subs[i+1])
+	}
+}
+
+// composedLanes gathers the schedule and the job point's pre-decoded
+// lanes from the cache: the ambient lane plus one unpacked sub-stream
+// per role, selected by the assignment's kind for that role. ok is
+// false as soon as anything is missing.
+func (e *Engine) composedLanes(cfg Config, assign apps.Assignment) (sched *astream.Schedule, lanes []*astream.UnpackedLane, sum apps.Summary, ok bool) {
+	app, packets := e.app.Name(), e.opts.packets()
+	sk := schedKey(app, cfg, packets)
+	sched, ambient, sum, ok := e.cache.lookupSchedule(sk)
+	if !ok {
+		return nil, nil, apps.Summary{}, false
+	}
+	lanes = make([]*astream.UnpackedLane, len(sched.Roles)+1)
+	if lanes[0], ok = e.cache.unpackedLane(sk, ambient, true); !ok {
+		return nil, nil, apps.Summary{}, false
+	}
+	for i, role := range sched.Roles {
+		lk := laneKey(app, cfg, packets, role, apps.KindFor(assign, role))
+		sub, ok := e.cache.lookupLane(lk)
+		if !ok {
+			return nil, nil, apps.Summary{}, false
+		}
+		if lanes[i+1], ok = e.cache.unpackedLane(lk, sub, false); !ok {
+			return nil, nil, apps.Summary{}, false
+		}
+	}
+	return sched, lanes, sum, true
+}
+
+// composeJob satisfies a job by interleaving cached per-role sub-streams
+// for the job's DDT assignment — exact arena-model results with no
+// execution and (lanes being pre-decoded) no decoding. It reports false
+// when the schedule or any role's lane is not cached, sending the caller
+// to the live path.
+func (e *Engine) composeJob(o *Outcome, jb Job, guard *frontGuard) bool {
+	sched, lanes, sum, ok := e.composedLanes(jb.Cfg, jb.Assign)
+	if !ok {
+		return false
+	}
+	cfg := e.opts.platformConfig()
+	model := energy.CACTILike(cfg)
+	var g astream.GuardFunc
+	if guard != nil {
+		g = func(c astream.Cost) bool {
+			return guard.dominatedBeyond(replayVector(cfg, model, c))
+		}
+	}
+	costs, err := astream.ReplayComposedUnpacked(sched, lanes, []memsim.Config{cfg}, g)
+	if err != nil {
+		return false
+	}
+	cost := costs[0]
+	o.Result = Result{
+		App:     e.app.Name(),
+		Config:  jb.Cfg,
+		Assign:  jb.Assign,
+		Vec:     replayVector(cfg, model, cost),
+		Summary: sum,
+		Aborted: cost.Aborted,
+	}
+	o.Composed = true
+	o.Aborted = cost.Aborted
+	if cost.Aborted {
+		e.aborted.Add(1)
+	} else {
+		e.composed.Add(1)
+	}
+	return true
 }
 
 // replayVector assembles the cost vector a live platform.Metrics would
@@ -487,6 +603,13 @@ func (e *Engine) EvaluatePlatforms(ctx context.Context, cfg Config, assign apps.
 	if len(platforms) == 0 {
 		return nil, nil
 	}
+	// Compose mode: if the point's lanes are cached, one merged decode
+	// evaluates every platform without any stream capture.
+	if e.opts.Compose && e.cache != nil {
+		if vecs, ok := e.composePlatforms(cfg, assign, platforms); ok {
+			return vecs, nil
+		}
+	}
 	st, sum, err := e.captureStream(cfg, assign)
 	if err != nil {
 		return nil, err
@@ -495,7 +618,7 @@ func (e *Engine) EvaluatePlatforms(ctx context.Context, cfg Config, assign apps.
 		// Capture unavailable: one live simulation per platform.
 		vecs := make([]metrics.Vector, len(platforms))
 		for i, pc := range platforms {
-			o := Options{TracePackets: e.opts.packets(), Platform: &pc, DisableCache: true}
+			o := Options{TracePackets: e.opts.packets(), Platform: &pc, DisableCache: true, Arenas: e.opts.Arenas}
 			r, err := Simulate(e.app, cfg, assign, o)
 			if err != nil {
 				return nil, err
@@ -514,7 +637,7 @@ func (e *Engine) EvaluatePlatforms(ctx context.Context, cfg Config, assign apps.
 	for i, pc := range platforms {
 		vecs[i] = replayVector(pc, energy.CACTILike(pc), costs[i])
 		if e.cache != nil {
-			key := cacheKey(e.app.Name(), cfg, assign, e.opts.packets(), pc)
+			key := cacheKey(e.app.Name(), cfg, assign, e.opts.packets(), pc, e.opts.Arenas)
 			e.cache.store(key, Result{
 				App:     e.app.Name(),
 				Config:  cfg,
@@ -527,6 +650,30 @@ func (e *Engine) EvaluatePlatforms(ctx context.Context, cfg Config, assign apps.
 	return vecs, nil
 }
 
+// composePlatforms evaluates one simulation point under every platform
+// by a single merged composed replay, when the schedule and all lanes
+// are cached. Results are stored under their full identities.
+func (e *Engine) composePlatforms(cfg Config, assign apps.Assignment, platforms []memsim.Config) ([]metrics.Vector, bool) {
+	app, packets := e.app.Name(), e.opts.packets()
+	sched, lanes, sum, ok := e.composedLanes(cfg, assign)
+	if !ok {
+		return nil, false
+	}
+	costs, err := astream.ReplayComposedUnpacked(sched, lanes, platforms, nil)
+	if err != nil {
+		return nil, false
+	}
+	e.composed.Add(int64(len(platforms)))
+	vecs := make([]metrics.Vector, len(costs))
+	for i, pc := range platforms {
+		vecs[i] = replayVector(pc, energy.CACTILike(pc), costs[i])
+		e.cache.store(cacheKey(app, cfg, assign, packets, pc, true), Result{
+			App: app, Config: cfg, Assign: assign, Vec: vecs[i], Summary: sum,
+		}, e.exploreCtx)
+	}
+	return vecs, true
+}
+
 // captureStream returns the complete access stream for the point, from
 // the cache or by executing once with capture attached. A nil stream
 // (without error) means capture is unavailable (no cache to retain it).
@@ -534,7 +681,7 @@ func (e *Engine) captureStream(cfg Config, assign apps.Assignment) (*astream.Str
 	if e.cache == nil {
 		return nil, apps.Summary{}, nil
 	}
-	skey := streamKey(e.app.Name(), cfg, assign, e.opts.packets())
+	skey := streamKey(e.app.Name(), cfg, assign, e.opts.packets(), e.opts.Arenas)
 	if st, sum, ok := e.cache.lookupStream(skey); ok {
 		return st, sum, nil
 	}
@@ -542,7 +689,7 @@ func (e *Engine) captureStream(cfg Config, assign apps.Assignment) (*astream.Str
 	if err != nil {
 		return nil, apps.Summary{}, err
 	}
-	p := platform.New(e.opts.platformConfig())
+	p := newPlatform(e.app, e.opts)
 	rec := astream.NewRecorder()
 	p.Capture(rec)
 	sum, err := e.app.Run(tr, p, assign, cfg.Knobs, nil)
@@ -553,10 +700,10 @@ func (e *Engine) captureStream(cfg Config, assign apps.Assignment) (*astream.Str
 	st := rec.Finish(false)
 	e.cache.storeStream(skey, streamEntry{
 		App: e.app.Name(), Cfg: cfg, Assign: assign, Packets: e.opts.packets(),
-		Stream: st, Summary: sum,
+		Stream: st, Summary: sum, Arenas: e.opts.Arenas,
 	})
 	e.simulated.Add(1)
-	key := cacheKey(e.app.Name(), cfg, assign, e.opts.packets(), e.opts.platformConfig())
+	key := cacheKey(e.app.Name(), cfg, assign, e.opts.packets(), e.opts.platformConfig(), e.opts.Arenas)
 	e.cache.store(key, Result{
 		App: e.app.Name(), Config: cfg, Assign: assign,
 		Vec: p.Metrics(), Summary: sum,

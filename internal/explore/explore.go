@@ -28,7 +28,13 @@
 // configuration is served by replaying the stream — exact counts, cycles
 // and energy without re-running the application; ReplayPlatforms and
 // Engine.EvaluatePlatforms batch this across many platforms with one
-// decode per stream. Cancellation and deadlines propagate through
+// decode per stream. With Options.Compose the engine goes further:
+// every executed simulation runs on per-role heap arenas and records
+// one access sub-stream per container role plus the DDT-invariant
+// operation schedule, and any combination whose per-(role, kind)
+// sub-streams are cached is evaluated by interleaving them through the
+// replay kernel — so the 10^k combination space costs ~10·k executions
+// instead of 10^k. Cancellation and deadlines propagate through
 // context.Context.
 //
 // Step1, Step2 and Simulate remain as thin wrappers over a fresh Engine
@@ -116,6 +122,24 @@ type Options struct {
 	// capture costs live-simulation overhead and stream memory without a
 	// second platform to pay it back.
 	CaptureStreams bool
+	// Arenas runs live simulations on the per-role-arena address model:
+	// each container role allocates from a private region of the virtual
+	// address space, so one role's addresses never depend on another
+	// role's DDT choice. Footprint is unchanged; cache behaviour (and so
+	// cycles and energy) differs from the shared-heap model, and results
+	// from the two models are cached under distinct keys. Compose
+	// implies it.
+	Arenas bool
+	// Compose enables compositional capture and replay (implies Arenas;
+	// requires a cache): every executed simulation records one access
+	// sub-stream per container role plus the DDT-invariant operation
+	// schedule, and any combination whose per-(role, kind) sub-streams
+	// are all cached is evaluated by deterministically interleaving them
+	// through the replay kernel — exact arena-model results without
+	// re-running the application. This collapses the 10^K combination
+	// cross-product to ~10·K captures: a full exploration executes each
+	// library kind roughly once per role and composes everything else.
+	Compose bool
 	// EarlyAbort stops a running simulation once its cost vector is
 	// dominated by the incremental front beyond AbortMargin. Survivor
 	// fronts are provably unchanged (costs only grow, so a dominated
@@ -286,6 +310,16 @@ func loadTrace(name string, packets int) (*trace.Trace, error) {
 	return tr, nil
 }
 
+// newPlatform builds the platform a simulation of a runs on, applying
+// the options' address model (per-role arenas when Arenas/Compose).
+func newPlatform(a apps.App, opts Options) *platform.Platform {
+	p := platform.New(opts.platformConfig())
+	if opts.Arenas || opts.Compose {
+		p.UseArenas(apps.RoleNames(a))
+	}
+	return p
+}
+
 // Simulate runs one simulation: the application over the configuration's
 // trace with the given DDT assignment, on a fresh platform. It is the raw
 // uncached primitive; Engine.Simulate adds the cache in front of it.
@@ -294,7 +328,7 @@ func Simulate(a apps.App, cfg Config, assign apps.Assignment, opts Options) (Res
 	if err != nil {
 		return Result{}, err
 	}
-	p := platform.New(opts.platformConfig())
+	p := newPlatform(a, opts)
 	sum, err := a.Run(tr, p, assign, cfg.Knobs, nil)
 	if err != nil {
 		return Result{}, fmt.Errorf("explore: %s on %s: %w", a.Name(), cfg, err)

@@ -31,7 +31,7 @@ func ReplayPlatforms(c *Cache, platforms []memsim.Config) int {
 		}
 		var missing []int
 		for i := range platforms {
-			if !c.has(cacheKey(e.App, e.Cfg, e.Assign, e.Packets, platforms[i])) {
+			if !c.has(cacheKey(e.App, e.Cfg, e.Assign, e.Packets, platforms[i], e.Arenas)) {
 				missing = append(missing, i)
 			}
 		}
@@ -48,7 +48,7 @@ func ReplayPlatforms(c *Cache, platforms []memsim.Config) int {
 		}
 		for j, i := range missing {
 			vec := replayVector(platforms[i], models[i], costs[j])
-			c.store(cacheKey(e.App, e.Cfg, e.Assign, e.Packets, platforms[i]), Result{
+			c.store(cacheKey(e.App, e.Cfg, e.Assign, e.Packets, platforms[i], e.Arenas), Result{
 				App:     e.App,
 				Config:  e.Cfg,
 				Assign:  e.Assign,

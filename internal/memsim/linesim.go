@@ -53,6 +53,32 @@ func NewLineSim(cfg Config) *LineSim {
 	}
 }
 
+// Reset returns the simulator to its just-constructed state for cfg —
+// cold caches, zero counters — reusing the tag arrays, and reports
+// whether it could: a false return means cfg implies different cache
+// geometry and the caller must build a fresh LineSim. Reset is what lets
+// the replay hot path recycle simulators from a pool instead of
+// allocating tag arrays per replay.
+func (s *LineSim) Reset(cfg Config) bool {
+	lb := cfg.L1.LineBytes
+	if lb == 0 {
+		lb = 1
+	}
+	if lb != s.lineBytes || !s.l1.sameGeometry(cfg.L1) || !s.l2.sameGeometry(cfg.L2) {
+		return false
+	}
+	for i := range s.l1.tags {
+		s.l1.tags[i] = invalidTag
+	}
+	for i := range s.l2.tags {
+		s.l2.tags[i] = invalidTag
+	}
+	s.L1Hits, s.L2Hits, s.DRAMFills = 0, 0, 0
+	s.lastFirst, s.lastLine = noLine, noLine
+	s.pipelined = 0
+	return true
+}
+
 // LineSpan returns the first and last cache-line index an access to
 // [addr, addr+size) touches under this configuration's line size.
 func (s *LineSim) LineSpan(addr, size uint32) (uint32, uint32) {
@@ -124,6 +150,9 @@ func (s *LineSim) ProbeAccesses(addrs, sizes []uint32) {
 		if words, lines := uint64((size+3)>>2), uint64(last-first+1); words > lines {
 			pipelined += words - lines
 		}
+		if last < first {
+			continue // addr+size wraps the 32-bit space: the hierarchy probes no lines
+		}
 		if first >= lastFirst && last <= lastLine {
 			l1Hits += uint64(last - first + 1) // inside the skip window
 			continue
@@ -187,6 +216,9 @@ func (s *LineSim) probeAccessesL1x2(addrs, sizes []uint32) {
 		if words, lines := uint64((size+3)>>2), uint64(last-first+1); words > lines {
 			pipelined += words - lines
 		}
+		if last < first {
+			continue // addr+size wraps the 32-bit space: the hierarchy probes no lines
+		}
 		if first >= lastFirst && last <= lastLine {
 			l1Hits += uint64(last - first + 1) // inside the skip window
 			continue
@@ -242,6 +274,9 @@ func (s *LineSim) probeAccessesGeneric(addrs, sizes []uint32) {
 		first, last := s.LineSpan(addr, size)
 		if words, lines := uint64((size+3)/4), uint64(last-first+1); words > lines {
 			s.pipelined += words - lines
+		}
+		if last < first {
+			continue // addr+size wraps the 32-bit space: the hierarchy probes no lines
 		}
 		if first >= s.lastFirst && last <= s.lastLine {
 			s.L1Hits += uint64(last - first + 1) // inside the skip window

@@ -90,15 +90,31 @@ func (c Counts) LineProbes() uint64 { return c.L1Hits + c.L2Hits + c.DRAMFills }
 // access, ALU ops are not reported individually: the hierarchy
 // accumulates them and hands the total charged since the previous event
 // to the next RecordAccess. RecordOps only carries trailing ops forced
-// out by a detach (SetEventSink). The reordering is unobservable: op
-// totals are additive and every cost snapshot the simulator takes
-// happens on an access.
+// out by a detach (SetEventSink) or an op boundary (Boundary). The
+// reordering is unobservable: op totals are additive and every cost
+// snapshot the simulator takes happens on an access.
 type EventSink interface {
 	// RecordAccess observes one load (write=false) or store, together
 	// with the ALU op cycles charged since the previous recorded event.
 	RecordAccess(write bool, addr, size uint32, ops uint64)
 	// RecordOps observes ALU op cycles with no following access.
 	RecordOps(ops uint64)
+}
+
+// BoundarySink is an EventSink that additionally wants operation-boundary
+// markers: the seam compositional capture uses to segment the event
+// stream per container role. The DDT layer announces the owning lane at
+// the start of every container operation (lane 0 is ambient application
+// work, lanes 1.. are container roles in the application's role order);
+// everything recorded between two markers belongs to the lane of the
+// first. Sinks that do not implement BoundarySink never see markers and
+// observe the flat stream exactly as before.
+type BoundarySink interface {
+	EventSink
+	// RecordBoundary observes the start of an operation owned by lane.
+	// Op cycles pending at the boundary are flushed to RecordOps first,
+	// so they land in the lane that charged them.
+	RecordBoundary(lane int)
 }
 
 // Hierarchy is the simulated memory subsystem. Create one per simulation
@@ -111,8 +127,11 @@ type Hierarchy struct {
 	cycles uint64
 
 	// sink, when set, receives every access before it is accounted;
-	// sinkOps accumulates op cycles not yet handed to it.
+	// sinkOps accumulates op cycles not yet handed to it. bsink caches
+	// the sink's BoundarySink side (nil when the sink has none), so
+	// Boundary costs one nil check when markers are not wanted.
 	sink    EventSink
+	bsink   BoundarySink
 	sinkOps uint64
 
 	// Early-abort hook: abortFn is consulted every abortEvery line probes
@@ -133,6 +152,23 @@ func (h *Hierarchy) SetEventSink(s EventSink) {
 	}
 	h.sinkOps = 0
 	h.sink = s
+	h.bsink, _ = s.(BoundarySink)
+}
+
+// Boundary announces the start of an operation owned by lane to a
+// boundary-aware sink. Pending op cycles are flushed first so they are
+// attributed to the lane that charged them. Without a BoundarySink
+// attached this is a nil check — the DDT layer calls it on every
+// container operation, captured or not.
+func (h *Hierarchy) Boundary(lane int) {
+	if h.bsink == nil {
+		return
+	}
+	if h.sinkOps != 0 {
+		h.bsink.RecordOps(h.sinkOps)
+		h.sinkOps = 0
+	}
+	h.bsink.RecordBoundary(lane)
 }
 
 // Aborted is the sentinel the hierarchy panics with when an installed
@@ -310,6 +346,20 @@ func newCache(g CacheGeometry) *cache {
 		c.tags[i] = invalidTag
 	}
 	return c
+}
+
+// sameGeometry reports whether the cache was built from a geometry
+// equivalent to g (same effective set count and associativity).
+func (c *cache) sameGeometry(g CacheGeometry) bool {
+	sets := g.Sets()
+	if sets == 0 {
+		sets = 1
+	}
+	assoc := g.Assoc
+	if assoc == 0 {
+		assoc = 1
+	}
+	return c.nsets == sets && c.assoc == assoc
 }
 
 // setIndex maps a line address to its set.

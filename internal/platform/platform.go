@@ -23,6 +23,12 @@ type Platform struct {
 	Heap  *vheap.Heap
 	Mem   *memsim.Hierarchy
 	Model energy.Model
+
+	// Arena mode (UseArenas): per-role address arenas and their 1-based
+	// lanes, keyed by role name. Empty outside arena mode.
+	roleOrder  []string
+	roleArenas map[string]*vheap.Arena
+	roleLanes  map[string]int
 }
 
 // New builds a platform from the memory-subsystem configuration, deriving
@@ -39,6 +45,63 @@ func New(cfg memsim.Config) *Platform {
 // 128 KiB L2, 1.6 GHz clock — see memsim.DefaultConfig).
 func Default() *Platform {
 	return New(memsim.DefaultConfig())
+}
+
+// UseArenas switches the platform to the per-role arena address model:
+// each named role gets a private 256 MiB region of the virtual address
+// space (in the given order, which assigns lanes 1..len(roles)), so one
+// role's heap addresses can never depend on another role's allocation
+// behaviour. Call it once, before the application runs. Footprint
+// accounting is unchanged — the heap's peak is the high-water mark of
+// the summed arena live bytes — but cache behaviour differs from the
+// shared-heap model (blocks land at different addresses), so results
+// from the two address models must never be compared point-for-point.
+func (p *Platform) UseArenas(roles []string) {
+	if p.roleArenas != nil {
+		panic("platform: UseArenas called twice")
+	}
+	p.roleOrder = append([]string(nil), roles...)
+	p.roleArenas = make(map[string]*vheap.Arena, len(roles))
+	p.roleLanes = make(map[string]int, len(roles))
+	for i, r := range p.roleOrder {
+		p.roleArenas[r] = p.Heap.NewArena(r)
+		p.roleLanes[r] = i + 1
+	}
+}
+
+// ArenaMode reports whether UseArenas has partitioned the platform.
+func (p *Platform) ArenaMode() bool { return p.roleArenas != nil }
+
+// ArenaFor returns the arena and lane of a role in arena mode; ok is
+// false outside arena mode or for an unknown role.
+func (p *Platform) ArenaFor(role string) (a *vheap.Arena, lane int, ok bool) {
+	a, ok = p.roleArenas[role]
+	if !ok {
+		return nil, 0, false
+	}
+	return a, p.roleLanes[role], true
+}
+
+// CaptureComposed attaches a compositional capture to an arena-mode
+// platform and returns the recorder: the event stream is segmented at
+// the operation boundaries the DDT layer announces, each segment routed
+// to the sub-stream of its owning lane, with per-arena footprint deltas
+// recorded at every segment end. One run therefore captures the
+// (role, kind) sub-stream of every role at once, plus the kind-invariant
+// ambient lane and operation schedule. Detach with EndCapture before
+// Recorder.Finish, as with Capture.
+func (p *Platform) CaptureComposed() *astream.ComposedRecorder {
+	if p.roleArenas == nil {
+		panic("platform: CaptureComposed requires UseArenas")
+	}
+	meters := make([]astream.LaneMeter, 0, len(p.roleOrder)+1)
+	meters = append(meters, p.Heap.DefaultArena())
+	for _, r := range p.roleOrder {
+		meters = append(meters, p.roleArenas[r])
+	}
+	cr := astream.NewComposedRecorder(p.roleOrder, meters)
+	p.Mem.SetEventSink(cr)
+	return cr
 }
 
 // Capture tees the platform's activity into rec: every memory event goes

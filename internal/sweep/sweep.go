@@ -82,6 +82,13 @@ type Result struct {
 // fraction of the execution cost. Profiling runs are likewise shared
 // across platforms, since per-role access attribution is platform-
 // invariant.
+//
+// With opts.Compose the sweep runs on compositional capture instead:
+// per-role sub-streams (platform- AND combination-invariant) replace
+// whole-run streams, so the first platform's methodology already runs
+// mostly on composed replays, later platforms compose from the same
+// ~10·K lanes, and the warm pass is unnecessary. Results then use the
+// per-role-arena address model throughout.
 func Run(app apps.App, platforms []PlatformPoint, opts explore.Options) ([]Result, error) {
 	if len(platforms) == 0 {
 		return nil, fmt.Errorf("sweep: no platform points")
@@ -90,7 +97,9 @@ func Run(app apps.App, platforms []PlatformPoint, opts explore.Options) ([]Resul
 		if opts.Cache == nil {
 			opts.Cache = explore.NewCache()
 		}
-		opts.CaptureStreams = true
+		// Composition subsumes whole-run capture: lanes serve platform
+		// changes and combination changes alike.
+		opts.CaptureStreams = !opts.Compose
 	}
 	out := make([]Result, 0, len(platforms))
 	for i, pp := range platforms {
