@@ -11,12 +11,17 @@
 //	ddt-explore -app Route [-packets 8000] [-log route.log] [-charts]
 //	ddt-explore -app Route -workers 4 -early-abort -progress
 //	ddt-explore -app URL -cache url.simcache         # warm across runs
-//	ddt-explore -app URL -replay-cache url.replay    # + access streams
+//	ddt-explore -app URL -replay-cache url.replay    # + access streams and
+//	                                                 # reuse profiles
 //	ddt-explore -app DRR -compose                    # compositional capture:
 //	                                                 # 10*K executions serve
 //	                                                 # the 10^K combinations
-//	ddt-explore -app URL -platforms all              # co-design sweep of
-//	                                                 # the recommendation
+//	ddt-explore -app URL -platforms all              # co-design sweep of the
+//	                                                 # recommendation: one
+//	                                                 # geometry-collapsed probe
+//	                                                 # pass per line size (or
+//	                                                 # zero, from cached reuse
+//	                                                 # profiles)
 //	ddt-explore -app Route -cpuprofile cpu.pprof     # profile the run
 package main
 
@@ -71,9 +76,9 @@ func main() {
 	flag.BoolVar(&c.earlyAbort, "early-abort", false, "stop simulations already dominated by the running front (fronts stay exact; full-space charts thin out)")
 	flag.Float64Var(&c.abortMargin, "abort-margin", 0, "early-abort safety margin (0 = default)")
 	flag.StringVar(&c.cachePath, "cache", "", "simulation cache file: loaded before the run, saved after")
-	flag.StringVar(&c.replayCache, "replay-cache", "", "like -cache, but also captures and persists access streams, so later runs evaluate new platform configurations by replay instead of re-execution")
+	flag.StringVar(&c.replayCache, "replay-cache", "", "like -cache, but also captures and persists access streams and the reuse profiles of platform evaluations, so later runs evaluate new platform configurations by replay — or by profile arithmetic with zero probe passes — instead of re-execution")
 	flag.BoolVar(&c.compose, "compose", false, "compositional capture: record one access sub-stream per container role (per-role heap arenas) and evaluate DDT combinations by interleaving cached sub-streams instead of re-executing — the 10^K cross-product costs ~10*K executions")
-	flag.StringVar(&c.platforms, "platforms", "", "comma-separated platform points (or 'all') to evaluate the best-energy recommendation on by stream replay; names from the default sweep set")
+	flag.StringVar(&c.platforms, "platforms", "", "comma-separated platform points (or 'all') to evaluate the best-energy recommendation on: points sharing a cache line size are costed by one all-geometry replay pass (a cached reuse profile makes the sweep pure arithmetic); names from the default sweep set")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile of the exploration to this file")
 	flag.StringVar(&c.memProfile, "memprofile", "", "write a heap profile (taken after the exploration) to this file")
 	flag.BoolVar(&c.progress, "progress", false, "report streaming progress per step")
@@ -194,8 +199,8 @@ func run(c cliConfig) error {
 		report.Percent(r.EnergySaving), report.Percent(r.TimeSaving))
 
 	st := eng.Stats()
-	fmt.Printf("\nexploration wall time: %.1fs (budget %d; engine simulated %d, replayed %d, composed %d, cache hits %d, early aborts %d)\n",
-		elapsed.Seconds(), r.Reduced, st.Simulated, st.Replayed, st.Composed, st.CacheHits, st.Aborted)
+	fmt.Printf("\nexploration wall time: %.1fs (budget %d; engine simulated %d, replayed %d, composed %d, profile-served %d, cache hits %d, early aborts %d)\n",
+		elapsed.Seconds(), r.Reduced, st.Simulated, st.Replayed, st.Composed, st.Profiled, st.CacheHits, st.Aborted)
 
 	if c.platforms != "" {
 		if err := evaluatePlatforms(eng, r, c.platforms); err != nil {
@@ -285,7 +290,7 @@ func evaluatePlatforms(eng *explore.Engine, r *core.Report, names string) error 
 		return err
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("\nco-design: best-energy combination (%s) across %d platform designs (%.1fms, stream replay):\n",
+	fmt.Printf("\nco-design: best-energy combination (%s) across %d platform designs (%.1fms, all-geometry replay):\n",
 		r.BestEnergy.Label, len(points), float64(elapsed.Microseconds())/1000)
 	var rows [][]string
 	for i, p := range points {
@@ -362,8 +367,8 @@ func loadCache(path string) (*explore.Cache, error) {
 		return nil, err
 	}
 	stats := cache.Stats()
-	fmt.Fprintf(os.Stderr, "loaded %d cached simulations (%d access streams, %d role lanes) from %s\n",
-		stats.Entries, stats.Streams, stats.Lanes, path)
+	fmt.Fprintf(os.Stderr, "loaded %d cached simulations (%d access streams, %d role lanes, %d reuse profiles) from %s\n",
+		stats.Entries, stats.Streams, stats.Lanes, stats.ReuseProfiles, path)
 	return cache, nil
 }
 
@@ -401,8 +406,8 @@ func saveCache(path string, cache *explore.Cache, withStreams bool) error {
 	}
 	stats := cache.Stats()
 	if withStreams {
-		fmt.Printf("simulation cache saved to %s (%d entries, %d access streams, %d role lanes, %dKB of streams)\n",
-			path, stats.Entries, stats.Streams, stats.Lanes, stats.StreamBytes>>10)
+		fmt.Printf("simulation cache saved to %s (%d entries, %d access streams, %d role lanes, %d reuse profiles, %dKB of streams+profiles)\n",
+			path, stats.Entries, stats.Streams, stats.Lanes, stats.ReuseProfiles, stats.StreamBytes>>10)
 	} else {
 		fmt.Printf("simulation cache saved to %s (%d entries)\n", path, stats.Entries)
 	}

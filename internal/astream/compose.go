@@ -337,26 +337,37 @@ func (s *SubStream) Unpack() (*UnpackedLane, error) {
 // one or many platform configurations in a single merged pass: no
 // varint decoding remains on this path — each scheduled segment probes
 // its slice of the lane's address array and adds precomputed aggregates.
-// guard (single-configuration only) is polled about once per batchEvents
-// probed accesses.
+// Configurations sharing an L1 line size collapse into one all-geometry
+// probe pass (memsim.GeomSim), as in ReplayMulti. guard (single-
+// configuration only) is polled about once per batchEvents probed
+// accesses.
 func ReplayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsim.Config, guard GuardFunc) ([]Cost, error) {
+	costs, _, err := replayComposedUnpacked(sched, lanes, cfgs, guard, false)
+	return costs, err
+}
+
+// ReplayComposedUnpackedProfiled is ReplayComposedUnpacked plus the
+// reuse profiles of the pass, one per geometry family — the composed
+// counterpart of ReplayMultiProfiled.
+func ReplayComposedUnpackedProfiled(sched *Schedule, lanes []*UnpackedLane, cfgs []memsim.Config) ([]Cost, []*memsim.ReuseProfile, error) {
+	return replayComposedUnpacked(sched, lanes, cfgs, nil, true)
+}
+
+func replayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsim.Config, guard GuardFunc, profiled bool) ([]Cost, []*memsim.ReuseProfile, error) {
 	if len(lanes) != len(sched.Roles)+1 {
-		return nil, fmt.Errorf("astream: schedule names %d roles but %d lanes supplied", len(sched.Roles), len(lanes))
+		return nil, nil, fmt.Errorf("astream: schedule names %d roles but %d lanes supplied", len(sched.Roles), len(lanes))
 	}
 	for i, u := range lanes {
 		if u == nil {
-			return nil, fmt.Errorf("astream: missing unpacked lane %d", i)
+			return nil, nil, fmt.Errorf("astream: missing unpacked lane %d", i)
 		}
 	}
 	if guard != nil && len(cfgs) != 1 {
-		return nil, fmt.Errorf("astream: guarded composed replay supports exactly one configuration")
+		return nil, nil, fmt.Errorf("astream: guarded composed replay supports exactly one configuration")
 	}
 	sc := getScratch()
 	defer putScratch(sc)
-	sims := make([]*memsim.LineSim, len(cfgs))
-	for k, cfg := range cfgs {
-		sims[k] = sc.simFor(k, cfg)
-	}
+	plan := sc.planFor(cfgs, profiled)
 	cursor := sc.cursorsFor(len(lanes))
 
 	var (
@@ -369,7 +380,7 @@ func ReplayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsi
 	for i := 0; i < len(toks); {
 		t := int(toks[i])
 		if t >= len(lanes) {
-			return nil, fmt.Errorf("astream: schedule token %d outside %d lanes", t, len(lanes))
+			return nil, nil, fmt.Errorf("astream: schedule token %d outside %d lanes", t, len(lanes))
 		}
 		// Consecutive segments of one lane (a radix descent, a queue
 		// drain) are contiguous in the lane's arrays: fold the run into
@@ -383,15 +394,12 @@ func ReplayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsi
 		s0 := cursor[t]
 		sEnd := s0 + run
 		if sEnd > len(u.SegOps) {
-			return nil, errSegMismatch
+			return nil, nil, errSegMismatch
 		}
 		cursor[t] = sEnd
 		lo, hi := u.SegIdx[s0], u.SegIdx[sEnd]
 		if hi > lo {
-			addrs, sizes := u.Addr[lo:hi], u.Size[lo:hi]
-			for _, ls := range sims {
-				ls.ProbeAccesses(addrs, sizes)
-			}
+			plan.probe(u.Addr[lo:hi], u.Size[lo:hi])
 		}
 		for s := s0; s < sEnd; s++ {
 			inv.ReadWords += uint64(u.SegReadW[s])
@@ -405,18 +413,20 @@ func ReplayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsi
 		if guard != nil {
 			if sinceGuard += int(hi - lo); sinceGuard >= batchEvents {
 				sinceGuard = 0
-				if snap := costOf(cfgs[0], sims[0], inv, peak); guard(snap) {
+				// A guarded replay has exactly one configuration, which a
+				// non-profiled plan always serves with a dedicated LineSim.
+				if snap := costOf(cfgs[0], plan.sims[0], inv, peak); guard(snap) {
 					snap.Aborted = true
-					return []Cost{snap}, nil
+					return []Cost{snap}, nil, nil
 				}
 			}
 		}
 	}
-	out := make([]Cost, len(cfgs))
-	for k, cfg := range cfgs {
-		out[k] = costOf(cfg, sims[k], inv, peak)
+	out := plan.costs(inv, peak)
+	if !profiled {
+		return out, nil, nil
 	}
-	return out, nil
+	return out, plan.profiles(inv, peak), nil
 }
 
 // ReplayComposed evaluates one DDT combination under cfg by merging the
@@ -437,8 +447,9 @@ func ReplayComposed(sched *Schedule, lanes []*SubStream, cfg memsim.Config, guar
 
 // ReplayComposedMulti evaluates one DDT combination under K platform
 // configurations in a single merged pass: the lanes are decoded and
-// interleaved once, and every configuration probes the shared batches —
-// the composed counterpart of ReplayMulti.
+// interleaved once, and same-line-size configuration families collapse
+// into one all-geometry probe of the shared batches — the composed
+// counterpart of ReplayMulti.
 func ReplayComposedMulti(sched *Schedule, lanes []*SubStream, cfgs []memsim.Config) ([]Cost, error) {
 	return replayComposed(sched, lanes, cfgs, nil)
 }
@@ -461,10 +472,7 @@ func replayComposed(sched *Schedule, lanes []*SubStream, cfgs []memsim.Config, g
 
 	sc := getScratch()
 	defer putScratch(sc)
-	sims := make([]*memsim.LineSim, len(cfgs))
-	for k, cfg := range cfgs {
-		sims[k] = sc.simFor(k, cfg)
-	}
+	plan := sc.planFor(cfgs, false)
 	ds := sc.decodersFor(len(lanes))
 	for i, ls := range lanes {
 		ds[i] = decoder{chunks: ls.Chunks}
@@ -481,10 +489,7 @@ func replayComposed(sched *Schedule, lanes []*SubStream, cfgs []memsim.Config, g
 		inv.ReadWords += b.readWords
 		inv.WriteWords += b.writeWords
 		inv.OpCycles += b.opCycles
-		addrs, sizes := b.addr[:b.nAcc], b.size[:b.nAcc]
-		for _, ls := range sims {
-			ls.ProbeAccesses(addrs, sizes)
-		}
+		plan.probe(b.addr[:b.nAcc], b.size[:b.nAcc])
 		b.nAcc, b.readWords, b.writeWords, b.opCycles = 0, 0, 0, 0
 	}
 
@@ -510,7 +515,9 @@ func replayComposed(sched *Schedule, lanes []*SubStream, cfgs []memsim.Config, g
 			}
 			flush()
 			if guard != nil {
-				if snap := costOf(cfgs[0], sims[0], inv, peak); guard(snap) {
+				// A guarded replay has exactly one configuration, which a
+				// non-profiled plan always serves with a dedicated LineSim.
+				if snap := costOf(cfgs[0], plan.sims[0], inv, peak); guard(snap) {
 					snap.Aborted = true
 					return []Cost{snap}, nil
 				}
@@ -518,9 +525,5 @@ func replayComposed(sched *Schedule, lanes []*SubStream, cfgs []memsim.Config, g
 		}
 	}
 	flush()
-	out := make([]Cost, len(cfgs))
-	for k, cfg := range cfgs {
-		out[k] = costOf(cfg, sims[k], inv, peak)
-	}
-	return out, nil
+	return plan.costs(inv, peak), nil
 }

@@ -1,0 +1,6 @@
+package astream
+
+// ForceLineSimReplay disables all-geometry routing in multi-replays for
+// benchmarks that need the per-configuration LineSim path as a
+// baseline. Test-only.
+func ForceLineSimReplay(v bool) { forceLineSim = v }

@@ -163,6 +163,74 @@ func FuzzStreamDecodeArbitrary(f *testing.F) {
 	})
 }
 
+// FuzzReuseProfileDecode feeds arbitrary bytes to the reuse-profile
+// decoder: it must either reject them with an error or yield a profile
+// that is internally consistent — histograms summing to the probe
+// count, costs that re-add to it, and a canonical re-encode that
+// decodes back — never panic, never silently miscount.
+func FuzzReuseProfileDecode(f *testing.F) {
+	// Seed with a real profile from a tiny all-geometry pass, plus its
+	// truncations and a few corruptions.
+	family := []memsim.Config{memsim.DefaultConfig()}
+	big := memsim.DefaultConfig()
+	big.L1.SizeBytes, big.L2.Assoc = 16<<10, 16
+	family = append(family, big)
+	gs, err := memsim.NewGeomSim(family)
+	if err != nil {
+		f.Fatal(err)
+	}
+	gs.ProbeAccesses(
+		[]uint32{0x1000, 0x1004, 0x8000, 0x1000, 0x20040, 0xfff0},
+		[]uint32{4, 4, 64, 4, 12, 32},
+	)
+	prof := gs.Profile()
+	prof.ReadWords, prof.WriteWords, prof.OpCycles, prof.Peak = 20, 3, 99, 4096
+	seed, err := prof.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:2])
+	f.Add([]byte{})
+	mut := append([]byte(nil), seed...)
+	mut[len(mut)/3] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p memsim.ReuseProfile
+		if err := p.UnmarshalBinary(data); err != nil {
+			return // rejected: fine, as long as it never panics
+		}
+		// Accepted profiles must be internally consistent: any covered
+		// configuration's level counts re-add to the probe total (the
+		// decoder's histogram-sum validation guarantees no silent
+		// miscount can slip through).
+		for _, cfg := range family {
+			cost, ok := astream.CostFromProfile(&p, cfg)
+			if !ok {
+				continue
+			}
+			probes := cost.Counts.L1Hits + cost.Counts.L2Hits + cost.Counts.DRAMFills
+			if probes != p.Probes {
+				t.Fatalf("accepted profile miscounts: %d level probes vs %d total", probes, p.Probes)
+			}
+			if cost.Cycles != cfg.CyclesFor(cost.Counts, p.Pipelined) {
+				t.Fatalf("accepted profile cost breaks the cycle closed form")
+			}
+		}
+		// Re-encoding an accepted profile must decode back.
+		raw, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode of accepted profile failed: %v", err)
+		}
+		var q memsim.ReuseProfile
+		if err := q.UnmarshalBinary(raw); err != nil {
+			t.Fatalf("re-encoded profile rejected: %v", err)
+		}
+	})
+}
+
 func bytesRepeat(b []byte, n int) []byte {
 	out := make([]byte, 0, len(b)*n)
 	for i := 0; i < n; i++ {

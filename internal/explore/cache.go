@@ -72,12 +72,22 @@ type Cache struct {
 	scheds    map[string]schedEntry
 	unpacked  map[string]*astream.UnpackedLane
 
+	// Reuse profiles (also guarded by sm, counted against the stream
+	// budget): per-(identity, line size) stack-distance histograms from
+	// all-geometry replay passes (memsim.ReuseProfile). A covered
+	// platform point is then pure arithmetic — no stream decode, no
+	// probes — so they are evicted only after every stream and lane,
+	// being both tiny and the cheapest path to a result.
+	rprofiles  map[string]*memsim.ReuseProfile
+	rprofOrder []string
+
 	pm       sync.Mutex
 	profiles map[string]*profiler.Set
 
 	hits, misses             atomic.Uint64
 	streamHits, streamMisses atomic.Uint64
 	laneHits, laneMisses     atomic.Uint64
+	rprofHits, rprofMisses   atomic.Uint64
 }
 
 // cacheEntry is one memoized simulation. Ctx tags tombstones with the
@@ -134,6 +144,7 @@ func NewCache() *Cache {
 		lanes:        make(map[string]*astream.SubStream),
 		scheds:       make(map[string]schedEntry),
 		unpacked:     make(map[string]*astream.UnpackedLane),
+		rprofiles:    make(map[string]*memsim.ReuseProfile),
 		streamBudget: DefaultStreamBudget,
 	}
 }
@@ -149,14 +160,16 @@ func (c *Cache) SetStreamBudget(bytes int64) {
 
 // CacheStats reports cache traffic since construction (or Load).
 type CacheStats struct {
-	Hits, Misses             uint64
-	Entries                  int
-	Streams                  int   // retained access streams
-	StreamBytes              int64 // retained bytes: encoded streams/lanes/schedules + memoized decoded lanes
-	StreamHits, StreamMisses uint64
-	Lanes                    int // retained per-(role, kind) lane sub-streams
-	Schedules                int // retained per-configuration schedules
-	LaneHits, LaneMisses     uint64
+	Hits, Misses               uint64
+	Entries                    int
+	Streams                    int   // retained access streams
+	StreamBytes                int64 // retained bytes: encoded streams/lanes/schedules + memoized decoded lanes + reuse profiles
+	StreamHits, StreamMisses   uint64
+	Lanes                      int // retained per-(role, kind) lane sub-streams
+	Schedules                  int // retained per-configuration schedules
+	LaneHits, LaneMisses       uint64
+	ReuseProfiles              int // retained per-(identity, line size) reuse profiles
+	ProfileHits, ProfileMisses uint64
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -167,6 +180,7 @@ func (c *Cache) Stats() CacheStats {
 	c.sm.RLock()
 	ns, nb := len(c.streams), c.streamBytes
 	nl, nsch := len(c.lanes), len(c.scheds)
+	np := len(c.rprofiles)
 	c.sm.RUnlock()
 	return CacheStats{
 		Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n,
@@ -174,6 +188,8 @@ func (c *Cache) Stats() CacheStats {
 		StreamHits: c.streamHits.Load(), StreamMisses: c.streamMisses.Load(),
 		Lanes: nl, Schedules: nsch,
 		LaneHits: c.laneHits.Load(), LaneMisses: c.laneMisses.Load(),
+		ReuseProfiles: np,
+		ProfileHits:   c.rprofHits.Load(), ProfileMisses: c.rprofMisses.Load(),
 	}
 }
 
@@ -323,6 +339,45 @@ func (c *Cache) unpackedLane(key string, sub *astream.SubStream, ambient bool) (
 	return u, true
 }
 
+// lookupReuseProfile returns the reuse profile for a (platform-
+// invariant identity, line size) key. Profiles are shared, not copied:
+// a memsim.ReuseProfile is immutable once stored.
+func (c *Cache) lookupReuseProfile(key string) *memsim.ReuseProfile {
+	c.sm.RLock()
+	p := c.rprofiles[key]
+	c.sm.RUnlock()
+	if p == nil {
+		c.rprofMisses.Add(1)
+		return nil
+	}
+	c.rprofHits.Add(1)
+	return p
+}
+
+// storeReuseProfile retains one reuse profile under the stream budget.
+// A later profile for the same key is merged with the earlier one
+// (memsim.ReuseProfile.Merge), so a pass over a narrower family can
+// never shrink an identity's accumulated coverage.
+func (c *Cache) storeReuseProfile(key string, p *memsim.ReuseProfile) {
+	if p == nil {
+		return
+	}
+	c.sm.Lock()
+	defer c.sm.Unlock()
+	if c.streamBudget <= 0 {
+		return
+	}
+	if old, ok := c.rprofiles[key]; ok {
+		c.streamBytes -= int64(old.SizeBytes())
+		p = p.Merge(old)
+	} else {
+		c.rprofOrder = append(c.rprofOrder, key)
+	}
+	c.rprofiles[key] = p
+	c.streamBytes += int64(p.SizeBytes())
+	c.evictLocked()
+}
+
 // lookupSchedule returns the DDT-invariant schedule entry (operation
 // schedule, ambient lane, summary) for a configuration key.
 func (c *Cache) lookupSchedule(key string) (*astream.Schedule, *astream.SubStream, apps.Summary, bool) {
@@ -382,9 +437,11 @@ func (c *Cache) has(key string) bool {
 
 // evictLocked drops retained stream data until the budget holds: whole
 // streams first (each is one simulation point; a lane serves 10^(K-1)
-// combinations), then lane sub-streams, oldest first. Schedules stay —
-// they are small and every lane of their configuration depends on them.
-// Called with sm held.
+// combinations), then lane sub-streams, then reuse profiles — a profile
+// is a few KB that answers a whole geometry cross product with zero
+// probes, so it outlives the streams it summarizes — oldest first
+// within each tier. Schedules stay — they are small and every lane of
+// their configuration depends on them. Called with sm held.
 func (c *Cache) evictLocked() {
 	for c.streamBytes > c.streamBudget && len(c.streamOrder) > 0 {
 		key := c.streamOrder[0]
@@ -406,11 +463,22 @@ func (c *Cache) evictLocked() {
 			}
 		}
 	}
+	for c.streamBytes > c.streamBudget && len(c.rprofOrder) > 0 {
+		key := c.rprofOrder[0]
+		c.rprofOrder = c.rprofOrder[1:]
+		if p, ok := c.rprofiles[key]; ok {
+			c.streamBytes -= int64(p.SizeBytes())
+			delete(c.rprofiles, key)
+		}
+	}
 	if len(c.streamOrder) == 0 {
 		c.streamOrder = nil
 	}
 	if len(c.laneOrder) == 0 {
 		c.laneOrder = nil
+	}
+	if len(c.rprofOrder) == 0 {
+		c.rprofOrder = nil
 	}
 }
 
@@ -433,14 +501,16 @@ func (c *Cache) storeProfile(key string, p *profiler.Set) {
 	c.pm.Unlock()
 }
 
-// cacheFile is the persistent form of a Cache. Streams, lane sub-streams
-// and schedules are optional (SaveWithStreams); profiles are runtime-
-// only. Files written before a field existed decode it as empty.
+// cacheFile is the persistent form of a Cache. Streams, lane
+// sub-streams, schedules and reuse profiles are optional
+// (SaveWithStreams); dominance profiles are runtime-only. Files written
+// before a field existed decode it as empty.
 type cacheFile struct {
-	Entries map[string]cacheEntry
-	Streams map[string]streamEntry
-	Lanes   map[string]*astream.SubStream
-	Scheds  map[string]schedEntry
+	Entries   map[string]cacheEntry
+	Streams   map[string]streamEntry
+	Lanes     map[string]*astream.SubStream
+	Scheds    map[string]schedEntry
+	RProfiles map[string]*memsim.ReuseProfile
 }
 
 // Save serializes the cached results to w (gob), without the access
@@ -479,6 +549,10 @@ func (c *Cache) save(w io.Writer, withStreams bool) error {
 		f.Scheds = make(map[string]schedEntry, len(c.scheds))
 		for k, v := range c.scheds {
 			f.Scheds[k] = v
+		}
+		f.RProfiles = make(map[string]*memsim.ReuseProfile, len(c.rprofiles))
+		for k, v := range c.rprofiles {
+			f.RProfiles[k] = v
 		}
 		c.sm.RUnlock()
 	}
@@ -543,6 +617,19 @@ func (c *Cache) Load(r io.Reader) error {
 		c.scheds[k] = v
 		c.streamBytes += v.sizeBytes()
 	}
+	for k, v := range f.RProfiles {
+		if v == nil {
+			continue
+		}
+		if old, ok := c.rprofiles[k]; ok {
+			c.streamBytes -= int64(old.SizeBytes())
+			v = v.Merge(old) // loading can only grow coverage, as storeReuseProfile
+		} else {
+			c.rprofOrder = append(c.rprofOrder, k)
+		}
+		c.rprofiles[k] = v
+		c.streamBytes += int64(v.SizeBytes())
+	}
 	c.evictLocked()
 	c.sm.Unlock()
 	return nil
@@ -565,6 +652,13 @@ func streamKey(app string, cfg Config, assign apps.Assignment, packets int, aren
 		k += "|arenas"
 	}
 	return k
+}
+
+// reuseProfileKey identifies one reuse profile: the platform-invariant
+// stream identity plus the line size whose geometry family the profile
+// covers.
+func reuseProfileKey(skey string, lineBytes uint32) string {
+	return fmt.Sprintf("%s|reuse|%d", skey, lineBytes)
 }
 
 // laneKey identifies one (role, kind) lane sub-stream: the DDT-invariant

@@ -3,9 +3,11 @@ package explore
 import (
 	"bytes"
 	"encoding/gob"
+	"reflect"
 	"testing"
 
 	"repro/internal/astream"
+	"repro/internal/memsim"
 )
 
 // TestLoadLegacyCacheFormat pins that cache files written before the
@@ -75,5 +77,117 @@ func TestLoadPartialDoesNotReplaceComplete(t *testing.T) {
 	}
 	if c2.Stats().StreamBytes <= 0 {
 		t.Fatal("stream byte accounting broken after merge")
+	}
+}
+
+// mkReuseProfile builds a small real reuse profile from an all-geometry
+// pass over a handful of accesses.
+func mkReuseProfile(t *testing.T) *memsim.ReuseProfile {
+	t.Helper()
+	gs, err := memsim.NewGeomSim([]memsim.Config{memsim.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs.ProbeAccesses([]uint32{0x1000, 0x1004, 0x9000, 0x1000}, []uint32{4, 4, 64, 4})
+	p := gs.Profile()
+	p.ReadWords, p.WriteWords, p.OpCycles, p.Peak = 8, 2, 40, 512
+	return p
+}
+
+// TestReuseProfilePersistenceAndBudget pins the profile store: profiles
+// count against the stream budget, survive SaveWithStreams/Load intact,
+// and are evicted only after every stream — dropping last because they
+// are the cheapest path to a result.
+func TestReuseProfilePersistenceAndBudget(t *testing.T) {
+	c := NewCache()
+	p := mkReuseProfile(t)
+	key := reuseProfileKey("S", p.LineBytes)
+	c.storeReuseProfile(key, p)
+	if got := c.Stats().StreamBytes; got != int64(p.SizeBytes()) {
+		t.Fatalf("profile bytes not budgeted: %d vs %d", got, p.SizeBytes())
+	}
+	// Replacement swaps the accounting, not doubles it.
+	c.storeReuseProfile(key, p)
+	if got := c.Stats().StreamBytes; got != int64(p.SizeBytes()) {
+		t.Fatalf("profile replacement double-counted: %d vs %d", got, p.SizeBytes())
+	}
+
+	var buf bytes.Buffer
+	if err := c.SaveWithStreams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewCache()
+	if err := loaded.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := loaded.lookupReuseProfile(key)
+	if got == nil || !reflect.DeepEqual(got, p) {
+		t.Fatalf("profile did not round-trip: %+v", got)
+	}
+	if s := loaded.Stats(); s.ReuseProfiles != 1 || s.StreamBytes != int64(p.SizeBytes()) {
+		t.Fatalf("loaded stats wrong: %+v", s)
+	}
+	// Save without streams drops profiles along with streams and lanes.
+	var lean bytes.Buffer
+	if err := c.Save(&lean); err != nil {
+		t.Fatal(err)
+	}
+	leanCache := NewCache()
+	if err := leanCache.Load(&lean); err != nil {
+		t.Fatal(err)
+	}
+	if s := leanCache.Stats(); s.ReuseProfiles != 0 {
+		t.Fatalf("results-only save kept %d profiles", s.ReuseProfiles)
+	}
+
+	// Eviction order: squeezing the budget drops the (bigger) stream
+	// first and keeps the profile; squeezing further drops the profile.
+	c2 := NewCache()
+	rec := astream.NewRecorder()
+	for i := 0; i < 4096; i++ {
+		rec.RecordAccess(false, uint32(i*64), 4, 1)
+	}
+	c2.storeStream("K", streamEntry{App: "URL", Packets: 1, Stream: rec.Finish(false)})
+	c2.storeReuseProfile(key, p)
+	c2.SetStreamBudget(int64(p.SizeBytes()) + 64)
+	if s := c2.Stats(); s.Streams != 0 || s.ReuseProfiles != 1 {
+		t.Fatalf("eviction order wrong: %+v", s)
+	}
+	if c2.lookupReuseProfile(key) == nil {
+		t.Fatal("profile lost while budget still held it")
+	}
+	c2.SetStreamBudget(1)
+	if s := c2.Stats(); s.ReuseProfiles != 0 {
+		t.Fatalf("profile survived a 1-byte budget: %+v", s)
+	}
+}
+
+// TestReuseProfileStoreMergesCoverage pins that re-storing a profile
+// built from a narrower family merges into — never replaces — the
+// accumulated coverage for the identity.
+func TestReuseProfileStoreMergesCoverage(t *testing.T) {
+	wide := memsim.DefaultConfig()
+	narrow := memsim.DefaultConfig()
+	narrow.L1.SizeBytes = 16 << 10
+
+	mk := func(cfg memsim.Config) *memsim.ReuseProfile {
+		gs, err := memsim.NewGeomSim([]memsim.Config{cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs.ProbeAccesses([]uint32{0x1000, 0x5000, 0x1000, 0x20000}, []uint32{4, 8, 4, 4})
+		return gs.Profile()
+	}
+
+	c := NewCache()
+	key := reuseProfileKey("S", 32)
+	c.storeReuseProfile(key, mk(wide))
+	c.storeReuseProfile(key, mk(narrow))
+	p := c.lookupReuseProfile(key)
+	if p == nil || !p.Covers(wide) || !p.Covers(narrow) {
+		t.Fatalf("narrow re-store lost coverage: %+v", p)
+	}
+	if got := c.Stats().StreamBytes; got != int64(p.SizeBytes()) {
+		t.Fatalf("merge accounting wrong: %d vs %d", got, p.SizeBytes())
 	}
 }

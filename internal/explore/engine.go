@@ -60,6 +60,7 @@ type EngineStats struct {
 	Simulated int // simulations executed to completion
 	Replayed  int // results produced by replaying captured access streams
 	Composed  int // results produced by composing per-role sub-streams
+	Profiled  int // results derived arithmetically from cached reuse profiles (zero probes)
 	CacheHits int // results served from the cache
 	Aborted   int // simulations (live, replayed or composed) stopped early by the dominance guard
 }
@@ -91,6 +92,7 @@ type Engine struct {
 	simulated atomic.Int64
 	replayed  atomic.Int64
 	composed  atomic.Int64
+	profiled  atomic.Int64
 	cacheHits atomic.Int64
 	aborted   atomic.Int64
 }
@@ -132,6 +134,7 @@ func (e *Engine) Stats() EngineStats {
 		Simulated: int(e.simulated.Load()),
 		Replayed:  int(e.replayed.Load()),
 		Composed:  int(e.composed.Load()),
+		Profiled:  int(e.profiled.Load()),
 		CacheHits: int(e.cacheHits.Load()),
 		Aborted:   int(e.aborted.Load()),
 	}
@@ -589,13 +592,16 @@ func (e *Engine) Profile(ctx context.Context, cfg Config) (*profiler.Set, error)
 
 // EvaluatePlatforms returns the cost vector of one simulation point
 // (configuration + assignment) under each given platform configuration,
-// executing the application at most once: the access stream is taken
-// from the cache or captured by a single execution, then every platform
-// is evaluated in one multi-config replay pass (one decode, K cache
-// models). Results are exact — identical to live simulation on each
-// platform — and are stored in the cache under their full identities.
-// Without a cache to hold the stream it falls back to one live
-// simulation per platform.
+// executing the application at most once. The platforms are grouped
+// into line-size geometry families (platform.LineFamilies); a family
+// whose cached reuse profile covers every member is answered by pure
+// arithmetic — zero probe passes — and each remaining family costs one
+// all-geometry probe pass over the point's access stream (taken from
+// the cache or captured by a single execution), which also leaves its
+// reuse profile in the cache for the next sweep. Results are exact —
+// identical to live simulation on each platform — and are stored in the
+// cache under their full identities. Without a cache to hold the stream
+// it falls back to one live simulation per platform.
 func (e *Engine) EvaluatePlatforms(ctx context.Context, cfg Config, assign apps.Assignment, platforms []memsim.Config) ([]metrics.Vector, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -603,18 +609,14 @@ func (e *Engine) EvaluatePlatforms(ctx context.Context, cfg Config, assign apps.
 	if len(platforms) == 0 {
 		return nil, nil
 	}
-	// Compose mode: if the point's lanes are cached, one merged decode
-	// evaluates every platform without any stream capture.
+	// Compose mode: if the point's profiles or lanes are cached, one
+	// merged pass evaluates every platform without any stream capture.
 	if e.opts.Compose && e.cache != nil {
 		if vecs, ok := e.composePlatforms(cfg, assign, platforms); ok {
 			return vecs, nil
 		}
 	}
-	st, sum, err := e.captureStream(cfg, assign)
-	if err != nil {
-		return nil, err
-	}
-	if st == nil {
+	if e.cache == nil {
 		// Capture unavailable: one live simulation per platform.
 		vecs := make([]metrics.Vector, len(platforms))
 		for i, pc := range platforms {
@@ -628,17 +630,93 @@ func (e *Engine) EvaluatePlatforms(ctx context.Context, cfg Config, assign apps.
 		}
 		return vecs, nil
 	}
-	costs, err := astream.ReplayMulti(st, platforms)
+
+	skey := streamKey(e.app.Name(), cfg, assign, e.opts.packets(), e.opts.Arenas)
+	vecs := make([]metrics.Vector, len(platforms))
+	var rest []int // platform indexes the cached profiles cannot answer
+	for _, fam := range platform.LineFamilies(platforms) {
+		if e.profileFamily(skey, cfg, assign, fam, platforms, vecs) {
+			continue
+		}
+		rest = append(rest, fam.Indexes...)
+	}
+	if len(rest) == 0 {
+		return vecs, nil
+	}
+
+	st, sum, err := e.captureStream(cfg, assign)
 	if err != nil {
 		return nil, err
 	}
-	e.replayed.Add(int64(len(platforms)))
-	vecs := make([]metrics.Vector, len(costs))
-	for i, pc := range platforms {
-		vecs[i] = replayVector(pc, energy.CACTILike(pc), costs[i])
-		if e.cache != nil {
-			key := cacheKey(e.app.Name(), cfg, assign, e.opts.packets(), pc, e.opts.Arenas)
-			e.cache.store(key, Result{
+	// One pass over the stream: a single decode drives every remaining
+	// family's all-geometry kernel (the replay planner groups by line
+	// size internally), leaving one reuse profile per family behind.
+	cfgs := make([]memsim.Config, len(rest))
+	for j, i := range rest {
+		cfgs[j] = platforms[i]
+	}
+	costs, profs, err := astream.ReplayMultiProfiled(st, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range profs {
+		e.cache.storeReuseProfile(reuseProfileKey(skey, p.LineBytes), p)
+	}
+	e.replayed.Add(int64(len(rest)))
+	for j, i := range rest {
+		pc := platforms[i]
+		vecs[i] = replayVector(pc, energy.CACTILike(pc), costs[j])
+		e.cache.store(cacheKey(e.app.Name(), cfg, assign, e.opts.packets(), pc, e.opts.Arenas), Result{
+			App:     e.app.Name(),
+			Config:  cfg,
+			Assign:  assign,
+			Vec:     vecs[i],
+			Summary: sum,
+		}, e.exploreCtx)
+	}
+	return vecs, nil
+}
+
+// profileFamily answers one line-size family of a platform evaluation
+// from the point's cached reuse profile alone. It reports false when no
+// profile is cached or any family member is outside the covered cross
+// product, sending the caller to the probe pass.
+func (e *Engine) profileFamily(skey string, cfg Config, assign apps.Assignment, fam platform.LineFamily, platforms []memsim.Config, vecs []metrics.Vector) bool {
+	p := e.cache.lookupReuseProfile(reuseProfileKey(skey, fam.LineBytes))
+	if p == nil {
+		return false
+	}
+	return e.serveProfileFamily(p, skey, cfg, assign, fam, platforms, vecs)
+}
+
+// serveProfileFamily fills vecs for one family from an already-resolved
+// reuse profile (immutable, so the caller may hold it across other
+// cache operations), storing results when the stream or schedule entry
+// still provides the run summary. It reports false when any family
+// member is outside the profile's covered cross product.
+func (e *Engine) serveProfileFamily(p *memsim.ReuseProfile, skey string, cfg Config, assign apps.Assignment, fam platform.LineFamily, platforms []memsim.Config, vecs []metrics.Vector) bool {
+	costs := make([]astream.Cost, len(fam.Indexes))
+	for j, i := range fam.Indexes {
+		var ok bool
+		if costs[j], ok = astream.CostFromProfile(p, platforms[i]); !ok {
+			return false
+		}
+	}
+	// The profile alone has no behavioural summary; only store results
+	// when the identity's stream (or schedule) entry still provides it,
+	// so cached Results never lose their summaries.
+	sum, haveSum := apps.Summary{}, false
+	if e.opts.Compose {
+		_, _, s, ok := e.cache.lookupSchedule(schedKey(e.app.Name(), cfg, e.opts.packets()))
+		sum, haveSum = s, ok
+	} else if _, s, ok := e.cache.lookupStream(skey); ok {
+		sum, haveSum = s, true
+	}
+	for j, i := range fam.Indexes {
+		pc := platforms[i]
+		vecs[i] = replayVector(pc, energy.CACTILike(pc), costs[j])
+		if haveSum {
+			e.cache.store(cacheKey(e.app.Name(), cfg, assign, e.opts.packets(), pc, e.opts.Arenas), Result{
 				App:     e.app.Name(),
 				Config:  cfg,
 				Assign:  assign,
@@ -647,29 +725,72 @@ func (e *Engine) EvaluatePlatforms(ctx context.Context, cfg Config, assign apps.
 			}, e.exploreCtx)
 		}
 	}
-	return vecs, nil
+	e.profiled.Add(int64(len(fam.Indexes)))
+	return true
 }
 
 // composePlatforms evaluates one simulation point under every platform
-// by a single merged composed replay, when the schedule and all lanes
-// are cached. Results are stored under their full identities.
+// from compositional state: line-size families covered by the point's
+// cached reuse profile are pure arithmetic, and the rest share a single
+// merged composed replay (one decode of the lanes, one all-geometry
+// kernel per family) when the schedule and all lanes are cached — which
+// also leaves reuse profiles behind. Results are stored under their
+// full identities. The coverage check runs before anything is committed
+// (results, stats), so a false return leaves no trace and the caller's
+// fallback path cannot double-count.
 func (e *Engine) composePlatforms(cfg Config, assign apps.Assignment, platforms []memsim.Config) ([]metrics.Vector, bool) {
 	app, packets := e.app.Name(), e.opts.packets()
-	sched, lanes, sum, ok := e.composedLanes(cfg, assign)
-	if !ok {
-		return nil, false
+	skey := streamKey(app, cfg, assign, packets, true)
+	families := platform.LineFamilies(platforms)
+
+	// Dry run: which families do the cached profiles cover? Profiles
+	// are immutable, so holding the pointers keeps the serve loop below
+	// immune to concurrent eviction.
+	covered := make([]*memsim.ReuseProfile, len(families))
+	var rest []int
+	for fi, fam := range families {
+		p := e.cache.lookupReuseProfile(reuseProfileKey(skey, fam.LineBytes))
+		for _, i := range fam.Indexes {
+			if p != nil && !p.Covers(platforms[i]) {
+				p = nil
+			}
+		}
+		covered[fi] = p
+		if p == nil {
+			rest = append(rest, fam.Indexes...)
+		}
 	}
-	costs, err := astream.ReplayComposedUnpacked(sched, lanes, platforms, nil)
-	if err != nil {
-		return nil, false
+
+	vecs := make([]metrics.Vector, len(platforms))
+	if len(rest) > 0 {
+		sched, lanes, sum, ok := e.composedLanes(cfg, assign)
+		if !ok {
+			return nil, false // nothing committed yet
+		}
+		cfgs := make([]memsim.Config, len(rest))
+		for j, i := range rest {
+			cfgs[j] = platforms[i]
+		}
+		costs, profs, err := astream.ReplayComposedUnpackedProfiled(sched, lanes, cfgs)
+		if err != nil {
+			return nil, false
+		}
+		for _, p := range profs {
+			e.cache.storeReuseProfile(reuseProfileKey(skey, p.LineBytes), p)
+		}
+		e.composed.Add(int64(len(rest)))
+		for j, i := range rest {
+			pc := platforms[i]
+			vecs[i] = replayVector(pc, energy.CACTILike(pc), costs[j])
+			e.cache.store(cacheKey(app, cfg, assign, packets, pc, true), Result{
+				App: app, Config: cfg, Assign: assign, Vec: vecs[i], Summary: sum,
+			}, e.exploreCtx)
+		}
 	}
-	e.composed.Add(int64(len(platforms)))
-	vecs := make([]metrics.Vector, len(costs))
-	for i, pc := range platforms {
-		vecs[i] = replayVector(pc, energy.CACTILike(pc), costs[i])
-		e.cache.store(cacheKey(app, cfg, assign, packets, pc, true), Result{
-			App: app, Config: cfg, Assign: assign, Vec: vecs[i], Summary: sum,
-		}, e.exploreCtx)
+	for fi, fam := range families {
+		if p := covered[fi]; p != nil {
+			e.serveProfileFamily(p, skey, cfg, assign, fam, platforms, vecs)
+		}
 	}
 	return vecs, true
 }

@@ -1,21 +1,37 @@
 package explore
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/astream"
 	"repro/internal/energy"
 	"repro/internal/memsim"
+	"repro/internal/platform"
 )
 
 // ReplayPlatforms evaluates every complete captured access stream in the
 // cache against the given platform configurations, storing the exact
 // per-platform results back into the cache — the warm pass of a platform
-// sweep. Each stream is decoded once and all its missing platforms are
-// driven in a single multi-config replay, so the marginal cost of one
-// more platform point is only its own cache-model probes. Platforms a
-// stream already has finished results for are skipped; partial streams
-// and streams that fail to decode are skipped (they fall back to live
-// execution on demand). It returns the number of (stream, platform)
-// evaluations performed.
+// sweep. The platforms are grouped into line-size geometry families
+// (platform.LineFamilies); per stream, each family is served, in order
+// of preference:
+//
+//   - by pure arithmetic from a cached reuse profile covering every
+//     missing family member — zero decode, zero probes;
+//   - by one all-geometry probe pass (astream.ReplayMultiProfiled): the
+//     stream is decoded exactly once for all remaining families, a
+//     single memsim.GeomSim walk per family yields every member's exact
+//     counts, and the reuse profiles stay in the cache so the next
+//     sweep over this identity is arithmetic.
+//
+// The per-stream units are independent, so they fan out across a
+// bounded worker pool (GOMAXPROCS workers), each reusing the pooled
+// replay scratch. Platforms a stream already has finished results for
+// are skipped; partial streams and streams that fail to decode are
+// skipped (they fall back to live execution on demand). It returns the
+// number of (stream, platform) evaluations performed.
 func ReplayPlatforms(c *Cache, platforms []memsim.Config) int {
 	if c == nil || len(platforms) == 0 {
 		return 0
@@ -24,13 +40,67 @@ func ReplayPlatforms(c *Cache, platforms []memsim.Config) int {
 	for i, pc := range platforms {
 		models[i] = energy.CACTILike(pc)
 	}
-	n := 0
+	families := platform.LineFamilies(platforms)
+
+	var units []streamEntry
 	for _, e := range c.streamEntries() {
-		if e.Stream.Partial {
-			continue
+		if !e.Stream.Partial {
+			units = append(units, e)
 		}
-		var missing []int
-		for i := range platforms {
+	}
+	if len(units) == 0 {
+		return 0
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(units) {
+		workers = len(units)
+	}
+	var (
+		n    atomic.Int64
+		wg   sync.WaitGroup
+		feed = make(chan streamEntry)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := range feed {
+				n.Add(int64(replayPlatformsForStream(c, e, families, platforms, models)))
+			}
+		}()
+	}
+	for _, e := range units {
+		feed <- e
+	}
+	close(feed)
+	wg.Wait()
+	return int(n.Load())
+}
+
+// replayPlatformsForStream performs one stream's warm-pass unit,
+// returning the number of (stream, platform) evaluations it stored.
+func replayPlatformsForStream(c *Cache, e streamEntry, families []platform.LineFamily, platforms []memsim.Config, models []energy.Model) int {
+	skey := streamKey(e.App, e.Cfg, e.Assign, e.Packets, e.Arenas)
+	store := func(i int, cost astream.Cost) {
+		c.store(cacheKey(e.App, e.Cfg, e.Assign, e.Packets, platforms[i], e.Arenas), Result{
+			App:     e.App,
+			Config:  e.Cfg,
+			Assign:  e.Assign,
+			Vec:     replayVector(platforms[i], models[i], cost),
+			Summary: e.Summary,
+		}, "")
+	}
+
+	// Per family: nothing missing, profile arithmetic, or queue for the
+	// probe pass. A queued family enters the pass whole — not just its
+	// missing members — so the profile it leaves covers the family's
+	// full cross product.
+	n := 0
+	var rest []int
+	for _, fam := range families {
+		missing := fam.Indexes[:0:0]
+		for _, i := range fam.Indexes {
 			if !c.has(cacheKey(e.App, e.Cfg, e.Assign, e.Packets, platforms[i], e.Arenas)) {
 				missing = append(missing, i)
 			}
@@ -38,23 +108,45 @@ func ReplayPlatforms(c *Cache, platforms []memsim.Config) int {
 		if len(missing) == 0 {
 			continue
 		}
-		cfgs := make([]memsim.Config, len(missing))
-		for j, i := range missing {
-			cfgs[j] = platforms[i]
+		if p := c.lookupReuseProfile(reuseProfileKey(skey, fam.LineBytes)); p != nil {
+			costs := make([]astream.Cost, len(missing))
+			served := true
+			for j, i := range missing {
+				var ok bool
+				if costs[j], ok = astream.CostFromProfile(p, platforms[i]); !ok {
+					served = false
+					break
+				}
+			}
+			if served {
+				for j, i := range missing {
+					store(i, costs[j])
+				}
+				n += len(missing)
+				continue
+			}
 		}
-		costs, err := astream.ReplayMulti(e.Stream, cfgs)
-		if err != nil {
-			continue
-		}
-		for j, i := range missing {
-			vec := replayVector(platforms[i], models[i], costs[j])
-			c.store(cacheKey(e.App, e.Cfg, e.Assign, e.Packets, platforms[i], e.Arenas), Result{
-				App:     e.App,
-				Config:  e.Cfg,
-				Assign:  e.Assign,
-				Vec:     vec,
-				Summary: e.Summary,
-			}, "")
+		rest = append(rest, fam.Indexes...)
+	}
+	if len(rest) == 0 {
+		return n
+	}
+
+	// One decode of the stream drives every queued family's kernel.
+	cfgs := make([]memsim.Config, len(rest))
+	for j, i := range rest {
+		cfgs[j] = platforms[i]
+	}
+	costs, profs, err := astream.ReplayMultiProfiled(e.Stream, cfgs)
+	if err != nil {
+		return n
+	}
+	for _, p := range profs {
+		c.storeReuseProfile(reuseProfileKey(skey, p.LineBytes), p)
+	}
+	for j, i := range rest {
+		if !c.has(cacheKey(e.App, e.Cfg, e.Assign, e.Packets, platforms[i], e.Arenas)) {
+			store(i, costs[j])
 			n++
 		}
 	}

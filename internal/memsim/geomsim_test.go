@@ -1,0 +1,369 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// geomFamily returns a diverse same-line-size family: L1 sizes from 4K
+// to 32K at associativities 1..8 (several sharing a set count), plus L2
+// capacity and associativity variants — the kind of geometry sweep the
+// single-pass kernel exists to collapse.
+func geomFamily() []Config {
+	base := DefaultConfig()
+	mk := func(l1 uint32, a1 uint32, l2 uint32, a2 uint32) Config {
+		c := base
+		c.L1.SizeBytes, c.L1.Assoc = l1, a1
+		c.L2.SizeBytes, c.L2.Assoc = l2, a2
+		return c
+	}
+	return []Config{
+		mk(4<<10, 2, 64<<10, 8),
+		mk(8<<10, 2, 128<<10, 8),
+		mk(8<<10, 4, 128<<10, 16),
+		mk(16<<10, 2, 256<<10, 8),
+		mk(16<<10, 8, 256<<10, 4),
+		mk(32<<10, 2, 512<<10, 8),
+		mk(4<<10, 1, 64<<10, 1),
+		mk(64, 2, 2<<10, 2), // 1-set L1: the degenerate fully-associative corner
+	}
+}
+
+// randomAccesses drives a synthetic but adversarial access pattern:
+// sequential walks (skip-window food), hot-set re-accesses, random
+// jumps across a large footprint, odd sizes, zero sizes, multi-line
+// spans longer than small set counts, and 32-bit wrapping accesses.
+func randomAccesses(rng *rand.Rand, n int) (addrs, sizes []uint32) {
+	addrs = make([]uint32, 0, n)
+	sizes = make([]uint32, 0, n)
+	cursor := uint32(0x1000)
+	hot := []uint32{0x2000, 0x2040, 0x41000, 0x82000}
+	for i := 0; i < n; i++ {
+		switch r := rng.Intn(100); {
+		case r < 35: // sequential walk
+			cursor += uint32(rng.Intn(48))
+			addrs = append(addrs, cursor)
+			sizes = append(sizes, uint32(4*(1+rng.Intn(4))))
+		case r < 60: // hot working set
+			addrs = append(addrs, hot[rng.Intn(len(hot))]+uint32(rng.Intn(64)))
+			sizes = append(sizes, 4)
+		case r < 85: // random jump over a 16 MiB footprint
+			addrs = append(addrs, uint32(rng.Intn(16<<20)))
+			sizes = append(sizes, uint32(1+rng.Intn(128)))
+		case r < 90: // span longer than the smallest set space
+			addrs = append(addrs, uint32(rng.Intn(1<<20)))
+			sizes = append(sizes, uint32(4096+rng.Intn(4096)))
+		case r < 95: // zero-size no-op
+			addrs = append(addrs, uint32(rng.Intn(1<<20)))
+			sizes = append(sizes, 0)
+		default: // wraps the 32-bit address space: probes nothing
+			addrs = append(addrs, ^uint32(0)-uint32(rng.Intn(16)))
+			sizes = append(sizes, uint32(64+rng.Intn(64)))
+		}
+	}
+	return addrs, sizes
+}
+
+// TestGeomSimMatchesLineSim is the kernel-level exactness property: one
+// GeomSim pass over a random access sequence must reproduce, for every
+// family member, exactly the probe outcome of a dedicated per-config
+// LineSim replay of the same sequence — hit/miss counts per level and
+// pipelined words — including after a pooled Reset.
+func TestGeomSimMatchesLineSim(t *testing.T) {
+	family := geomFamily()
+	gs, err := NewGeomSim(family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		if seed > 1 && !gs.Reset(family) {
+			t.Fatal("Reset refused the identical family")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		addrs, sizes := randomAccesses(rng, 6000)
+
+		sims := make([]*LineSim, len(family))
+		for k, cfg := range family {
+			sims[k] = NewLineSim(cfg)
+		}
+		// Feed both kernels in randomly sized batches, as replay does.
+		for lo := 0; lo < len(addrs); {
+			hi := lo + 1 + rng.Intn(512)
+			if hi > len(addrs) {
+				hi = len(addrs)
+			}
+			gs.ProbeAccesses(addrs[lo:hi], sizes[lo:hi])
+			for _, ls := range sims {
+				ls.ProbeAccesses(addrs[lo:hi], sizes[lo:hi])
+			}
+			lo = hi
+		}
+
+		for k, cfg := range family {
+			ls := sims[k]
+			got, pipelined, ok := gs.CountsFor(cfg)
+			if !ok {
+				t.Fatalf("seed %d cfg %d: family member not covered", seed, k)
+			}
+			want := Counts{L1Hits: ls.L1Hits, L2Hits: ls.L2Hits, DRAMFills: ls.DRAMFills}
+			if got != want {
+				t.Errorf("seed %d cfg %d (%+v/%+v): geom %+v != linesim %+v",
+					seed, k, cfg.L1, cfg.L2, got, want)
+			}
+			if pipelined != ls.Pipelined() {
+				t.Errorf("seed %d cfg %d: pipelined %d != %d", seed, k, pipelined, ls.Pipelined())
+			}
+			if gs.Probes() != ls.Probes() {
+				t.Errorf("seed %d cfg %d: probes %d != %d", seed, k, gs.Probes(), ls.Probes())
+			}
+		}
+
+		// The persisted profile answers the same family — and the wider
+		// covered cross product — with identical arithmetic, across an
+		// encode/decode round trip.
+		prof := gs.Profile()
+		raw, err := prof.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back ReuseProfile
+		if err := back.UnmarshalBinary(raw); err != nil {
+			t.Fatalf("seed %d: round-trip decode: %v", seed, err)
+		}
+		for k, cfg := range family {
+			want, wantPipe, _ := gs.CountsFor(cfg)
+			got, gotPipe, ok := back.CountsFor(cfg)
+			if !ok {
+				t.Fatalf("seed %d cfg %d: decoded profile lost coverage", seed, k)
+			}
+			got.ReadWords, got.WriteWords, got.OpCycles = 0, 0, 0
+			if got != want || gotPipe != wantPipe {
+				t.Errorf("seed %d cfg %d: profile %+v/%d != pass %+v/%d", seed, k, got, gotPipe, want, wantPipe)
+			}
+		}
+	}
+}
+
+// TestGeomSimCrossProductCoverage pins that a profile built from a
+// family answers configurations the family never contained — any L2
+// associativity up to the tracked depth and any candidate L2 set count
+// crossed with any profiled L1 geometry — and correctly refuses
+// everything outside the cross product.
+func TestGeomSimCrossProductCoverage(t *testing.T) {
+	family := geomFamily()
+	gs, err := NewGeomSim(family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	addrs, sizes := randomAccesses(rng, 4000)
+	gs.ProbeAccesses(addrs, sizes)
+	prof := gs.Profile()
+
+	// 8K 2-way L1 with its L2 re-budgeted to 256K 16-way: never in the
+	// family, but (S1, A1) is profiled, the set count (512) matches this
+	// geometry's profiled L2 and A2=16 is under the depth cap.
+	novel := family[1]
+	novel.L2.SizeBytes, novel.L2.Assoc = 256<<10, 16
+	got, pipelined, ok := prof.CountsFor(novel)
+	if !ok {
+		t.Fatalf("novel in-cross-product config not covered: %+v", novel)
+	}
+	ls := NewLineSim(novel)
+	ls.ProbeAccesses(addrs, sizes)
+	want := Counts{L1Hits: ls.L1Hits, L2Hits: ls.L2Hits, DRAMFills: ls.DRAMFills}
+	got.ReadWords, got.WriteWords, got.OpCycles = 0, 0, 0
+	if got != want || pipelined != ls.Pipelined() {
+		t.Errorf("novel config: profile %+v/%d != linesim %+v/%d", got, pipelined, want, ls.Pipelined())
+	}
+
+	refused := []func(*Config){
+		func(c *Config) { c.L1.LineBytes, c.L2.LineBytes = 64, 64 }, // other line size
+		func(c *Config) { c.L1.SizeBytes = 2 << 10 },                // unprofiled L1 set count
+		func(c *Config) { c.L1.Assoc = 8 },                          // unprofiled L1 geometry at 8K
+		func(c *Config) { c.L2.SizeBytes = 32 << 10 },               // L2 set count outside candidates
+		func(c *Config) { c.L2.SizeBytes = 256 << 10 },              // S2=2048 exists in the family, but not for this L1 geometry
+		func(c *Config) { c.L2.Assoc = 32 },                         // beyond the L2 depth cap
+		func(c *Config) { c.L1.SizeBytes = 9 << 10 },                // non-power-of-two geometry
+	}
+	for i, mutate := range refused {
+		c := family[1]
+		mutate(&c)
+		if prof.Covers(c) {
+			t.Errorf("mutation %d: profile claims coverage of %+v", i, c)
+		}
+	}
+}
+
+// TestReuseProfileMerge pins that merging two passes over the same
+// stream yields a profile covering both families exactly — the cache's
+// defense against a narrow-family pass shrinking accumulated coverage —
+// and that the merged profile still round-trips the validating decoder.
+func TestReuseProfileMerge(t *testing.T) {
+	family := geomFamily()
+	famA, famB := family[:3], family[3:]
+	rng := rand.New(rand.NewSource(13))
+	addrs, sizes := randomAccesses(rng, 3000)
+
+	profileOf := func(fam []Config) *ReuseProfile {
+		gs, err := NewGeomSim(fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gs.ProbeAccesses(addrs, sizes)
+		return gs.Profile()
+	}
+	merged := profileOf(famB).Merge(profileOf(famA))
+
+	for k, cfg := range family {
+		ls := NewLineSim(cfg)
+		ls.ProbeAccesses(addrs, sizes)
+		got, pipelined, ok := merged.CountsFor(cfg)
+		if !ok {
+			t.Fatalf("cfg %d: merged profile lost coverage", k)
+		}
+		got.ReadWords, got.WriteWords, got.OpCycles = 0, 0, 0
+		want := Counts{L1Hits: ls.L1Hits, L2Hits: ls.L2Hits, DRAMFills: ls.DRAMFills}
+		if got != want || pipelined != ls.Pipelined() {
+			t.Errorf("cfg %d: merged %+v != linesim %+v", k, got, want)
+		}
+	}
+	raw, err := merged.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ReuseProfile
+	if err := back.UnmarshalBinary(raw); err != nil {
+		t.Fatalf("merged profile rejected by decoder: %v", err)
+	}
+	// Merging profiles of different streams must refuse (keep receiver).
+	other := profileOf(famA)
+	other.Probes++
+	if p := profileOf(famB); p.Merge(other) != p {
+		t.Error("merge accepted a profile of a different stream")
+	}
+}
+
+// TestGeomSimRejectsMixedFamilies pins constructor validation.
+func TestGeomSimRejectsMixedFamilies(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	b.L1.LineBytes = 64
+	if _, err := NewGeomSim([]Config{a, b}); err == nil {
+		t.Error("mixed line sizes accepted")
+	}
+	c := DefaultConfig()
+	c.L1.SizeBytes = 9 << 10 // 144 sets: not a power of two
+	if GeomEligible(c) {
+		t.Error("non-power-of-two set count eligible")
+	}
+	if _, err := NewGeomSim([]Config{c}); err == nil {
+		t.Error("ineligible configuration accepted")
+	}
+	// Associativities beyond the profile histogram bound fall back to
+	// LineSim — an eligible kernel could emit a profile its own decoder
+	// rejects.
+	deep := DefaultConfig()
+	deep.L2.SizeBytes, deep.L2.Assoc = 4<<10, 128 // 1-set fully-associative L2
+	if GeomEligible(deep) {
+		t.Error("128-way geometry eligible; its profile could not re-decode")
+	}
+	if _, err := NewGeomSim(nil); err == nil {
+		t.Error("empty family accepted")
+	}
+}
+
+// TestGeomSimResetIdentity pins that Reset only accepts the identical
+// family (pooled kernels must never serve a different geometry set).
+func TestGeomSimResetIdentity(t *testing.T) {
+	family := geomFamily()
+	gs, err := NewGeomSim(family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := append([]Config(nil), family...)
+	other[0].L2.SizeBytes *= 2
+	if gs.Reset(other) {
+		t.Error("Reset accepted a different family")
+	}
+	if gs.Reset(family[:len(family)-1]) {
+		t.Error("Reset accepted a shorter family")
+	}
+	if !gs.Reset(family) {
+		t.Error("Reset refused the identical family")
+	}
+}
+
+// TestGeomSimProbeZeroAllocs pins that the all-geometry probe pass
+// itself — the hot loop of a multi-platform replay — allocates nothing
+// in steady state, like the LineSim replay path before it.
+func TestGeomSimProbeZeroAllocs(t *testing.T) {
+	family := geomFamily()
+	gs, err := NewGeomSim(family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	addrs, sizes := randomAccesses(rng, 2048)
+	gs.ProbeAccesses(addrs, sizes) // warm
+	if allocs := testing.AllocsPerRun(50, func() {
+		gs.ProbeAccesses(addrs, sizes)
+	}); allocs != 0 {
+		t.Errorf("GeomSim probe pass allocates %.1f objects/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if !gs.Reset(family) {
+			t.Fatal("Reset refused identical family")
+		}
+		gs.ProbeAccesses(addrs, sizes)
+	}); allocs != 0 {
+		t.Errorf("GeomSim Reset+probe allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestReuseProfileDecodeRejectsCorruption pins the hard-validation
+// contract: truncations and bit flips either decode to a profile whose
+// histograms still sum consistently or error — never panic.
+func TestReuseProfileDecodeRejectsCorruption(t *testing.T) {
+	family := geomFamily()
+	gs, err := NewGeomSim(family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	addrs, sizes := randomAccesses(rng, 2000)
+	gs.ProbeAccesses(addrs, sizes)
+	raw, err := gs.Profile().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut < len(raw); cut += 7 {
+		var p ReuseProfile
+		if err := p.UnmarshalBinary(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	var trailing ReuseProfile
+	if err := trailing.UnmarshalBinary(append(append([]byte(nil), raw...), 0)); err == nil {
+		t.Error("trailing byte decoded without error")
+	}
+	// A histogram count flip must break the sum consistency check, not
+	// silently miscount: find the first L1 histogram bucket and bump it.
+	flipped := append([]byte(nil), raw...)
+	for i := len(raw) - 1; i >= 0; i-- {
+		flipped[i] ^= 0x01
+		var p ReuseProfile
+		if err := p.UnmarshalBinary(flipped); err == nil {
+			// Decoding succeeded: the flip must not have changed any
+			// accounted quantity (e.g. it hit the invariant aggregates,
+			// which no sum constrains). Counts must still be internally
+			// consistent for a covered config.
+			c, _, ok := p.CountsFor(family[0])
+			if ok && c.L1Hits+c.L2Hits+c.DRAMFills != p.Probes {
+				t.Fatalf("bit flip at %d decoded to inconsistent counts", i)
+			}
+		}
+		flipped[i] ^= 0x01
+	}
+}

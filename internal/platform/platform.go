@@ -139,6 +139,24 @@ func (p *Platform) AbortWhen(everyProbes uint64, check func(metrics.Vector) bool
 	})
 }
 
+// LineFamily is one geometry family of a platform sweep: the indexes of
+// the configurations sharing an address-mapping (L1) line size. Within
+// a family the all-geometry replay kernel (memsim.GeomSim) evaluates
+// every member in a single probe pass; across families only the stream
+// decode is shared.
+type LineFamily = memsim.LineFamily
+
+// LineFamilies partitions platform configurations into line-size
+// families, in first-appearance order — the same grouping the replay
+// planner uses (memsim.LineFamiliesOf), so sweep-side and replay-side
+// partitioning can never diverge. Sweeps and the exploration engine
+// group their platform points through this before replaying, so a
+// K-platform sweep costs one probe pass per distinct line size rather
+// than one per platform.
+func LineFamilies(cfgs []memsim.Config) []LineFamily {
+	return memsim.LineFamiliesOf(cfgs)
+}
+
 // Metrics snapshots the platform into the 4-metric cost vector: dissipated
 // energy, execution time, memory accesses and peak memory footprint.
 func (p *Platform) Metrics() metrics.Vector {

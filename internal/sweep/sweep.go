@@ -79,9 +79,13 @@ type Result struct {
 // word-access stream, and every later platform point is evaluated by
 // replaying those streams — identical results (the replay-equivalence
 // property tests pin counts, cycles and energy bit-for-bit) at a
-// fraction of the execution cost. Profiling runs are likewise shared
-// across platforms, since per-role access attribution is platform-
-// invariant.
+// fraction of the execution cost. The warm pass groups the platform
+// points by cache line size (platform.LineFamilies) and costs each
+// family with a single all-geometry probe pass per stream
+// (memsim.GeomSim), leaving per-identity reuse profiles in the cache —
+// a later sweep over covered geometries is pure arithmetic, zero probe
+// passes. Profiling runs are likewise shared across platforms, since
+// per-role access attribution is platform-invariant.
 //
 // With opts.Compose the sweep runs on compositional capture instead:
 // per-role sub-streams (platform- AND combination-invariant) replace
