@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/apps"
+	"repro/internal/apps/netapps"
 	"repro/internal/apps/urlsw"
 	"repro/internal/ddt"
 	"repro/internal/energy"
@@ -136,6 +137,44 @@ func BenchmarkAblationPruning(b *testing.B) {
 			b.ReportMetric(float64(survivors), "survivors")
 			b.ReportMetric(float64(sims), "simulations")
 			b.ReportMetric(float64(frontSize), "final-front")
+		})
+	}
+}
+
+// BenchmarkAblationBoundPrune ablates the bound-guided combination
+// search on the 3-role DRR grid: the same compositional exploration
+// with pruning off (every combination pays a composed probe pass) and
+// on (combinations whose admissible per-lane lower bound the running
+// front already dominates are discarded with zero replays). The
+// survivor fronts are bit-identical either way — the bound never
+// exceeds the exact cost on any objective — so the entire delta is
+// wall-clock and replay count.
+func BenchmarkAblationBoundPrune(b *testing.B) {
+	app, err := netapps.ByName("DRR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := explore.Configs(app)[0]
+	for _, mode := range []struct {
+		name  string
+		prune bool
+	}{
+		{"prune-off", false},
+		{"prune-on", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var st explore.EngineStats
+			for i := 0; i < b.N; i++ {
+				opts := explore.Options{TracePackets: 400, DominantK: 3, Compose: true, BoundPrune: mode.prune}
+				eng := explore.NewEngine(app, opts)
+				if _, err := eng.Step1(context.Background(), ref); err != nil {
+					b.Fatal(err)
+				}
+				st = eng.Stats()
+			}
+			b.ReportMetric(float64(st.Pruned), "pruned")
+			b.ReportMetric(float64(st.Composed), "composed-replays")
+			b.ReportMetric(float64(st.Simulated), "executions")
 		})
 	}
 }

@@ -15,7 +15,11 @@
 //	                                                 # reuse profiles
 //	ddt-explore -app DRR -compose                    # compositional capture:
 //	                                                 # 10*K executions serve
-//	                                                 # the 10^K combinations
+//	                                                 # the 10^K combinations,
+//	                                                 # and bound-guided search
+//	                                                 # prunes dominated ones
+//	                                                 # with zero replays
+//	                                                 # (-noprune disables)
 //	ddt-explore -app URL -platforms all              # co-design sweep of the
 //	                                                 # recommendation: one
 //	                                                 # geometry-collapsed probe
@@ -59,6 +63,7 @@ type cliConfig struct {
 	cachePath   string // results-only persistent cache
 	replayCache string // results + access streams persistent cache
 	compose     bool   // compositional capture: per-role sub-streams
+	noprune     bool   // disable bound-guided combination pruning
 	platforms   string // platform names to evaluate the recommendation on
 	cpuProfile  string
 	memProfile  string
@@ -78,6 +83,7 @@ func main() {
 	flag.StringVar(&c.cachePath, "cache", "", "simulation cache file: loaded before the run, saved after")
 	flag.StringVar(&c.replayCache, "replay-cache", "", "like -cache, but also captures and persists access streams and the reuse profiles of platform evaluations, so later runs evaluate new platform configurations by replay — or by profile arithmetic with zero probe passes — instead of re-execution")
 	flag.BoolVar(&c.compose, "compose", false, "compositional capture: record one access sub-stream per container role (per-role heap arenas) and evaluate DDT combinations by interleaving cached sub-streams instead of re-executing — the 10^K cross-product costs ~10*K executions")
+	flag.BoolVar(&c.noprune, "noprune", false, "with -compose, disable bound-guided pruning: by default, combinations whose admissible per-lane lower bound (sum of isolated lane reuse-profile bounds) is already dominated by the running Pareto front are discarded with zero replays — fronts stay bit-identical either way")
 	flag.StringVar(&c.platforms, "platforms", "", "comma-separated platform points (or 'all') to evaluate the best-energy recommendation on: points sharing a cache line size are costed by one all-geometry replay pass (a cached reuse profile makes the sweep pure arithmetic); names from the default sweep set")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile of the exploration to this file")
 	flag.StringVar(&c.memProfile, "memprofile", "", "write a heap profile (taken after the exploration) to this file")
@@ -151,6 +157,7 @@ func run(c cliConfig) error {
 	// persistent replay cache or an in-run platform evaluation.
 	// Composition replaces whole-run capture entirely.
 	opts.Compose = c.compose
+	opts.BoundPrune = c.compose && !c.noprune
 	opts.CaptureStreams = !c.compose && (c.replayCache != "" || c.platforms != "")
 	eng := explore.NewEngine(a, opts)
 	m := core.Methodology{App: a, Opts: opts, Engine: eng}
@@ -199,8 +206,8 @@ func run(c cliConfig) error {
 		report.Percent(r.EnergySaving), report.Percent(r.TimeSaving))
 
 	st := eng.Stats()
-	fmt.Printf("\nexploration wall time: %.1fs (budget %d; engine simulated %d, replayed %d, composed %d, profile-served %d, cache hits %d, early aborts %d)\n",
-		elapsed.Seconds(), r.Reduced, st.Simulated, st.Replayed, st.Composed, st.Profiled, st.CacheHits, st.Aborted)
+	fmt.Printf("\nexploration wall time: %.1fs (budget %d; engine simulated %d, replayed %d, composed %d, profile-served %d, cache hits %d, early aborts %d, bound-pruned %d via %d lane profiles)\n",
+		elapsed.Seconds(), r.Reduced, st.Simulated, st.Replayed, st.Composed, st.Profiled, st.CacheHits, st.Aborted, st.Pruned, st.LaneProfiles)
 
 	if c.platforms != "" {
 		if err := evaluatePlatforms(eng, r, c.platforms); err != nil {
@@ -367,8 +374,8 @@ func loadCache(path string) (*explore.Cache, error) {
 		return nil, err
 	}
 	stats := cache.Stats()
-	fmt.Fprintf(os.Stderr, "loaded %d cached simulations (%d access streams, %d role lanes, %d reuse profiles) from %s\n",
-		stats.Entries, stats.Streams, stats.Lanes, stats.ReuseProfiles, path)
+	fmt.Fprintf(os.Stderr, "loaded %d cached simulations (%d access streams, %d role lanes, %d reuse profiles, %d lane profiles) from %s\n",
+		stats.Entries, stats.Streams, stats.Lanes, stats.ReuseProfiles, stats.LaneProfiles, path)
 	return cache, nil
 }
 
@@ -406,8 +413,8 @@ func saveCache(path string, cache *explore.Cache, withStreams bool) error {
 	}
 	stats := cache.Stats()
 	if withStreams {
-		fmt.Printf("simulation cache saved to %s (%d entries, %d access streams, %d role lanes, %d reuse profiles, %dKB of streams+profiles)\n",
-			path, stats.Entries, stats.Streams, stats.Lanes, stats.ReuseProfiles, stats.StreamBytes>>10)
+		fmt.Printf("simulation cache saved to %s (%d entries, %d access streams, %d role lanes, %d reuse profiles, %d lane profiles, %dKB of streams+profiles)\n",
+			path, stats.Entries, stats.Streams, stats.Lanes, stats.ReuseProfiles, stats.LaneProfiles, stats.StreamBytes>>10)
 	} else {
 		fmt.Printf("simulation cache saved to %s (%d entries)\n", path, stats.Entries)
 	}

@@ -151,6 +151,20 @@ func (c *ComposedRecorder) Finish(partial bool) (*Schedule, []*SubStream) {
 // lane recorded — a corrupted or mismatched lane set.
 var errSegMismatch = errors.New("astream: schedule and sub-stream segments disagree")
 
+// advanceLive folds one segment's footprint deltas into the running
+// (live, peak) pair: the high-water candidate is the live total at
+// segment start plus the segment's in-segment max delta, and the net
+// delta then moves the total. Every walk that reconstructs footprint —
+// composed replay, the zero-probe ComposedPeak, the isolated lane
+// profile — goes through this one function, so their peak arithmetic
+// can never diverge.
+func advanceLive(maxDelta uint64, endDelta int64, live, peak uint64) (uint64, uint64) {
+	if c := live + maxDelta; c > peak {
+		peak = c
+	}
+	return uint64(int64(live) + endDelta), peak
+}
+
 // decodeSeg decodes events of the current segment into b, appending
 // accesses from b.nAcc and accumulating the invariant aggregates, until
 // the segment's tagSeg terminator (done=true, deltas returned) or a full
@@ -405,10 +419,7 @@ func replayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsi
 			inv.ReadWords += uint64(u.SegReadW[s])
 			inv.WriteWords += uint64(u.SegWriteW[s])
 			inv.OpCycles += u.SegOps[s]
-			if c := totalLive + u.SegMax[s]; c > peak {
-				peak = c
-			}
-			totalLive = uint64(int64(totalLive) + u.SegEnd[s])
+			totalLive, peak = advanceLive(u.SegMax[s], u.SegEnd[s], totalLive, peak)
 		}
 		if guard != nil {
 			if sinceGuard += int(hi - lo); sinceGuard >= batchEvents {
@@ -427,6 +438,44 @@ func replayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsi
 		return out, nil, nil
 	}
 	return out, plan.profiles(inv, peak), nil
+}
+
+// ComposedPeak reconstructs the EXACT footprint peak of one DDT
+// combination from its schedule and pre-decoded lanes alone — the same
+// segment-delta walk a composed replay performs, with no probe kernel
+// attached. Footprint is platform-invariant and, unlike the cache
+// behaviour, composes without any interference term (while one lane's
+// segment runs every other lane's live bytes are constant), so the
+// bound-guided search can use the exact composed footprint as the
+// fourth axis of an otherwise lower-bound vector at a tiny fraction of
+// a replay's cost: O(segments), zero probes, zero varint decoding.
+func ComposedPeak(sched *Schedule, lanes []*UnpackedLane) (uint64, error) {
+	if len(lanes) != len(sched.Roles)+1 {
+		return 0, fmt.Errorf("astream: schedule names %d roles but %d lanes supplied", len(sched.Roles), len(lanes))
+	}
+	for i, u := range lanes {
+		if u == nil {
+			return 0, fmt.Errorf("astream: missing unpacked lane %d", i)
+		}
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	cursor := sc.cursorsFor(len(lanes))
+	var totalLive, peak uint64
+	for _, tok := range sched.Tokens {
+		t := int(tok)
+		if t >= len(lanes) {
+			return 0, fmt.Errorf("astream: schedule token %d outside %d lanes", t, len(lanes))
+		}
+		u := lanes[t]
+		s := cursor[t]
+		if s >= len(u.SegOps) {
+			return 0, errSegMismatch
+		}
+		cursor[t] = s + 1
+		totalLive, peak = advanceLive(u.SegMax[s], u.SegEnd[s], totalLive, peak)
+	}
+	return peak, nil
 }
 
 // ReplayComposed evaluates one DDT combination under cfg by merging the
@@ -507,10 +556,7 @@ func replayComposed(sched *Schedule, lanes []*SubStream, cfgs []memsim.Config, g
 				// Other lanes' live bytes are constant during this
 				// segment, so the global footprint candidate is the total
 				// at segment start plus this lane's in-segment high-water.
-				if c := totalLive + maxD; c > peak {
-					peak = c
-				}
-				totalLive = uint64(int64(totalLive) + endD)
+				totalLive, peak = advanceLive(maxD, endD, totalLive, peak)
 				break
 			}
 			flush()

@@ -1,0 +1,72 @@
+package astream
+
+import (
+	"math/bits"
+
+	"repro/internal/memsim"
+)
+
+// ReplayLaneProfiled evaluates one lane's sub-stream in ISOLATION — the
+// lane's accesses alone, in recorded order, with no other lane
+// interleaved — through the all-geometry kernel, returning one reuse
+// profile per line-size family of cfgs. This is NOT an exact replay of
+// anything the application does; it is the raw material of the
+// admissible combination lower bound (memsim.BoundFromProfile): by LRU
+// stack inclusion the isolated pass's L1 hit counts upper-bound the
+// lane's hits inside any composed interleave, and the profile's
+// ColdLines (distinct lines touched, a floor on composed DRAM fills),
+// Peak (the lane's own footprint high water) and EndLive (live bytes at
+// run end) complete the closed-form bound ingredients. ~10·K of these
+// cheap passes cover every lane of a 10^K combination space.
+//
+// Only GeomSim-eligible configurations produce profiles; ineligible
+// ones are probed but yield nothing (callers gate on
+// memsim.BoundEligible anyway).
+func ReplayLaneProfiled(u *UnpackedLane, cfgs []memsim.Config) []*memsim.ReuseProfile {
+	sc := getScratch()
+	defer putScratch(sc)
+	plan := sc.planFor(cfgs, true)
+	plan.probe(u.Addr, u.Size)
+
+	var inv memsim.Counts
+	var live, peak uint64
+	for s := range u.SegOps {
+		inv.ReadWords += uint64(u.SegReadW[s])
+		inv.WriteWords += uint64(u.SegWriteW[s])
+		inv.OpCycles += u.SegOps[s]
+		live, peak = advanceLive(u.SegMax[s], u.SegEnd[s], live, peak)
+	}
+	profs := plan.profiles(inv, peak)
+	for _, p := range profs {
+		p.ColdLines = distinctLines(u, p.LineBytes)
+		p.EndLive = live
+	}
+	return profs
+}
+
+// distinctLines counts the distinct cache lines the lane touches at the
+// given (power-of-two) line size, walking spans exactly as the probe
+// kernels do — including the zero-size skip and the 32-bit wrap case the
+// hierarchy probes no lines for.
+func distinctLines(u *UnpackedLane, lineBytes uint32) uint64 {
+	shift := uint32(bits.TrailingZeros32(lineBytes))
+	seen := make(map[uint32]struct{}, 1024)
+	for i, addr := range u.Addr {
+		size := u.Size[i]
+		if size == 0 {
+			continue
+		}
+		first := addr >> shift
+		last := (addr + size - 1) >> shift
+		if last < first {
+			continue // addr+size wraps the 32-bit space
+		}
+		for line := first; ; line++ {
+			seen[line] = struct{}{}
+			if line == last {
+				break
+			}
+		}
+	}
+	return uint64(len(seen))
+}

@@ -1,0 +1,130 @@
+package astream_test
+
+import (
+	"testing"
+
+	"repro/internal/astream"
+	"repro/internal/ddt"
+	"repro/internal/memsim"
+	"repro/internal/sweep"
+)
+
+// TestReplayLaneProfiledIsolatedPass pins what the per-lane profiled
+// replay actually computes: for every lane of a composed capture, the
+// returned profile answers each configuration with exactly the outcome
+// of probing the lane's accesses ALONE through a dedicated LineSim
+// (the isolated pass the admissible bound is defined on), carries the
+// lane's exact invariant aggregates, and its ColdLines/Peak/EndLive
+// match brute-force recomputation from the decoded lane.
+func TestReplayLaneProfiledIsolatedPass(t *testing.T) {
+	_, subs := captureTwoRole(t, ddt.SLLAR, 42, 500)
+	pts := sweep.DefaultPlatforms()
+	cfgs := make([]memsim.Config, len(pts))
+	for i, pp := range pts {
+		cfgs[i] = pp.Config
+	}
+
+	for _, sub := range subs {
+		u, err := sub.Unpack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		profs := astream.ReplayLaneProfiled(u, cfgs)
+		byLine := make(map[uint32]*memsim.ReuseProfile, len(profs))
+		for _, p := range profs {
+			byLine[p.LineBytes] = p
+		}
+
+		// Lane-invariant aggregates, brute-forced from the segments.
+		var readW, writeW, ops, live, peak uint64
+		for s := range u.SegOps {
+			readW += uint64(u.SegReadW[s])
+			writeW += uint64(u.SegWriteW[s])
+			ops += u.SegOps[s]
+			if c := live + u.SegMax[s]; c > peak {
+				peak = c
+			}
+			live = uint64(int64(live) + u.SegEnd[s])
+		}
+
+		for _, cfg := range cfgs {
+			p := byLine[memsim.EffectiveLineBytes(cfg)]
+			if p == nil {
+				t.Fatalf("lane %d: no profile for line size %d", sub.Lane, memsim.EffectiveLineBytes(cfg))
+			}
+			counts, pipelined, ok := p.CountsFor(cfg)
+			if !ok {
+				t.Fatalf("lane %d: profile does not cover its own family member %+v", sub.Lane, cfg)
+			}
+			ls := memsim.NewLineSim(cfg)
+			ls.ProbeAccesses(u.Addr, u.Size)
+			if counts.L1Hits != ls.L1Hits || counts.L2Hits != ls.L2Hits || counts.DRAMFills != ls.DRAMFills {
+				t.Fatalf("lane %d on %+v: isolated counts %d/%d/%d, LineSim %d/%d/%d",
+					sub.Lane, cfg, counts.L1Hits, counts.L2Hits, counts.DRAMFills,
+					ls.L1Hits, ls.L2Hits, ls.DRAMFills)
+			}
+			if pipelined != ls.Pipelined() {
+				t.Fatalf("lane %d: pipelined %d != %d", sub.Lane, pipelined, ls.Pipelined())
+			}
+			if counts.ReadWords != readW || counts.WriteWords != writeW || counts.OpCycles != ops {
+				t.Fatalf("lane %d: invariant aggregates %d/%d/%d, want %d/%d/%d",
+					sub.Lane, counts.ReadWords, counts.WriteWords, counts.OpCycles, readW, writeW, ops)
+			}
+			if p.Peak != peak || p.EndLive != live {
+				t.Fatalf("lane %d: peak/endlive %d/%d, want %d/%d", sub.Lane, p.Peak, p.EndLive, peak, live)
+			}
+
+			// ColdLines: brute-force distinct lines at this line size.
+			shift := uint32(0)
+			for 1<<shift != p.LineBytes {
+				shift++
+			}
+			seen := make(map[uint32]bool)
+			for i, addr := range u.Addr {
+				size := u.Size[i]
+				if size == 0 {
+					continue
+				}
+				first, last := addr>>shift, (addr+size-1)>>shift
+				if last < first {
+					continue
+				}
+				for line := first; ; line++ {
+					seen[line] = true
+					if line == last {
+						break
+					}
+				}
+			}
+			if p.ColdLines != uint64(len(seen)) {
+				t.Fatalf("lane %d: cold lines %d, want %d", sub.Lane, p.ColdLines, len(seen))
+			}
+			if p.ColdLines > p.Probes {
+				t.Fatalf("lane %d: cold lines %d exceed %d probes", sub.Lane, p.ColdLines, p.Probes)
+			}
+
+			// And the bound derivation must accept its own profile.
+			b, ok := memsim.BoundFromProfile(p, cfg)
+			if !ok {
+				t.Fatalf("lane %d: BoundFromProfile rejected a covering profile", sub.Lane)
+			}
+			if b.MaxL1Hits != counts.L1Hits || b.ColdFills != p.ColdLines || b.Probes != p.Probes {
+				t.Fatalf("lane %d: bound ingredients %+v disagree with profile", sub.Lane, b)
+			}
+		}
+
+		// The encoded form round-trips the new fields.
+		enc, err := profs[0].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var dec memsim.ReuseProfile
+		if err := dec.UnmarshalBinary(enc); err != nil {
+			t.Fatal(err)
+		}
+		if dec.ColdLines != profs[0].ColdLines || dec.EndLive != profs[0].EndLive {
+			t.Fatalf("ColdLines/EndLive lost in encoding: %d/%d vs %d/%d",
+				dec.ColdLines, dec.EndLive, profs[0].ColdLines, profs[0].EndLive)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package explore_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/apps/netapps"
+	"repro/internal/explore"
+	"repro/internal/sweep"
+)
+
+// BenchmarkBoundPrunedExploration pins the tentpole claim of
+// bound-guided combination search on the 3-role DRR grid (10^3 = 1000
+// combinations): summing each lane's isolated reuse-profile bound and
+// discarding combinations the live front already dominates must beat
+// the PR-4 composed path — which still pays one composed probe pass per
+// combination — by >= 2x cold, with the survivor front bit-identical
+// (pinned by TestBoundPrunedDRRGrid).
+//
+//   - cold: both arms start from nothing and pay their own ~10·K lane
+//     captures; the pruned arm additionally pays ~10·K isolated lane
+//     profile passes, then answers pruned combinations with pure
+//     arithmetic plus a zero-probe footprint walk.
+//   - warm-new-platform: the lanes already exist (persistent
+//     `-replay-cache` / sweep scenario) and the space is re-explored on
+//     a platform the cache has no results for. Both arms execute
+//     nothing; the pruned arm re-profiles the ~10·K lanes for the new
+//     geometry and prunes the rest.
+func BenchmarkBoundPrunedExploration(b *testing.B) {
+	const packets = 400
+	a, err := netapps.ByName("DRR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref := explore.Config{TraceName: a.TraceNames()[0], Knobs: a.DefaultKnobs()}
+
+	run := func(b *testing.B, opts explore.Options) (time.Duration, explore.EngineStats) {
+		b.Helper()
+		eng := explore.NewEngine(a, opts)
+		t0 := time.Now()
+		s1, err := eng.Step1(context.Background(), ref)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s1.Results) != 1000 {
+			b.Fatalf("expected 1000 combinations, got %d", len(s1.Results))
+		}
+		return time.Since(t0), eng.Stats()
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			composed, _ := run(b, explore.Options{TracePackets: packets, DominantK: 3, Compose: true})
+			pruned, st := run(b, explore.Options{TracePackets: packets, DominantK: 3, BoundPrune: true})
+			if st.Pruned == 0 {
+				b.Fatal("bound-guided arm pruned nothing")
+			}
+			b.ReportMetric(float64(composed.Milliseconds()), "composed-ms")
+			b.ReportMetric(float64(pruned.Milliseconds()), "pruned-ms")
+			b.ReportMetric(float64(composed)/float64(pruned), "speedup-x")
+			b.ReportMetric(float64(st.Pruned)/1000, "prune-ratio")
+			b.ReportMetric(float64(st.LaneProfiles), "lane-profiles")
+		}
+	})
+
+	b.Run("warm-new-platform", func(b *testing.B) {
+		// Prior exploration (untimed) leaves the ~10·K lanes and their
+		// profiles behind; snapshot so every iteration starts from the
+		// same warm lanes with no memoized platform-B results.
+		prep := explore.NewCache()
+		warm := explore.Options{TracePackets: packets, DominantK: 3, BoundPrune: true, Cache: prep}
+		if _, err := explore.NewEngine(a, warm).Step1(context.Background(), ref); err != nil {
+			b.Fatal(err)
+		}
+		var snapshot bytes.Buffer
+		if err := prep.SaveWithStreams(&snapshot); err != nil {
+			b.Fatal(err)
+		}
+		other := sweep.DefaultPlatforms()[5].Config // midrange-32K-512K
+
+		load := func(b *testing.B) *explore.Cache {
+			b.Helper()
+			c := explore.NewCache()
+			if err := c.Load(bytes.NewReader(snapshot.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+			return c
+		}
+		for i := 0; i < b.N; i++ {
+			composed, cst := run(b, explore.Options{TracePackets: packets, DominantK: 3, Compose: true,
+				Cache: load(b), Platform: &other})
+			pruned, st := run(b, explore.Options{TracePackets: packets, DominantK: 3, BoundPrune: true,
+				Cache: load(b), Platform: &other})
+			if cst.Simulated != 0 || st.Simulated != 0 {
+				b.Fatalf("warm arms executed %d/%d simulations", cst.Simulated, st.Simulated)
+			}
+			if st.Pruned == 0 {
+				b.Fatal("warm bound-guided arm pruned nothing")
+			}
+			b.ReportMetric(float64(composed.Milliseconds()), "composed-ms")
+			b.ReportMetric(float64(pruned.Milliseconds()), "pruned-ms")
+			b.ReportMetric(float64(composed)/float64(pruned), "speedup-x")
+			b.ReportMetric(float64(st.Pruned)/1000, "prune-ratio")
+		}
+	})
+}

@@ -1,0 +1,326 @@
+package explore_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/netapps"
+	"repro/internal/astream"
+	"repro/internal/ddt"
+	"repro/internal/energy"
+	"repro/internal/explore"
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+	"repro/internal/pareto"
+	"repro/internal/sweep"
+)
+
+// costVector mirrors the engine's replayVector: the 4-metric vector a
+// cost tuple implies under one platform.
+func costVector(cfg memsim.Config, model energy.Model, counts memsim.Counts, cycles, peak uint64) metrics.Vector {
+	seconds := float64(cycles) / cfg.ClockHz
+	return metrics.Vector{
+		Energy:    model.Energy(counts, seconds),
+		Time:      seconds,
+		Accesses:  float64(counts.Accesses()),
+		Footprint: float64(peak),
+	}
+}
+
+// boundVectorOf evaluates a lane bound (single lane or accumulated
+// combination) into its lower-bound vector.
+func boundVectorOf(cfg memsim.Config, model energy.Model, b memsim.LaneBound) metrics.Vector {
+	counts, cycles, peak := b.Cost(cfg)
+	return costVector(cfg, model, counts, cycles, peak)
+}
+
+// TestLaneBoundAdmissible is the load-bearing invariant of bound-guided
+// pruning: for every application with >= 2 roles, every default sweep
+// platform and random DDT combinations, the per-lane isolated bounds —
+// each alone AND summed over the combination's lanes — never exceed the
+// exact composed cost on any of the four objectives. A violation here
+// would let pruning drop a point that could have entered the front.
+func TestLaneBoundAdmissible(t *testing.T) {
+	pts := sweep.DefaultPlatforms()
+	cfgs := make([]memsim.Config, len(pts))
+	for i, pp := range pts {
+		cfgs[i] = pp.Config
+		if !memsim.BoundEligible(cfgs[i]) {
+			t.Fatalf("default platform %s not bound-eligible", pts[i].Name)
+		}
+	}
+	for _, a := range composeApps() {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			t.Parallel()
+			cfg := explore.Config{TraceName: a.TraceNames()[0], Knobs: a.DefaultKnobs()}
+			roles := apps.RoleNames(a)
+
+			var sched *astream.Schedule
+			byKind := make(map[ddt.Kind][]*astream.SubStream)
+			for _, k := range ddt.AllKinds() {
+				s, subs := captureComposedRun(t, a, cfg, uniformAssignment(a, k))
+				byKind[k] = subs
+				if sched == nil {
+					sched = s
+				}
+			}
+
+			// Isolated profiles per lane, memoized: one profiled pass per
+			// lane covers every platform family at once.
+			profsFor := make(map[*astream.SubStream]map[uint32]*memsim.ReuseProfile)
+			laneProfile := func(sub *astream.SubStream, lineBytes uint32) *memsim.ReuseProfile {
+				m, ok := profsFor[sub]
+				if !ok {
+					u, err := sub.Unpack()
+					if err != nil {
+						t.Fatal(err)
+					}
+					m = make(map[uint32]*memsim.ReuseProfile)
+					for _, p := range astream.ReplayLaneProfiled(u, cfgs) {
+						m[p.LineBytes] = p
+					}
+					profsFor[sub] = m
+				}
+				p := m[lineBytes]
+				if p == nil {
+					t.Fatalf("lane %d (%s): no profile for line size %d", sub.Lane, sub.Role, lineBytes)
+				}
+				return p
+			}
+
+			rng := rand.New(rand.NewSource(int64(97 + len(roles))))
+			for trial := 0; trial < 3; trial++ {
+				assign := make(apps.Assignment, len(roles))
+				lanes := make([]*astream.SubStream, len(roles)+1)
+				lanes[0] = byKind[ddt.AR][0] // ambient lane is kind-invariant
+				for i, role := range roles {
+					k := ddt.Kind(rng.Intn(ddt.NumKinds))
+					assign[role] = k
+					lanes[i+1] = byKind[k][i+1]
+				}
+				exact, err := astream.ReplayComposedMulti(sched, lanes, cfgs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for pi, pc := range cfgs {
+					model := energy.CACTILike(pc)
+					exactVec := costVector(pc, model, exact[pi].Counts, exact[pi].Cycles, exact[pi].Peak)
+					var sum memsim.LaneBound
+					for li, sub := range lanes {
+						p := laneProfile(sub, memsim.EffectiveLineBytes(pc))
+						lb, ok := memsim.BoundFromProfile(p, pc)
+						if !ok {
+							t.Fatalf("lane %d on %s: profile does not cover its own platform", li, pts[pi].Name)
+						}
+						laneVec := boundVectorOf(pc, model, lb)
+						for _, m := range metrics.AllMetrics() {
+							if laneVec.Get(m) > exactVec.Get(m) {
+								t.Fatalf("INADMISSIBLE per-lane bound: %s, lane %d (%s), combination %s on %s: %s bound %v > exact %v",
+									a.Name(), li, sub.Role, assign, pts[pi].Name, m, laneVec.Get(m), exactVec.Get(m))
+							}
+						}
+						sum.Accumulate(lb)
+					}
+					sumVec := boundVectorOf(pc, model, sum)
+					for _, m := range metrics.AllMetrics() {
+						if sumVec.Get(m) > exactVec.Get(m) {
+							t.Fatalf("INADMISSIBLE combination bound: %s, combination %s on %s: %s bound %v > exact %v",
+								a.Name(), assign, pts[pi].Name, m, sumVec.Get(m), exactVec.Get(m))
+						}
+					}
+					// The invariant axes are not merely bounded — they are
+					// exact, which is what gives the bound its pruning power.
+					if sumVec.Accesses != exactVec.Accesses {
+						t.Fatalf("%s on %s: bound accesses %v != exact %v",
+							assign, pts[pi].Name, sumVec.Accesses, exactVec.Accesses)
+					}
+				}
+			}
+		})
+	}
+}
+
+// liveFront computes the cross-configuration Pareto front over the
+// finished results, as step 3 charts it.
+func liveFront(results []explore.Result) []pareto.Point {
+	live := explore.Live(results)
+	pts := make([]pareto.Point, len(live))
+	for i, r := range live {
+		pts[i] = r.Point(i)
+	}
+	return pareto.Front(pts)
+}
+
+// samePoints compares two fronts on combinations, vectors and ordering.
+func samePoints(t *testing.T, what string, got, want []pareto.Point) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d points, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Label != want[i].Label || got[i].Vec != want[i].Vec {
+			t.Fatalf("%s[%d]: %s %v, want %s %v", what, i, got[i].Label, got[i].Vec, want[i].Label, want[i].Vec)
+		}
+	}
+}
+
+// TestBoundPrunedFrontMatchesExhaustive is the golden comparison of the
+// bound-guided search: on every case study, a full Explore with
+// BoundPrune produces the identical survivor front and identical
+// cross-configuration Pareto front as the exhaustive composed path —
+// and its engine stats account for every scheduled job, so Progress
+// still reaches each step's total.
+func TestBoundPrunedFrontMatchesExhaustive(t *testing.T) {
+	ctx := context.Background()
+	for _, a := range netapps.All() {
+		a := a
+		t.Run(a.Name(), func(t *testing.T) {
+			t.Parallel()
+			exhaustive := explore.Options{TracePackets: 300, Compose: true}
+			exEng := explore.NewEngine(a, exhaustive)
+			exS1, exS2, err := exEng.Explore(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			progress := make(map[int]int) // per-step total -> max done seen
+			pruned := explore.Options{TracePackets: 300, BoundPrune: true,
+				Progress: func(done, total int) {
+					if done > progress[total] {
+						progress[total] = done
+					}
+				}}
+			prEng := explore.NewEngine(a, pruned)
+			prS1, prS2, err := prEng.Explore(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			sameResults(t, "survivors", prS1.Survivors, exS1.Survivors)
+			samePoints(t, "cross-config front", liveFront(prS2.Results), liveFront(exS2.Results))
+			// Per-configuration fronts too: within a configuration, a
+			// pruned point is dominated by that configuration's own
+			// front, so each per-config front must also be identical.
+			for _, cfg := range prS2.Configs {
+				samePoints(t, "front for "+cfg.String(),
+					liveFront(prS2.ResultsFor(cfg)), liveFront(exS2.ResultsFor(cfg)))
+			}
+			for _, sv := range prS1.Survivors {
+				if sv.Pruned || sv.Aborted {
+					t.Fatalf("pruned/aborted result %s ended up a survivor", sv.Label())
+				}
+			}
+
+			// Every scheduled job is accounted for by exactly one path.
+			st := prEng.Stats()
+			jobs := len(prS1.Results) + prS2.Simulations
+			accounted := st.Simulated + st.Replayed + st.Composed + st.Profiled +
+				st.CacheHits + st.Aborted + st.Pruned
+			if accounted != jobs {
+				t.Fatalf("stats account for %d of %d jobs: %+v", accounted, jobs, st)
+			}
+			if st.Pruned != prS1.Pruned+prS2.Pruned {
+				t.Fatalf("engine pruned %d but steps report %d+%d", st.Pruned, prS1.Pruned, prS2.Pruned)
+			}
+			for total, done := range progress {
+				if done != total {
+					t.Fatalf("progress stalled at %d of %d", done, total)
+				}
+			}
+			t.Logf("%s: %d of %d step-1 jobs pruned, %d lane profiles", a.Name(), prS1.Pruned, len(prS1.Results), st.LaneProfiles)
+		})
+	}
+}
+
+// TestBoundPrunedDRRGrid pins the acceptance criterion on the 3-role
+// 1000-combination DRR grid: the bound-guided step 1 prunes a real
+// share of the space with zero replays, and its survivor front is
+// bit-identical to the exhaustive composed path.
+func TestBoundPrunedDRRGrid(t *testing.T) {
+	a, err := netapps.ByName("DRR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := explore.Config{TraceName: a.TraceNames()[0], Knobs: a.DefaultKnobs()}
+	ctx := context.Background()
+
+	exEng := explore.NewEngine(a, explore.Options{TracePackets: 200, DominantK: 3, Compose: true})
+	exS1, err := exEng.Step1(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prEng := explore.NewEngine(a, explore.Options{TracePackets: 200, DominantK: 3, BoundPrune: true})
+	prS1, err := prEng.Step1(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(prS1.Results) != 1000 {
+		t.Fatalf("expected the 1000-combination grid, got %d", len(prS1.Results))
+	}
+	sameResults(t, "DRR grid survivors", prS1.Survivors, exS1.Survivors)
+	st := prEng.Stats()
+	if st.Pruned == 0 {
+		t.Fatal("bound-guided search pruned nothing on the 3-role grid")
+	}
+	if st.Pruned != prS1.Pruned {
+		t.Fatalf("engine pruned %d, step reports %d", st.Pruned, prS1.Pruned)
+	}
+	t.Logf("DRR 3-role grid: %d of 1000 pruned, %d composed, %d executed, %d lane profiles",
+		st.Pruned, st.Composed, st.Simulated, st.LaneProfiles)
+}
+
+// TestBoundPrunePersistedProfiles pins warm pruning: lane profiles
+// survive SaveWithStreams/Load, so extending a 2-role exploration to a
+// third dominant role prunes with only the NEW role's lanes profiled —
+// the loaded profiles serve the rest without decoding anything.
+func TestBoundPrunePersistedProfiles(t *testing.T) {
+	a, err := netapps.ByName("DRR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := explore.Config{TraceName: a.TraceNames()[0], Knobs: a.DefaultKnobs()}
+	ctx := context.Background()
+
+	prep := explore.NewEngine(a, explore.Options{TracePackets: 200, DominantK: 2, BoundPrune: true})
+	if _, err := prep.Step1(ctx, ref); err != nil {
+		t.Fatal(err)
+	}
+	prepProfiles := prep.Stats().LaneProfiles
+	if prepProfiles == 0 {
+		t.Fatal("prep exploration computed no lane profiles")
+	}
+
+	var buf bytes.Buffer
+	if err := prep.Cache().SaveWithStreams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := explore.NewCache()
+	if err := loaded.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Stats().LaneProfiles; got != prepProfiles {
+		t.Fatalf("round trip kept %d of %d lane profiles", got, prepProfiles)
+	}
+
+	warm := explore.NewEngine(a, explore.Options{TracePackets: 200, DominantK: 3, BoundPrune: true, Cache: loaded})
+	s1, err := warm.Step1(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.Pruned == 0 {
+		t.Fatal("warm extension pruned nothing")
+	}
+	// Only the third role's lanes are new; the loaded profiles must
+	// serve both prep roles and the ambient lane without re-profiling.
+	if st.LaneProfiles >= prepProfiles {
+		t.Fatalf("warm run re-profiled %d lanes (prep computed %d)", st.LaneProfiles, prepProfiles)
+	}
+	t.Logf("warm 3-role extension: %d of %d pruned with %d new lane profiles (prep had %d)",
+		st.Pruned, len(s1.Results), st.LaneProfiles, prepProfiles)
+}

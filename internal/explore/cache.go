@@ -44,6 +44,12 @@ import (
 //     for the 10^K whole-run streams a flat capture would need. Each
 //     lane's decoded struct-of-arrays form is memoized at runtime so
 //     composition decodes a lane once, not once per combination.
+//   - Lane profiles (Options.BoundPrune): the isolated reuse profile of
+//     each lane, the ingredients of the admissible combination lower
+//     bound. Persisted with SaveWithStreams so a warm re-exploration
+//     prunes dominated combinations before decoding anything; being
+//     rederivable from their lanes they are the first tier evicted
+//     under budget pressure (see evictLocked).
 //
 // Aborted results are stored as dominance tombstones: the partial vector
 // plus the proof (by construction) that an identical exploration already
@@ -81,6 +87,17 @@ type Cache struct {
 	rprofiles  map[string]*memsim.ReuseProfile
 	rprofOrder []string
 
+	// Lane profiles (also guarded by sm, counted against the stream
+	// budget): the ISOLATED reuse profile of one (role, kind) lane — or
+	// a configuration's ambient lane — per line size, feeding the
+	// admissible combination lower bound (memsim.BoundFromProfile). They
+	// are derived data, cheaply recomputable from their cached lane, so
+	// under budget pressure they are evicted FIRST — before any stream
+	// or lane, and ahead of nothing user-visible (asserted by
+	// TestCacheEvictionOrder).
+	lprofiles  map[string]*memsim.ReuseProfile
+	lprofOrder []string
+
 	pm       sync.Mutex
 	profiles map[string]*profiler.Set
 
@@ -91,9 +108,10 @@ type Cache struct {
 }
 
 // cacheEntry is one memoized simulation. Ctx tags tombstones with the
-// exploration semantics (prune mode, dominant-k) that proved the point
-// dominated: a tombstone is only a valid answer for an engine exploring
-// the same job space, while finished results are valid for everyone.
+// exploration semantics (prune mode, dominant-k, abort margin, bound
+// pruning) that proved the point dominated: a tombstone is only a valid
+// answer for an engine exploring the same job space under the same
+// discard rules, while finished results are valid for everyone.
 type cacheEntry struct {
 	Result Result
 	Ctx    string
@@ -145,6 +163,7 @@ func NewCache() *Cache {
 		scheds:       make(map[string]schedEntry),
 		unpacked:     make(map[string]*astream.UnpackedLane),
 		rprofiles:    make(map[string]*memsim.ReuseProfile),
+		lprofiles:    make(map[string]*memsim.ReuseProfile),
 		streamBudget: DefaultStreamBudget,
 	}
 }
@@ -170,6 +189,7 @@ type CacheStats struct {
 	LaneHits, LaneMisses       uint64
 	ReuseProfiles              int // retained per-(identity, line size) reuse profiles
 	ProfileHits, ProfileMisses uint64
+	LaneProfiles               int // retained per-lane isolated reuse profiles (bound pruning)
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -180,7 +200,7 @@ func (c *Cache) Stats() CacheStats {
 	c.sm.RLock()
 	ns, nb := len(c.streams), c.streamBytes
 	nl, nsch := len(c.lanes), len(c.scheds)
-	np := len(c.rprofiles)
+	np, nlp := len(c.rprofiles), len(c.lprofiles)
 	c.sm.RUnlock()
 	return CacheStats{
 		Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n,
@@ -190,6 +210,7 @@ func (c *Cache) Stats() CacheStats {
 		LaneHits: c.laneHits.Load(), LaneMisses: c.laneMisses.Load(),
 		ReuseProfiles: np,
 		ProfileHits:   c.rprofHits.Load(), ProfileMisses: c.rprofMisses.Load(),
+		LaneProfiles: nlp,
 	}
 }
 
@@ -378,6 +399,40 @@ func (c *Cache) storeReuseProfile(key string, p *memsim.ReuseProfile) {
 	c.evictLocked()
 }
 
+// lookupLaneProfile returns the isolated lane profile for a
+// (lane identity, line size) key. Like reuse profiles, lane profiles
+// are shared, not copied: immutable once stored.
+func (c *Cache) lookupLaneProfile(key string) *memsim.ReuseProfile {
+	c.sm.RLock()
+	p := c.lprofiles[key]
+	c.sm.RUnlock()
+	return p
+}
+
+// storeLaneProfile retains one isolated lane profile under the stream
+// budget, merging with any earlier profile for the key (a pass for a
+// narrower geometry family never shrinks accumulated coverage, exactly
+// as storeReuseProfile).
+func (c *Cache) storeLaneProfile(key string, p *memsim.ReuseProfile) {
+	if p == nil {
+		return
+	}
+	c.sm.Lock()
+	defer c.sm.Unlock()
+	if c.streamBudget <= 0 {
+		return
+	}
+	if old, ok := c.lprofiles[key]; ok {
+		c.streamBytes -= int64(old.SizeBytes())
+		p = p.Merge(old)
+	} else {
+		c.lprofOrder = append(c.lprofOrder, key)
+	}
+	c.lprofiles[key] = p
+	c.streamBytes += int64(p.SizeBytes())
+	c.evictLocked()
+}
+
 // lookupSchedule returns the DDT-invariant schedule entry (operation
 // schedule, ambient lane, summary) for a configuration key.
 func (c *Cache) lookupSchedule(key string) (*astream.Schedule, *astream.SubStream, apps.Summary, bool) {
@@ -435,14 +490,31 @@ func (c *Cache) has(key string) bool {
 	return ok && !e.Result.Aborted
 }
 
-// evictLocked drops retained stream data until the budget holds: whole
-// streams first (each is one simulation point; a lane serves 10^(K-1)
-// combinations), then lane sub-streams, then reuse profiles — a profile
-// is a few KB that answers a whole geometry cross product with zero
-// probes, so it outlives the streams it summarizes — oldest first
-// within each tier. Schedules stay — they are small and every lane of
-// their configuration depends on them. Called with sm held.
+// evictLocked drops retained stream data until the budget holds, in a
+// fixed tier order, oldest first within each tier:
+//
+//  1. lane profiles — derived data, cheaply recomputed from their
+//     cached lane; losing one costs a single isolated probe pass and
+//     nothing user-visible;
+//  2. whole streams — each is one simulation point (a lane serves
+//     10^(K-1) combinations);
+//  3. lane sub-streams;
+//  4. reuse profiles — a profile is a few KB that answers a whole
+//     geometry cross product with zero probes, so it outlives the
+//     streams it summarizes.
+//
+// Schedules stay — they are small and every lane of their configuration
+// depends on them. The order is asserted by TestCacheEvictionOrder.
+// Called with sm held.
 func (c *Cache) evictLocked() {
+	for c.streamBytes > c.streamBudget && len(c.lprofOrder) > 0 {
+		key := c.lprofOrder[0]
+		c.lprofOrder = c.lprofOrder[1:]
+		if p, ok := c.lprofiles[key]; ok {
+			c.streamBytes -= int64(p.SizeBytes())
+			delete(c.lprofiles, key)
+		}
+	}
 	for c.streamBytes > c.streamBudget && len(c.streamOrder) > 0 {
 		key := c.streamOrder[0]
 		c.streamOrder = c.streamOrder[1:]
@@ -480,6 +552,9 @@ func (c *Cache) evictLocked() {
 	if len(c.rprofOrder) == 0 {
 		c.rprofOrder = nil
 	}
+	if len(c.lprofOrder) == 0 {
+		c.lprofOrder = nil
+	}
 }
 
 // lookupProfile returns the memoized dominance profile for the platform-
@@ -511,6 +586,7 @@ type cacheFile struct {
 	Lanes     map[string]*astream.SubStream
 	Scheds    map[string]schedEntry
 	RProfiles map[string]*memsim.ReuseProfile
+	LProfiles map[string]*memsim.ReuseProfile
 }
 
 // Save serializes the cached results to w (gob), without the access
@@ -553,6 +629,10 @@ func (c *Cache) save(w io.Writer, withStreams bool) error {
 		f.RProfiles = make(map[string]*memsim.ReuseProfile, len(c.rprofiles))
 		for k, v := range c.rprofiles {
 			f.RProfiles[k] = v
+		}
+		f.LProfiles = make(map[string]*memsim.ReuseProfile, len(c.lprofiles))
+		for k, v := range c.lprofiles {
+			f.LProfiles[k] = v
 		}
 		c.sm.RUnlock()
 	}
@@ -630,6 +710,19 @@ func (c *Cache) Load(r io.Reader) error {
 		c.rprofiles[k] = v
 		c.streamBytes += int64(v.SizeBytes())
 	}
+	for k, v := range f.LProfiles {
+		if v == nil {
+			continue
+		}
+		if old, ok := c.lprofiles[k]; ok {
+			c.streamBytes -= int64(old.SizeBytes())
+			v = v.Merge(old)
+		} else {
+			c.lprofOrder = append(c.lprofOrder, k)
+		}
+		c.lprofiles[k] = v
+		c.streamBytes += int64(v.SizeBytes())
+	}
 	c.evictLocked()
 	c.sm.Unlock()
 	return nil
@@ -659,6 +752,13 @@ func streamKey(app string, cfg Config, assign apps.Assignment, packets int, aren
 // covers.
 func reuseProfileKey(skey string, lineBytes uint32) string {
 	return fmt.Sprintf("%s|reuse|%d", skey, lineBytes)
+}
+
+// laneProfileKey identifies one isolated lane profile: the lane's cache
+// key (laneKey for role lanes, schedKey for the ambient lane) plus the
+// line size of the geometry family the profile covers.
+func laneProfileKey(base string, lineBytes uint32) string {
+	return fmt.Sprintf("%s|lprof|%d", base, lineBytes)
 }
 
 // laneKey identifies one (role, kind) lane sub-stream: the DDT-invariant

@@ -162,6 +162,122 @@ func TestReuseProfilePersistenceAndBudget(t *testing.T) {
 	}
 }
 
+// TestCacheEvictionOrder pins the documented eviction tiers end to end:
+// under a shrinking budget, lane profiles go first (derived data,
+// rederivable from their lane), then whole streams, then lane
+// sub-streams, then reuse profiles — and schedules never.
+func TestCacheEvictionOrder(t *testing.T) {
+	c := NewCache()
+	lp := mkReuseProfile(t)
+	lp.ColdLines, lp.EndLive = 2, 64
+	rp := mkReuseProfile(t)
+	rec := astream.NewRecorder()
+	for i := 0; i < 4096; i++ {
+		rec.RecordAccess(false, uint32(i*64), 4, 1)
+	}
+	c.storeStream("stream", streamEntry{App: "URL", Packets: 1, Stream: rec.Finish(false)})
+	laneRec := astream.NewRecorder()
+	for i := 0; i < 2048; i++ {
+		laneRec.RecordAccess(true, uint32(i*32), 4, 1)
+	}
+	lane := &astream.SubStream{Stream: *laneRec.Finish(false), Role: "r", Lane: 1}
+	c.storeLane("lane", lane)
+	c.storeReuseProfile("rprof", rp)
+	c.storeLaneProfile("lprof", lp)
+
+	snapshot := func() (lprofs, streams, lanes, rprofs int) {
+		s := c.Stats()
+		return s.LaneProfiles, s.Streams, s.Lanes, s.ReuseProfiles
+	}
+	if lp, st, ln, rp := snapshot(); lp != 1 || st != 1 || ln != 1 || rp != 1 {
+		t.Fatalf("setup wrong: %d/%d/%d/%d", lp, st, ln, rp)
+	}
+
+	// Tier 1: squeeze out only the lane profile.
+	c.SetStreamBudget(c.Stats().StreamBytes - 1)
+	if lp, st, ln, rp := snapshot(); lp != 0 || st != 1 || ln != 1 || rp != 1 {
+		t.Fatalf("lane profile not evicted first: %d/%d/%d/%d", lp, st, ln, rp)
+	}
+	// Tier 2: the whole stream goes before the lane.
+	c.SetStreamBudget(c.Stats().StreamBytes - 1)
+	if lp, st, ln, rp := snapshot(); st != 0 || ln != 1 || rp != 1 {
+		t.Fatalf("stream not evicted second: %d/%d/%d/%d", lp, st, ln, rp)
+	}
+	// Tier 3: the lane sub-stream goes before the reuse profile.
+	c.SetStreamBudget(c.Stats().StreamBytes - 1)
+	if lp, st, ln, rp := snapshot(); ln != 0 || rp != 1 {
+		t.Fatalf("lane not evicted third: %d/%d/%d/%d", lp, st, ln, rp)
+	}
+	// Tier 4: finally the reuse profile.
+	c.SetStreamBudget(1)
+	if _, _, _, rp := snapshot(); rp != 0 {
+		t.Fatal("reuse profile survived a 1-byte budget")
+	}
+}
+
+// legacyCacheFile mirrors the persisted cache format as written before
+// lane profiles existed (PR 4): gob matches fields by name, so encoding
+// this struct is byte-compatible with an old process's SaveWithStreams.
+type legacyCacheFile struct {
+	Entries   map[string]cacheEntry
+	Streams   map[string]streamEntry
+	Lanes     map[string]*astream.SubStream
+	Scheds    map[string]schedEntry
+	RProfiles map[string]*memsim.ReuseProfile
+}
+
+// TestLoadPreLaneProfileCacheFormat pins that cache files written
+// before lane profiles existed still load — everything they carry
+// survives, lane profiles simply start empty — and that a fresh save
+// then round-trips lane profiles (including the merge-on-load path).
+func TestLoadPreLaneProfileCacheFormat(t *testing.T) {
+	legacy := legacyCacheFile{
+		Entries:   map[string]cacheEntry{"k": {Result: Result{App: "URL"}}},
+		Streams:   map[string]streamEntry{"s": {App: "URL", Packets: 1, Stream: mkStream(false)}},
+		RProfiles: map[string]*memsim.ReuseProfile{"rp": mkReuseProfile(t)},
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(legacy); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache()
+	if err := c.Load(&buf); err != nil {
+		t.Fatalf("pre-lane-profile cache rejected: %v", err)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Streams != 1 || st.ReuseProfiles != 1 || st.LaneProfiles != 0 {
+		t.Fatalf("legacy load mangled stores: %+v", st)
+	}
+
+	// Round trip with a lane profile on top of the legacy content.
+	lp := mkReuseProfile(t)
+	lp.ColdLines, lp.EndLive = 3, 128
+	c.storeLaneProfile("lp", lp)
+	var buf2 bytes.Buffer
+	if err := c.SaveWithStreams(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf2.Bytes()
+	c2 := NewCache()
+	if err := c2.Load(bytes.NewReader(saved)); err != nil {
+		t.Fatal(err)
+	}
+	got := c2.lookupLaneProfile("lp")
+	if got == nil || !reflect.DeepEqual(got, lp) {
+		t.Fatalf("lane profile did not round-trip: %+v", got)
+	}
+	if s := c2.Stats(); s.LaneProfiles != 1 || s.Streams != 1 {
+		t.Fatalf("round-trip stats wrong: %+v", s)
+	}
+	// Re-loading merges instead of double-counting.
+	if err := c2.Load(bytes.NewReader(saved)); err != nil {
+		t.Fatal(err)
+	}
+	if s := c2.Stats(); s.LaneProfiles != 1 {
+		t.Fatalf("reload duplicated lane profiles: %+v", s)
+	}
+}
+
 // TestReuseProfileStoreMergesCoverage pins that re-storing a profile
 // built from a narrower family merges into — never replaces — the
 // accumulated coverage for the identity.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"iter"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -51,6 +52,7 @@ type Outcome struct {
 	Replayed  bool // served by replaying a captured access stream
 	Composed  bool // served by composing per-role sub-streams
 	Aborted   bool // stopped early by the dominance guard; Result.Vec is partial
+	Pruned    bool // discarded by the bound-guided search; Result.Vec is a lower bound
 }
 
 // EngineStats counts what an Engine actually did, as opposed to the
@@ -63,6 +65,10 @@ type EngineStats struct {
 	Profiled  int // results derived arithmetically from cached reuse profiles (zero probes)
 	CacheHits int // results served from the cache
 	Aborted   int // simulations (live, replayed or composed) stopped early by the dominance guard
+	Pruned    int // combinations discarded by the admissible lower bound, zero replays
+	// LaneProfiles counts the isolated per-lane profiled passes the
+	// bound computation paid — ~10·K for a 10^K space, not per-job work.
+	LaneProfiles int
 }
 
 // Engine is the streaming exploration driver: it expands combination and
@@ -89,25 +95,56 @@ type Engine struct {
 	profMu   sync.Mutex
 	profiles map[string]*profiler.Set
 
-	simulated atomic.Int64
-	replayed  atomic.Int64
-	composed  atomic.Int64
-	profiled  atomic.Int64
-	cacheHits atomic.Int64
-	aborted   atomic.Int64
+	// Bound pruning state: pruneOK gates on the engine's (single)
+	// platform being memsim.BoundEligible, model is that platform's
+	// energy model, and laneBounds memoizes each lane's derived
+	// memsim.LaneBound so the 10^K bound checks pay map reads, not
+	// profile arithmetic, per lane.
+	pruneOK    bool
+	model      energy.Model
+	laneBounds sync.Map // lane profile key -> memsim.LaneBound
+	laneLocks  sync.Map // lane profile key -> *sync.Mutex, dedupes slow-path computes per lane
+
+	simulated    atomic.Int64
+	replayed     atomic.Int64
+	composed     atomic.Int64
+	profiled     atomic.Int64
+	cacheHits    atomic.Int64
+	aborted      atomic.Int64
+	pruned       atomic.Int64
+	laneProfiled atomic.Int64
 }
 
 // NewEngine builds an Engine for the application. Unless
 // Options.DisableCache is set, the engine uses Options.Cache or, when that
 // is nil, a fresh private cache.
 func NewEngine(a apps.App, opts Options) *Engine {
+	if opts.BoundPrune {
+		opts.Compose = true // the bound is defined on composed lanes
+	}
 	if opts.Compose {
 		opts.Arenas = true // composition is defined on the arena address model
+	}
+	// The exploration context tags dominance tombstones with everything
+	// that decides which points a run may discard: the survivor
+	// strategy and dominant-k (the job space), plus the guard semantics
+	// (abort margin, bound pruning). A tombstone is only reused by an
+	// engine whose exploration would have discarded the point the same
+	// way — so a -noprune run on a shared cache never inherits
+	// bound-pruned entries, and vice versa.
+	ctx := fmt.Sprintf("prune=%d k=%d", opts.Prune, opts.dominantK())
+	if opts.EarlyAbort {
+		ctx += fmt.Sprintf(" abort=%g", opts.abortMargin())
+	}
+	if opts.BoundPrune {
+		ctx += " bound"
 	}
 	e := &Engine{
 		app:        a,
 		opts:       opts,
-		exploreCtx: fmt.Sprintf("prune=%d k=%d", opts.Prune, opts.dominantK()),
+		exploreCtx: ctx,
+		pruneOK:    memsim.BoundEligible(opts.platformConfig()),
+		model:      energy.CACTILike(opts.platformConfig()),
 	}
 	if !opts.DisableCache {
 		if opts.Cache != nil {
@@ -131,13 +168,32 @@ func (e *Engine) Cache() *Cache { return e.cache }
 // Stats snapshots the engine's work counters.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Simulated: int(e.simulated.Load()),
-		Replayed:  int(e.replayed.Load()),
-		Composed:  int(e.composed.Load()),
-		Profiled:  int(e.profiled.Load()),
-		CacheHits: int(e.cacheHits.Load()),
-		Aborted:   int(e.aborted.Load()),
+		Simulated:    int(e.simulated.Load()),
+		Replayed:     int(e.replayed.Load()),
+		Composed:     int(e.composed.Load()),
+		Profiled:     int(e.profiled.Load()),
+		CacheHits:    int(e.cacheHits.Load()),
+		Aborted:      int(e.aborted.Load()),
+		Pruned:       int(e.pruned.Load()),
+		LaneProfiles: int(e.laneProfiled.Load()),
 	}
+}
+
+// boundPruneActive reports whether bound-guided pruning can run: opted
+// in, a cache to hold lanes and profiles, a platform the bound
+// construction is sound on, and the PruneFront survivor strategy —
+// pruning only guarantees an unchanged survivor set for the Pareto
+// filter (a dominated point can never enter the front, but
+// PruneBestPerMetric's per-axis argmin can select a dominated point on
+// an exact tie, which a pruned run would have discarded).
+func (e *Engine) boundPruneActive() bool {
+	return e.opts.BoundPrune && e.cache != nil && e.pruneOK && e.opts.Prune == PruneFront
+}
+
+// guarded reports whether the streaming steps should attach front
+// guards to jobs — for early abort, bound pruning, or both.
+func (e *Engine) guarded() bool {
+	return e.opts.EarlyAbort || e.boundPruneActive()
 }
 
 func (e *Engine) workers() int {
@@ -221,6 +277,17 @@ func (g *frontGuard) dominatedBeyond(v metrics.Vector) bool {
 	return g.front.DominatedBeyond(v, g.margin)
 }
 
+// dominates is the margin-free dominance test the bound-guided search
+// uses: v here is an admissible LOWER bound, so a member strictly
+// dominating it proves the exact vector dominated too — no safety
+// margin is needed for soundness (strictness alone keeps equal-vector
+// ties unpruned, matching OnlineFront.Add).
+func (g *frontGuard) dominates(v metrics.Vector) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.front.DominatedBeyond(v, 0)
+}
+
 func (g *frontGuard) points() []pareto.Point {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -289,7 +356,9 @@ func (e *Engine) stream(ctx context.Context, jobs iter.Seq[Job], guardFor func(J
 }
 
 // runJob resolves one job along the cheapest sound path: exact-key cache
-// lookup, then composition of cached per-role sub-streams (Compose),
+// lookup, then the bound-guided prune check (BoundPrune: zero replays
+// when the front already dominates the combination's admissible lower
+// bound), then composition of cached per-role sub-streams (Compose),
 // then replay of a captured whole-run access stream for the same
 // platform-invariant identity, then a (possibly guarded) live simulation
 // — which records whatever capture mode is on, so later jobs take a
@@ -298,6 +367,13 @@ func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
 	o := Outcome{Index: idx, Job: jb}
 	var key, skey string
 	compose := e.opts.Compose && e.cache != nil
+	// The guard serves two roles: early abort polls it mid-simulation
+	// (EarlyAbort only), the bound-guided search consults it before any
+	// replay (BoundPrune only). aguard is the abort-side view.
+	aguard := guard
+	if !e.opts.EarlyAbort {
+		aguard = nil
+	}
 	if e.cache != nil {
 		key = cacheKey(e.app.Name(), jb.Cfg, jb.Assign, e.opts.packets(), e.opts.platformConfig(), e.opts.Arenas)
 		// A guarded stream may reuse a dominance tombstone: the job space
@@ -308,15 +384,20 @@ func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
 			e.cacheHits.Add(1)
 			o.Result, o.FromCache = r, true
 			o.Aborted = r.Aborted
+			o.Pruned = r.Pruned
 			return o
 		}
-		if compose && e.composeJob(&o, jb, guard) {
+		if guard != nil && e.boundPruneActive() && e.pruneJob(&o, jb, guard) {
+			e.cache.store(key, o.Result, e.exploreCtx) // a tombstone, like aborted results
+			return o
+		}
+		if compose && e.composeJob(&o, jb, aguard) {
 			e.cache.store(key, o.Result, e.exploreCtx)
 			return o
 		}
 		if e.opts.CaptureStreams && !compose {
 			skey = streamKey(e.app.Name(), jb.Cfg, jb.Assign, e.opts.packets(), e.opts.Arenas)
-			if st, sum, ok := e.cache.lookupStream(skey); ok && e.replayJob(&o, st, sum, jb, guard) {
+			if st, sum, ok := e.cache.lookupStream(skey); ok && e.replayJob(&o, st, sum, jb, aguard) {
 				e.cache.store(key, o.Result, e.exploreCtx)
 				return o
 			}
@@ -340,8 +421,8 @@ func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
 		// runs unguarded.
 		cr = p.CaptureComposed()
 	default:
-		if guard != nil {
-			p.AbortWhen(abortCheckProbes, guard.dominatedBeyond)
+		if aguard != nil {
+			p.AbortWhen(abortCheckProbes, aguard.dominatedBeyond)
 		}
 		if skey != "" {
 			rec = astream.NewRecorder()
@@ -443,7 +524,7 @@ func (e *Engine) composeJob(o *Outcome, jb Job, guard *frontGuard) bool {
 		return false
 	}
 	cfg := e.opts.platformConfig()
-	model := energy.CACTILike(cfg)
+	model := e.model
 	var g astream.GuardFunc
 	if guard != nil {
 		g = func(c astream.Cost) bool {
@@ -473,6 +554,145 @@ func (e *Engine) composeJob(o *Outcome, jb Job, guard *frontGuard) bool {
 	return true
 }
 
+// pruneJob is the bound-guided search: it sums the admissible per-lane
+// lower bounds of the job's combination (ambient lane + one lane per
+// role, each derived from the lane's ISOLATED reuse profile) into a
+// lower-bound cost vector, and discards the job — zero probe passes,
+// zero decodes on a warm cache — when the live front already strictly
+// dominates the bound. Soundness: the bound never exceeds the exact
+// composed cost on any objective (memsim.BoundFromProfile documents the
+// stack-inclusion and cold-fill arguments; the admissibility property
+// test pins it), and a front member dominating the bound therefore
+// dominates the exact vector, which dominance transitivity preserves to
+// the final front — so the survivor front is bit-identical to the
+// exhaustive path. It reports false when any lane or profile is
+// unavailable, or the bound is not dominated, sending the caller to the
+// composed-replay path.
+func (e *Engine) pruneJob(o *Outcome, jb Job, guard *frontGuard) bool {
+	app, packets := e.app.Name(), e.opts.packets()
+	sk := schedKey(app, jb.Cfg, packets)
+	sched, ambient, sum, ok := e.cache.lookupSchedule(sk)
+	if !ok {
+		return false
+	}
+	cfg := e.opts.platformConfig()
+	lineBytes := memsim.EffectiveLineBytes(cfg)
+	total, ok := e.laneBoundFor(laneProfileKey(sk, lineBytes), cfg, func() (*astream.UnpackedLane, bool) {
+		return e.cache.unpackedLane(sk, ambient, true)
+	})
+	if !ok {
+		return false
+	}
+	for _, role := range sched.Roles {
+		lk := laneKey(app, jb.Cfg, packets, role, apps.KindFor(jb.Assign, role))
+		b, ok := e.laneBoundFor(laneProfileKey(lk, lineBytes), cfg, func() (*astream.UnpackedLane, bool) {
+			sub, ok := e.cache.lookupLane(lk)
+			if !ok {
+				return nil, false
+			}
+			return e.cache.unpackedLane(lk, sub, false)
+		})
+		if !ok {
+			return false
+		}
+		total.Accumulate(b)
+	}
+	counts, cycles, peak := total.Cost(cfg)
+	seconds := float64(cycles) / cfg.ClockHz
+	bound := metrics.Vector{
+		Energy:    e.model.Energy(counts, seconds),
+		Time:      seconds,
+		Accesses:  float64(counts.Accesses()),
+		Footprint: float64(peak),
+	}
+	if !guard.dominates(bound) {
+		// The closed-form footprint floor is the loosest axis (it knows
+		// nothing about which lanes' live bytes coexist). Tighten it to
+		// the EXACT composed peak — a schedule walk over the lanes'
+		// segment deltas, still zero probes — and re-check. This stage
+		// needs the decoded lanes; a fully warm profile cache answers
+		// most prunes at the first check without touching them. Before
+		// paying the walk, make sure footprint is actually the blocking
+		// axis: if no member dominates even with footprint ignored, no
+		// exact peak can flip the answer.
+		relaxed := bound
+		relaxed.Footprint = math.Inf(1)
+		if !guard.dominates(relaxed) {
+			return false
+		}
+		_, lanes, _, ok := e.composedLanes(jb.Cfg, jb.Assign)
+		if !ok {
+			return false
+		}
+		exactPeak, err := astream.ComposedPeak(sched, lanes)
+		if err != nil {
+			return false
+		}
+		bound.Footprint = float64(exactPeak)
+		if !guard.dominates(bound) {
+			return false
+		}
+	}
+	o.Result = Result{
+		App:     app,
+		Config:  jb.Cfg,
+		Assign:  jb.Assign,
+		Vec:     bound,
+		Summary: sum,
+		Aborted: true,
+		Pruned:  true,
+	}
+	o.Aborted, o.Pruned = true, true
+	e.pruned.Add(1)
+	return true
+}
+
+// laneBoundFor returns one lane's memoized bound ingredients at cfg,
+// deriving them on first use from the lane's cached isolated profile —
+// or, when no covering profile exists yet, by running the isolated
+// profiled pass over the lane (fetch supplies its decoded form) and
+// persisting the profile for later engines and processes. It reports
+// false without memoizing when the lane is not available yet (a later
+// job may capture it), so misses stay cheap and transient.
+func (e *Engine) laneBoundFor(pkey string, cfg memsim.Config, fetch func() (*astream.UnpackedLane, bool)) (memsim.LaneBound, bool) {
+	if v, ok := e.laneBounds.Load(pkey); ok {
+		return v.(memsim.LaneBound), true
+	}
+	// Serialize the slow path PER LANE: without this, every worker that
+	// misses the memo for the same new lane would run its own multi-ms
+	// isolated pass (and over-count LaneProfiles); keying the lock by
+	// lane lets distinct lanes profile in parallel during the cold
+	// ramp. Failures are not memoized — a missing lane may be captured
+	// by a later job — so the lock, not a sync.Once, guards the work.
+	muI, _ := e.laneLocks.LoadOrStore(pkey, &sync.Mutex{})
+	mu := muI.(*sync.Mutex)
+	mu.Lock()
+	defer mu.Unlock()
+	if v, ok := e.laneBounds.Load(pkey); ok {
+		return v.(memsim.LaneBound), true
+	}
+	p := e.cache.lookupLaneProfile(pkey)
+	if p == nil || !p.Covers(cfg) {
+		u, ok := fetch()
+		if !ok {
+			return memsim.LaneBound{}, false
+		}
+		profs := astream.ReplayLaneProfiled(u, []memsim.Config{cfg})
+		if len(profs) != 1 {
+			return memsim.LaneBound{}, false
+		}
+		p = profs[0]
+		e.cache.storeLaneProfile(pkey, p)
+		e.laneProfiled.Add(1)
+	}
+	b, ok := memsim.BoundFromProfile(p, cfg)
+	if !ok {
+		return memsim.LaneBound{}, false
+	}
+	e.laneBounds.Store(pkey, b)
+	return b, true
+}
+
 // replayVector assembles the cost vector a live platform.Metrics would
 // report from a replay outcome: same energy model, same seconds
 // conversion, exact counts.
@@ -493,7 +713,7 @@ func replayVector(cfg memsim.Config, model energy.Model, c astream.Cost) metrics
 // (decode error), sending the caller down the live-execution path.
 func (e *Engine) replayJob(o *Outcome, st *astream.Stream, sum apps.Summary, jb Job, guard *frontGuard) bool {
 	cfg := e.opts.platformConfig()
-	model := energy.CACTILike(cfg)
+	model := e.model
 	var g astream.GuardFunc
 	if guard != nil {
 		g = func(c astream.Cost) bool {
@@ -895,7 +1115,7 @@ func (e *Engine) Step1(ctx context.Context, reference Config) (*Step1Result, err
 	defer cancel()
 	guard := newFrontGuard(e.opts.abortMargin())
 	var guardFor func(Job) *frontGuard
-	if e.opts.EarlyAbort {
+	if e.guarded() {
 		guardFor = func(Job) *frontGuard { return guard }
 	}
 
@@ -928,7 +1148,10 @@ func (e *Engine) Step1(ctx context.Context, reference Config) (*Step1Result, err
 		}
 	}
 	for _, r := range results {
-		if r.Aborted {
+		switch {
+		case r.Pruned:
+			s1.Pruned++
+		case r.Aborted:
 			s1.Aborted++
 		}
 	}
@@ -950,7 +1173,7 @@ func (e *Engine) Step2(ctx context.Context, s1 *Step1Result, configs []Config) (
 			continue
 		}
 		streamed = append(streamed, cfg)
-		if e.opts.EarlyAbort {
+		if e.guarded() {
 			guards[cfg.String()] = newFrontGuard(e.opts.abortMargin())
 		}
 	}
@@ -969,7 +1192,7 @@ func (e *Engine) Step2(ctx context.Context, s1 *Step1Result, configs []Config) (
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var guardFor func(Job) *frontGuard
-	if e.opts.EarlyAbort {
+	if e.guarded() {
 		guardFor = func(jb Job) *frontGuard { return guards[jb.Cfg.String()] }
 	}
 
@@ -995,7 +1218,10 @@ func (e *Engine) Step2(ctx context.Context, s1 *Step1Result, configs []Config) (
 		Simulations: total,
 	}
 	for _, r := range results {
-		if r.Aborted {
+		switch {
+		case r.Pruned:
+			s2.Pruned++
+		case r.Aborted:
 			s2.Aborted++
 		}
 	}

@@ -140,6 +140,26 @@ type Options struct {
 	// cross-product to ~10·K captures: a full exploration executes each
 	// library kind roughly once per role and composes everything else.
 	Compose bool
+	// BoundPrune enables bound-guided combination pruning (implies
+	// Compose, and so Arenas; requires a cache): before composing a
+	// combination, the engine sums the admissible per-lane lower bounds
+	// derived from each lane's ISOLATED reuse profile
+	// (memsim.BoundFromProfile over astream.ReplayLaneProfiled passes,
+	// ~10·K cheap passes total) and skips the composed replay entirely
+	// when the live Pareto front already dominates the bound — the
+	// combination provably cannot enter the front. Survivor fronts are
+	// bit-identical to the exhaustive path (the bound never exceeds the
+	// exact cost on any objective, and dominance is transitive); pruned
+	// entries carry the bound vector with Result.Aborted and
+	// Result.Pruned set. Pruning is skipped on platforms outside
+	// memsim.BoundEligible, and under PruneBestPerMetric (whose per-axis
+	// argmin can select a dominated point on an exact tie, which a
+	// pruned run would have discarded). As with EarlyAbort, discarded
+	// points are excluded from full-space analyses: a step-1 survivor
+	// pruned under some step-2 configuration drops out of the
+	// cross-configuration averaged charts (it lacks full configuration
+	// coverage), while every step front stays exact.
+	BoundPrune bool
 	// EarlyAbort stops a running simulation once its cost vector is
 	// dominated by the incremental front beyond AbortMargin. Survivor
 	// fronts are provably unchanged (costs only grow, so a dominated
@@ -200,6 +220,12 @@ type Result struct {
 	// the partial costs at the stop and must not enter Pareto analyses
 	// (it is incomparable with finished vectors).
 	Aborted bool
+	// Pruned marks a combination the bound-guided search discarded
+	// before any replay: Vec holds the admissible LOWER BOUND the front
+	// dominated, not an exact cost. Pruned results always carry Aborted
+	// too, so every existing filter (Live, logs, Pareto analyses)
+	// excludes them.
+	Pruned bool
 }
 
 // Label is the combination label used in logs and charts: the assignment
@@ -367,6 +393,7 @@ type Step1Result struct {
 	Survivors     []Result // the 4-D non-dominated subset
 	Simulations   int
 	Aborted       int // simulations the early-abort guard stopped
+	Pruned        int // combinations the bound-guided search discarded with zero replays
 }
 
 // SurvivorFraction reports how much of the combination space survived
@@ -416,6 +443,7 @@ type Step2Result struct {
 	Results     []Result // survivors x configurations (reference included)
 	Simulations int      // new simulations run in this step
 	Aborted     int      // simulations the early-abort guard stopped
+	Pruned      int      // points the bound-guided search discarded with zero replays
 }
 
 // ResultsFor returns the step's results for one configuration.

@@ -624,6 +624,17 @@ type ReuseProfile struct {
 	OpCycles   uint64
 	Peak       uint64
 
+	// Closed-form lane lower-bound ingredients (version 2; zero on
+	// profiles that predate them, which only weakens the bound). For an
+	// isolated per-lane profile, ColdLines counts the distinct cache
+	// lines the lane touches at this line size — every one of them costs
+	// at least one DRAM fill in ANY interleaving, because its first
+	// composed touch is cold — and EndLive is the lane's live bytes when
+	// the run ends, a floor on the composed footprint peak once summed
+	// across lanes. Whole-run profiles leave both zero.
+	ColdLines uint64
+	EndLive   uint64
+
 	L1 []L1Profile // ascending by Sets
 	L2 []L2Profile // ascending by (L1Sets, L1Assoc, L2Sets)
 }
@@ -699,13 +710,15 @@ func (p *ReuseProfile) Merge(o *ReuseProfile) *ReuseProfile {
 	}
 	if p.LineBytes != o.LineBytes || p.Probes != o.Probes || p.Pipelined != o.Pipelined ||
 		p.ReadWords != o.ReadWords || p.WriteWords != o.WriteWords ||
-		p.OpCycles != o.OpCycles || p.Peak != o.Peak {
+		p.OpCycles != o.OpCycles || p.Peak != o.Peak ||
+		p.ColdLines != o.ColdLines || p.EndLive != o.EndLive {
 		return p
 	}
 	out := &ReuseProfile{
 		LineBytes: p.LineBytes, Probes: p.Probes, Pipelined: p.Pipelined,
 		ReadWords: p.ReadWords, WriteWords: p.WriteWords,
 		OpCycles: p.OpCycles, Peak: p.Peak,
+		ColdLines: p.ColdLines, EndLive: p.EndLive,
 	}
 	out.L1 = append(out.L1, p.L1...)
 	for _, e := range o.L1 {
@@ -725,6 +738,13 @@ func (p *ReuseProfile) Merge(o *ReuseProfile) *ReuseProfile {
 		}
 	}
 	sortL2(out.L2)
+	// The union must stay re-decodable: UnmarshalBinary hard-rejects
+	// profiles past the entry caps, so a merge that would exceed them
+	// keeps the newer profile's coverage instead of accumulating an
+	// encodable-but-unloadable one into the persistent cache.
+	if len(out.L1) > maxProfileL1 || len(out.L2) > maxProfileL2 {
+		return p
+	}
 	return out
 }
 
@@ -757,7 +777,7 @@ func sortL2(l []L2Profile) {
 // SizeBytes reports the profile's approximate retained size, for the
 // exploration cache's stream budget.
 func (p *ReuseProfile) SizeBytes() int {
-	n := 64
+	n := 80
 	for i := range p.L1 {
 		n += 16 + 8*len(p.L1[i].Hist)
 	}
@@ -778,10 +798,13 @@ func (p *ReuseProfile) String() string {
 // structure hard — power-of-two geometry, canonical ordering, and that
 // every histogram sums (with its Deep bucket) to exactly the probe
 // count its level must account for — so a corrupt or truncated profile
-// errors instead of silently miscounting.
+// errors instead of silently miscounting. Version 2 appends the lane
+// lower-bound aggregates (ColdLines, EndLive); version 1 profiles still
+// decode, with those fields zero (a weaker but still admissible bound).
 const (
 	reuseProfileMagic   = 0xD7 // first byte of every encoded profile
-	reuseProfileVersion = 1
+	reuseProfileV1      = 1
+	reuseProfileVersion = 2
 
 	maxProfileHist = 64   // depth buckets per histogram
 	maxProfileL1   = 64   // L1 set counts
@@ -799,6 +822,8 @@ func (p *ReuseProfile) MarshalBinary() ([]byte, error) {
 	b = binary.AppendUvarint(b, p.WriteWords)
 	b = binary.AppendUvarint(b, p.OpCycles)
 	b = binary.AppendUvarint(b, p.Peak)
+	b = binary.AppendUvarint(b, p.ColdLines)
+	b = binary.AppendUvarint(b, p.EndLive)
 	b = binary.AppendUvarint(b, uint64(len(p.L1)))
 	for i := range p.L1 {
 		e := &p.L1[i]
@@ -891,8 +916,9 @@ func (p *ReuseProfile) UnmarshalBinary(data []byte) error {
 	if len(data) < 2 || data[0] != reuseProfileMagic {
 		return fmt.Errorf("memsim: not a reuse profile")
 	}
-	if data[1] != reuseProfileVersion {
-		return fmt.Errorf("memsim: unsupported reuse profile version %d", data[1])
+	version := data[1]
+	if version != reuseProfileV1 && version != reuseProfileVersion {
+		return fmt.Errorf("memsim: unsupported reuse profile version %d", version)
 	}
 	d := profileDecoder{b: data, pos: 2}
 	var out ReuseProfile
@@ -920,6 +946,25 @@ func (p *ReuseProfile) UnmarshalBinary(data []byte) error {
 	}
 	if out.Peak, err = d.uvarint(); err != nil {
 		return err
+	}
+	if version >= reuseProfileVersion {
+		if out.ColdLines, err = d.uvarint(); err != nil {
+			return err
+		}
+		if out.EndLive, err = d.uvarint(); err != nil {
+			return err
+		}
+		if out.ColdLines > out.Probes {
+			return fmt.Errorf("memsim: reuse profile cold lines %d exceed %d probes", out.ColdLines, out.Probes)
+		}
+		// A lane's live bytes at run end can never exceed its own
+		// high-water mark (per segment, the net delta is bounded by the
+		// in-segment max delta). Enforcing it keeps a corrupt profile
+		// from inflating the footprint floor past the exact composed
+		// peak — which would make the "lower bound" inadmissible.
+		if out.EndLive > out.Peak {
+			return fmt.Errorf("memsim: reuse profile end-live %d exceeds peak %d", out.EndLive, out.Peak)
+		}
 	}
 
 	n1, err := d.uvarint()

@@ -102,8 +102,9 @@ func Run(app apps.App, platforms []PlatformPoint, opts explore.Options) ([]Resul
 			opts.Cache = explore.NewCache()
 		}
 		// Composition subsumes whole-run capture: lanes serve platform
-		// changes and combination changes alike.
-		opts.CaptureStreams = !opts.Compose
+		// changes and combination changes alike. BoundPrune implies
+		// composition (the engine promotes it), so it counts too.
+		opts.CaptureStreams = !opts.Compose && !opts.BoundPrune
 	}
 	out := make([]Result, 0, len(platforms))
 	for i, pp := range platforms {
