@@ -72,7 +72,11 @@ type cliConfig struct {
 
 func main() {
 	var c cliConfig
-	flag.StringVar(&c.app, "app", "", "application to explore: "+strings.Join(netapps.Names(), ", "))
+	appNames := netapps.Names()
+	for _, a := range netapps.Extensions() {
+		appNames = append(appNames, a.Name())
+	}
+	flag.StringVar(&c.app, "app", "", "application to explore: "+strings.Join(appNames, ", "))
 	flag.IntVar(&c.packets, "packets", 8000, "packets per simulation trace")
 	flag.StringVar(&c.logPath, "log", "", "write the exploration log (for ddt-pareto)")
 	flag.StringVar(&c.csvPath, "csv", "", "write the exploration results as CSV")
@@ -208,6 +212,10 @@ func run(c cliConfig) error {
 	st := eng.Stats()
 	fmt.Printf("\nexploration wall time: %.1fs (budget %d; engine simulated %d, replayed %d, composed %d, profile-served %d, cache hits %d, early aborts %d, bound-pruned %d via %d lane profiles)\n",
 		elapsed.Seconds(), r.Reduced, st.Simulated, st.Replayed, st.Composed, st.Profiled, st.CacheHits, st.Aborted, st.Pruned, st.LaneProfiles)
+	if st.Expanded > 0 {
+		fmt.Printf("branch-and-bound: expanded %d tree nodes, cut %d dominated subtrees in bulk\n",
+			st.Expanded, st.SubtreeCuts)
+	}
 
 	if c.platforms != "" {
 		if err := evaluatePlatforms(eng, r, c.platforms); err != nil {

@@ -1,0 +1,53 @@
+package flowmon_test
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/apps/apptest"
+	"repro/internal/apps/flowmon"
+	"repro/internal/platform"
+)
+
+func TestConformance(t *testing.T) {
+	apptest.CheckConformance(t, flowmon.App{})
+}
+
+func TestDominantStructure(t *testing.T) {
+	// The flow table and the host table are both linearly probed per
+	// packet; they must be the two dominant containers.
+	apptest.CheckDominant(t, flowmon.App{}, flowmon.RoleFlows, flowmon.RoleHosts)
+}
+
+func TestPacketAccounting(t *testing.T) {
+	a := flowmon.App{}
+	tr := apptest.LoadTrace(t, a)
+	sum, _ := apptest.Run(t, a, tr, apps.Original(a))
+	for _, ev := range []string{"flow-new", "flow-finished", "host-new", "alarm-raised", "flow-exported"} {
+		if sum.Events[ev] == 0 {
+			t.Errorf("no %q events; workload degenerate", ev)
+		}
+	}
+	// Every flow opened is finished, evicted, exported or still live.
+	closed := sum.Events["flow-finished"] + sum.Events["flow-evicted"]
+	if got := closed + sum.Events["flows-final"]; got != sum.Events["flow-new"] {
+		t.Errorf("flow bookkeeping leaks: %d closed + %d live of %d opened",
+			closed, sum.Events["flows-final"], sum.Events["flow-new"])
+	}
+}
+
+func TestCapEvicts(t *testing.T) {
+	a := flowmon.App{}
+	tr := apptest.LoadTrace(t, a)
+	sum, err := a.Run(tr, platform.Default(), apps.Original(a),
+		apps.Knobs{flowmon.KnobFlows: 4, flowmon.KnobThreshold: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Events["flow-evicted"] == 0 {
+		t.Fatal("tiny flow cap never evicted")
+	}
+	if sum.Events["flows-final"] > 4 {
+		t.Fatalf("final table %d exceeds cap", sum.Events["flows-final"])
+	}
+}

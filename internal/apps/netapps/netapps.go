@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/apps/drr"
+	"repro/internal/apps/flowmon"
 	"repro/internal/apps/ipchains"
 	"repro/internal/apps/nat"
 	"repro/internal/apps/route"
@@ -22,9 +23,11 @@ func All() []apps.App {
 }
 
 // Extensions returns applications beyond the paper's four — proof that
-// the methodology plugs into "any given network application".
+// the methodology plugs into "any given network application". FlowMon's
+// five candidate containers span the 10^5-combination scale the
+// branch-and-bound searcher targets.
 func Extensions() []apps.App {
-	return []apps.App{nat.App{}}
+	return []apps.App{nat.App{}, flowmon.App{}}
 }
 
 // Names returns the application names in the paper's order.

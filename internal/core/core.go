@@ -141,10 +141,13 @@ func (m Methodology) RunContext(ctx context.Context) (*Report, error) {
 		Reference:     reference,
 		Step1:         s1,
 		Step2:         s2,
-		Exhaustive:    len(s1.Results) * len(configs),
-		Reduced:       s1.Simulations + s2.Simulations,
-		Tradeoffs:     make(map[metrics.Metric]float64),
-		Factors:       make(map[metrics.Metric]float64),
+		// Simulations, not len(Results): branch-and-bound cuts whole
+		// subtrees without materializing a Result per combination, but
+		// the exhaustive yardstick is still the full space.
+		Exhaustive: s1.Simulations * len(configs),
+		Reduced:    s1.Simulations + s2.Simulations,
+		Tradeoffs:  make(map[metrics.Metric]float64),
+		Factors:    make(map[metrics.Metric]float64),
 	}
 
 	// Step 3: per-configuration Pareto fronts. The reference

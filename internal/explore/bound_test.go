@@ -168,15 +168,41 @@ func samePoints(t *testing.T, what string, got, want []pareto.Point) {
 	}
 }
 
+// boundApps is the app slate of the bound-prune golden comparisons: the
+// paper's four case studies plus the K=5 FlowMon extension (run at the
+// default dominant-k here; the full 5-role space is covered by
+// TestBranchBoundK5FrontIdentity).
+func boundApps(t *testing.T) []apps.App {
+	flowmon, err := netapps.ByName("FlowMon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(netapps.All(), flowmon)
+}
+
+// matPruned counts results that carry an individual pruned tombstone —
+// the per-combination share of a step's Pruned count; the remainder is
+// bulk subtree cuts, which have no Result at all.
+func matPruned(results []explore.Result) int {
+	n := 0
+	for _, r := range results {
+		if r.Pruned {
+			n++
+		}
+	}
+	return n
+}
+
 // TestBoundPrunedFrontMatchesExhaustive is the golden comparison of the
 // bound-guided search: on every case study, a full Explore with
 // BoundPrune produces the identical survivor front and identical
 // cross-configuration Pareto front as the exhaustive composed path —
-// and its engine stats account for every scheduled job, so Progress
-// still reaches each step's total.
+// and its engine stats account for every scheduled job (materialized
+// results one each, branch-and-bound subtree cuts by their full width),
+// so Progress still reaches each step's total.
 func TestBoundPrunedFrontMatchesExhaustive(t *testing.T) {
 	ctx := context.Background()
-	for _, a := range netapps.All() {
+	for _, a := range boundApps(t) {
 		a := a
 		t.Run(a.Name(), func(t *testing.T) {
 			t.Parallel()
@@ -215,9 +241,20 @@ func TestBoundPrunedFrontMatchesExhaustive(t *testing.T) {
 				}
 			}
 
-			// Every scheduled job is accounted for by exactly one path.
+			// Every combination of the step-1 space and every step-2 job
+			// is accounted for by exactly one path: each materialized
+			// result carries one stat, and each branch-and-bound subtree
+			// cut carries its full width in Pruned without a Result.
+			bulk := prS1.Pruned - matPruned(prS1.Results)
+			if bulk < 0 {
+				t.Fatalf("step 1 reports %d pruned but %d pruned results", prS1.Pruned, matPruned(prS1.Results))
+			}
+			if len(prS1.Results)+bulk != prS1.Simulations {
+				t.Fatalf("step 1 accounts for %d materialized + %d bulk-cut of %d combinations",
+					len(prS1.Results), bulk, prS1.Simulations)
+			}
 			st := prEng.Stats()
-			jobs := len(prS1.Results) + prS2.Simulations
+			jobs := prS1.Simulations + prS2.Simulations
 			accounted := st.Simulated + st.Replayed + st.Composed + st.Profiled +
 				st.CacheHits + st.Aborted + st.Pruned
 			if accounted != jobs {
@@ -231,7 +268,8 @@ func TestBoundPrunedFrontMatchesExhaustive(t *testing.T) {
 					t.Fatalf("progress stalled at %d of %d", done, total)
 				}
 			}
-			t.Logf("%s: %d of %d step-1 jobs pruned, %d lane profiles", a.Name(), prS1.Pruned, len(prS1.Results), st.LaneProfiles)
+			t.Logf("%s: %d of %d step-1 combinations pruned (%d in bulk), %d lane profiles",
+				a.Name(), prS1.Pruned, prS1.Simulations, bulk, st.LaneProfiles)
 		})
 	}
 }
@@ -259,8 +297,16 @@ func TestBoundPrunedDRRGrid(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if len(prS1.Results) != 1000 {
-		t.Fatalf("expected the 1000-combination grid, got %d", len(prS1.Results))
+	if prS1.Simulations != 1000 {
+		t.Fatalf("expected the 1000-combination grid, got space of %d", prS1.Simulations)
+	}
+	bulk := prS1.Pruned - matPruned(prS1.Results)
+	if len(prS1.Results)+bulk != 1000 {
+		t.Fatalf("grid accounts for %d materialized + %d bulk-cut of 1000 combinations",
+			len(prS1.Results), bulk)
+	}
+	if bulk == 0 {
+		t.Fatal("branch and bound cut no subtree in bulk on the 3-role grid")
 	}
 	sameResults(t, "DRR grid survivors", prS1.Survivors, exS1.Survivors)
 	st := prEng.Stats()
@@ -270,8 +316,8 @@ func TestBoundPrunedDRRGrid(t *testing.T) {
 	if st.Pruned != prS1.Pruned {
 		t.Fatalf("engine pruned %d, step reports %d", st.Pruned, prS1.Pruned)
 	}
-	t.Logf("DRR 3-role grid: %d of 1000 pruned, %d composed, %d executed, %d lane profiles",
-		st.Pruned, st.Composed, st.Simulated, st.LaneProfiles)
+	t.Logf("DRR 3-role grid: %d of 1000 pruned (%d in bulk), %d composed, %d executed, %d lane profiles",
+		st.Pruned, bulk, st.Composed, st.Simulated, st.LaneProfiles)
 }
 
 // TestBoundPrunePersistedProfiles pins warm pruning: lane profiles
@@ -323,4 +369,48 @@ func TestBoundPrunePersistedProfiles(t *testing.T) {
 	}
 	t.Logf("warm 3-role extension: %d of %d pruned with %d new lane profiles (prep had %d)",
 		st.Pruned, len(s1.Results), st.LaneProfiles, prepProfiles)
+}
+
+// TestBranchBoundK5FrontIdentity pins the tentpole claim at the scale
+// that motivates it: on FlowMon's full 5-role, 10^5-combination space
+// the branch-and-bound step 1 returns survivors bit-identical to the
+// exhaustive composed scan. The trace is downscaled so the exhaustive
+// arm stays tractable in the test suite.
+func TestBranchBoundK5FrontIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the 10^5-combination exhaustive arm is not short")
+	}
+	a, err := netapps.ByName("FlowMon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := explore.Config{TraceName: a.TraceNames()[0], Knobs: a.DefaultKnobs()}
+	ctx := context.Background()
+
+	prEng := explore.NewEngine(a, explore.Options{TracePackets: 50, DominantK: 5, BoundPrune: true})
+	prS1, err := prEng.Step1(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exEng := explore.NewEngine(a, explore.Options{TracePackets: 50, DominantK: 5, Compose: true})
+	exS1, err := exEng.Step1(ctx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if prS1.Simulations != 100000 || exS1.Simulations != 100000 {
+		t.Fatalf("expected the 10^5 space, got %d and %d", prS1.Simulations, exS1.Simulations)
+	}
+	bulk := prS1.Pruned - matPruned(prS1.Results)
+	if len(prS1.Results)+bulk != prS1.Simulations {
+		t.Fatalf("space accounts for %d materialized + %d bulk-cut of %d",
+			len(prS1.Results), bulk, prS1.Simulations)
+	}
+	sameResults(t, "K=5 survivors", prS1.Survivors, exS1.Survivors)
+	if bulk < prS1.Simulations/10 {
+		t.Fatalf("branch and bound bulk-cut only %d of %d combinations — the tree is not being cut",
+			bulk, prS1.Simulations)
+	}
+	t.Logf("K=5: %d materialized, %d bulk-cut, %d survivors of %d combinations",
+		len(prS1.Results), bulk, len(prS1.Survivors), prS1.Simulations)
 }

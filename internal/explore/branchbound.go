@@ -1,0 +1,659 @@
+package explore
+
+import (
+	"container/heap"
+	"context"
+	"math"
+	"sort"
+
+	"repro/internal/apps"
+	"repro/internal/astream"
+	"repro/internal/ddt"
+	"repro/internal/memsim"
+	"repro/internal/metrics"
+)
+
+// Best-first branch-and-bound over lane prefixes: the step-1 combination
+// space, viewed as a 10-ary tree with one level per dominant role, is
+// searched lowest-bound-first instead of enumerated. A tree node is a
+// lane PREFIX — roles 0..d-1 assigned a concrete DDT kind, the rest
+// free — and its admissible bound is the accumulated ingredients of the
+// ambient lane, the non-dominant roles' fixed lanes and the assigned
+// roles' real lanes, plus one memsim.CostFloor per free role (the
+// coordinatewise cheapest of the role's ten alternatives). The floor
+// never exceeds any completion's ingredients in the cost-increasing
+// direction, so a node's bound lower-bounds every leaf below it — and a
+// front member strictly dominating the bound therefore dominates every
+// one of those 10^(K-d) exact outcomes, which dominance transitivity
+// preserves to the final front. Such a subtree is cut as one bulk
+// tombstone: its width is counted (stats, Progress), no per-combination
+// Result is allocated, so discarded regions cost O(cuts) not O(space).
+//
+// Expanding lowest-bound-first makes the live front tighten as fast as
+// the bounds allow: near-front combinations are composed early, and by
+// the time high-bound prefixes surface, the front usually dominates
+// them outright. A child's bound is >= its parent's on every objective
+// (it swaps a floor for a real lane), so the pop sequence is monotone
+// non-decreasing in the scalarized priority — the best-first invariant
+// TestBranchBoundMonotoneExpansion pins.
+
+// bbLeaf is one surviving combination the searcher hands to the worker
+// pool.
+type bbLeaf struct {
+	combo  int
+	assign apps.Assignment
+}
+
+// bbNode is one lane-prefix node: roles 0..depth-1 of the dominant slate
+// carry the base-10 digits of base (most significant first, matching
+// CombinationSeq order), roles depth..K-1 are free. acc accumulates the
+// CONCRETE lanes only — ambient, fixed non-dominant roles, assigned
+// prefix — so child expansion is one Accumulate, not a re-sum.
+type bbNode struct {
+	depth int
+	base  int
+	acc   memsim.LaneBound
+	vec   metrics.Vector // bound vector: acc + suffix floors, evaluated
+	prio  float64
+}
+
+// bbHeap is the priority queue, lowest priority first with deterministic
+// (base, depth) tie-breaks so the expansion order is reproducible.
+type bbHeap []*bbNode
+
+func (h bbHeap) Len() int { return len(h) }
+func (h bbHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	if h[i].base != h[j].base {
+		return h[i].base < h[j].base
+	}
+	return h[i].depth < h[j].depth
+}
+func (h bbHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *bbHeap) Push(x any)   { *h = append(*h, x.(*bbNode)) }
+func (h *bbHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// footCurves holds the per-token live-byte curves that tighten a
+// prefix's footprint floor from the folded per-lane peak to a
+// schedule-aware composed floor. The time grid is the schedule's token
+// index; a lane's curve value at token i is its contribution to the
+// composite high-water candidate there — the lane's running live
+// total, plus the active segment's in-segment max when token i is the
+// lane's own. Summing one curve per lane reproduces ComposedPeak's
+// arithmetic exactly, so for a full assignment the evaluated floor IS
+// the exact composed peak; a free level contributes the pointwise
+// minimum over its ten kind curves, which can only undershoot every
+// completion — the floor stays admissible for the whole subtree.
+type footCurves struct {
+	// baseSuf[d][i]: ambient + fixed non-dominant lanes + the pointwise
+	// min-kind curves of all free levels >= d, pre-summed per depth.
+	baseSuf [][]int64
+	// level[l][k][i]: the high-water curve of level l's kind-k lane.
+	level [][][]int64
+}
+
+// bbSearcher holds the per-reference-configuration bound tables of one
+// branch-and-bound search.
+type bbSearcher struct {
+	engine  *Engine
+	roles   []string             // the dominant slate, tree level order
+	bounds  [][]memsim.LaneBound // [level][kind]: real lane ingredients
+	suffix  []memsim.LaneBound   // suffix[d]: accumulated floors of levels d..K-1
+	widths  []int                // widths[d] = 10^(K-d), the subtree leaf count
+	baseAcc memsim.LaneBound     // ambient + fixed non-dominant lanes
+	root    metrics.Vector       // the root bound, the priority normalizer
+	curves  *footCurves          // footprint tightening; nil degrades gracefully
+	guard   *frontGuard
+	// onPop, when set, observes every heap pop before it is acted on —
+	// the hook the expansion-order property test records through.
+	onPop func(depth int, vec metrics.Vector, prio float64)
+}
+
+// boundVec evaluates accumulated ingredients to the bound cost vector,
+// exactly as pruneJob does for full assignments.
+func (e *Engine) boundVec(total memsim.LaneBound) metrics.Vector {
+	cfg := e.opts.platformConfig()
+	counts, cycles, peak := total.Cost(cfg)
+	seconds := float64(cycles) / cfg.ClockHz
+	return metrics.Vector{
+		Energy:    e.model.Energy(counts, seconds),
+		Time:      seconds,
+		Accesses:  float64(counts.Accesses()),
+		Footprint: float64(peak),
+	}
+}
+
+// newBBSearcher assembles the bound tables for one reference
+// configuration: the ambient lane, every non-dominant role's fixed lane,
+// and all 10 alternatives of each dominant role, each memoized through
+// laneBoundFor. It reports false when any lane or profile is not
+// available yet (the caller falls back to the flat scan) — after the
+// seeding phase every lane exists, so this is a cold-cache edge, not a
+// steady state.
+func (e *Engine) newBBSearcher(ref Config, dominant []string, guard *frontGuard) (*bbSearcher, bool) {
+	app, packets := e.app.Name(), e.opts.packets()
+	sk := schedKey(app, ref, packets)
+	sched, ambient, _, ok := e.cache.lookupSchedule(sk)
+	if !ok {
+		return nil, false
+	}
+	cfg := e.opts.platformConfig()
+	lineBytes := memsim.EffectiveLineBytes(cfg)
+	baseAcc, ok := e.laneBoundFor(laneProfileKey(sk, lineBytes), cfg, func() (*astream.UnpackedLane, bool) {
+		return e.cache.unpackedLane(sk, ambient, true)
+	})
+	if !ok {
+		return nil, false
+	}
+	laneFor := func(role string, kind ddt.Kind) (memsim.LaneBound, bool) {
+		lk := laneKey(app, ref, packets, role, kind)
+		return e.laneBoundFor(laneProfileKey(lk, lineBytes), cfg, func() (*astream.UnpackedLane, bool) {
+			sub, ok := e.cache.lookupLane(lk)
+			if !ok {
+				return nil, false
+			}
+			return e.cache.unpackedLane(lk, sub, false)
+		})
+	}
+	level := make(map[string]int, len(dominant))
+	for i, role := range dominant {
+		level[role] = i
+	}
+	bounds := make([][]memsim.LaneBound, len(dominant))
+	for i := range bounds {
+		bounds[i] = make([]memsim.LaneBound, ddt.NumKinds)
+	}
+	for _, role := range sched.Roles {
+		li, isDominant := level[role]
+		if !isDominant {
+			// Non-dominant roles keep their original kind in every step-1
+			// job; their lane is part of every node's concrete base.
+			b, ok := laneFor(role, apps.KindFor(nil, role))
+			if !ok {
+				return nil, false
+			}
+			baseAcc.Accumulate(b)
+			continue
+		}
+		for k := 0; k < ddt.NumKinds; k++ {
+			b, ok := laneFor(role, ddt.Kind(k))
+			if !ok {
+				return nil, false
+			}
+			bounds[li][k] = b
+		}
+	}
+
+	k := len(dominant)
+	suffix := make([]memsim.LaneBound, k+1)
+	widths := make([]int, k+1)
+	widths[k] = 1
+	for d := k - 1; d >= 0; d-- {
+		suffix[d] = memsim.CostFloor(bounds[d])
+		suffix[d].Accumulate(suffix[d+1])
+		widths[d] = widths[d+1] * ddt.NumKinds
+	}
+	rootAcc := baseAcc
+	rootAcc.Accumulate(suffix[0])
+	return &bbSearcher{
+		engine:  e,
+		roles:   dominant,
+		bounds:  bounds,
+		suffix:  suffix,
+		widths:  widths,
+		baseAcc: baseAcc,
+		root:    e.boundVec(rootAcc),
+		curves:  e.footprintCurves(sched, ref, dominant),
+		guard:   guard,
+	}, true
+}
+
+// footprintCurves assembles the footprint-floor curves for one search.
+// It returns nil when any decoded lane is unavailable or misaligned
+// with the schedule — the searcher then falls back to the folded
+// per-lane peak, losing tightness but never soundness.
+func (e *Engine) footprintCurves(sched *astream.Schedule, ref Config, dominant []string) *footCurves {
+	app, packets := e.app.Name(), e.opts.packets()
+	sk := schedKey(app, ref, packets)
+	_, ambient, _, ok := e.cache.lookupSchedule(sk)
+	if !ok {
+		return nil
+	}
+	tokens := sched.Tokens
+	// curveFor walks the common token grid once for one lane: its own
+	// tokens contribute running-live + in-segment max, every other
+	// token holds the running live flat.
+	curveFor := func(li int, u *astream.UnpackedLane) []int64 {
+		c := make([]int64, len(tokens))
+		var cum int64
+		s := 0
+		for i, tok := range tokens {
+			if int(tok) != li {
+				c[i] = cum
+				continue
+			}
+			if s >= len(u.SegOps) {
+				return nil
+			}
+			c[i] = cum + int64(u.SegMax[s])
+			cum += u.SegEnd[s]
+			s++
+		}
+		return c
+	}
+	amb, ok := e.cache.unpackedLane(sk, ambient, true)
+	if !ok {
+		return nil
+	}
+	base := curveFor(0, amb)
+	if base == nil {
+		return nil
+	}
+	levelOf := make(map[string]int, len(dominant))
+	for i, role := range dominant {
+		levelOf[role] = i
+	}
+	level := make([][][]int64, len(dominant))
+	for i := range level {
+		level[i] = make([][]int64, ddt.NumKinds)
+	}
+	laneCurve := func(li int, role string, kind ddt.Kind) []int64 {
+		lk := laneKey(app, ref, packets, role, kind)
+		sub, ok := e.cache.lookupLane(lk)
+		if !ok {
+			return nil
+		}
+		u, ok := e.cache.unpackedLane(lk, sub, false)
+		if !ok {
+			return nil
+		}
+		return curveFor(li, u)
+	}
+	for pi, role := range sched.Roles {
+		li, isDominant := levelOf[role]
+		if !isDominant {
+			c := laneCurve(pi+1, role, apps.KindFor(nil, role))
+			if c == nil {
+				return nil
+			}
+			for i := range base {
+				base[i] += c[i]
+			}
+			continue
+		}
+		for k := 0; k < ddt.NumKinds; k++ {
+			c := laneCurve(pi+1, role, ddt.Kind(k))
+			if c == nil {
+				return nil
+			}
+			level[li][k] = c
+		}
+	}
+	k := len(dominant)
+	baseSuf := make([][]int64, k+1)
+	baseSuf[k] = base
+	for d := k - 1; d >= 0; d-- {
+		cur := make([]int64, len(tokens))
+		next := baseSuf[d+1]
+		for i := range cur {
+			m := level[d][0][i]
+			for kk := 1; kk < ddt.NumKinds; kk++ {
+				if v := level[d][kk][i]; v < m {
+					m = v
+				}
+			}
+			cur[i] = next[i] + m
+		}
+		baseSuf[d] = cur
+	}
+	return &footCurves{baseSuf: baseSuf, level: level}
+}
+
+// footFloor evaluates the schedule-aware footprint floor of a prefix:
+// one pass over the token grid summing the node's assigned-lane curves
+// on top of the pre-summed base-plus-min-suffix curve of its depth.
+// For a leaf the sum covers every lane exactly, so the result IS the
+// exact composed peak pruneJob would compute.
+func (s *bbSearcher) footFloor(n *bbNode) float64 {
+	rows := make([][]int64, n.depth)
+	for l := 0; l < n.depth; l++ {
+		kind := (n.base / s.widths[l+1]) % ddt.NumKinds
+		rows[l] = s.curves.level[l][kind]
+	}
+	var peak int64
+	for i, v := range s.curves.baseSuf[n.depth] {
+		for _, r := range rows {
+			v += r[i]
+		}
+		if v > peak {
+			peak = v
+		}
+	}
+	return float64(peak)
+}
+
+// cuts reports whether the live front already dominates every leaf of
+// the prefix's subtree. The staged test mirrors pruneJob: the cheap
+// folded-peak bound first; then, only when footprint is the single
+// blocking axis, the schedule-aware floor.
+func (s *bbSearcher) cuts(n *bbNode) bool {
+	if s.guard.dominates(n.vec) {
+		return true
+	}
+	if s.curves == nil {
+		return false
+	}
+	relaxed := n.vec
+	relaxed.Footprint = math.Inf(1)
+	if !s.guard.dominates(relaxed) {
+		return false
+	}
+	tight := n.vec
+	if f := s.footFloor(n); f > tight.Footprint {
+		tight.Footprint = f
+	}
+	return s.guard.dominates(tight)
+}
+
+// priority scalarizes a bound vector for heap ordering: the sum of the
+// objectives normalized by the root bound, so no axis's unit dwarfs the
+// others. Any fixed positive weighting works — child bounds exceed
+// parent bounds coordinatewise, so every such scalarization keeps the
+// pop sequence monotone.
+func (s *bbSearcher) priority(v metrics.Vector) float64 {
+	p := 0.0
+	for _, m := range metrics.AllMetrics() {
+		if r := s.root.Get(m); r > 0 {
+			p += v.Get(m) / r
+		} else {
+			p += v.Get(m)
+		}
+	}
+	return p
+}
+
+// node builds the heap node for a prefix: acc holds the concrete lanes
+// (base + assigned levels), the free levels contribute their floors.
+func (s *bbSearcher) node(depth, base int, acc memsim.LaneBound) *bbNode {
+	total := acc
+	total.Accumulate(s.suffix[depth])
+	vec := s.engine.boundVec(total)
+	return &bbNode{depth: depth, base: base, acc: acc, vec: vec, prio: s.priority(vec)}
+}
+
+// assignment materializes the leaf's combination (most significant digit
+// = level 0), matching the flat CombinationSeq job order.
+func (s *bbSearcher) assignment(combo int) apps.Assignment {
+	assign := make(apps.Assignment, len(s.roles))
+	for i := len(s.roles) - 1; i >= 0; i-- {
+		assign[s.roles[i]] = ddt.Kind(combo % ddt.NumKinds)
+		combo /= ddt.NumKinds
+	}
+	return assign
+}
+
+// search runs the best-first loop: pop the lowest-bound prefix, cut its
+// whole subtree when the live front already dominates the bound
+// (emitting the width of the uncounted leaves), emit surviving leaves to
+// the worker pool, expand surviving inner nodes one level. skip marks
+// combinations already materialized (the seeds): they are excluded from
+// both leaf emission and cut widths, so every combination is accounted
+// exactly once. The emit callbacks return false to stop the search
+// (cancellation).
+func (s *bbSearcher) search(ctx context.Context, skip map[int]bool, emitLeaf func(bbLeaf) bool, emitCut func(width int) bool) {
+	h := bbHeap{s.node(0, 0, s.baseAcc)}
+	k := len(s.roles)
+	for len(h) > 0 {
+		if ctx.Err() != nil {
+			return
+		}
+		n := heap.Pop(&h).(*bbNode)
+		s.engine.bbExpanded.Add(1)
+		if s.onPop != nil {
+			s.onPop(n.depth, n.vec, n.prio)
+		}
+		if s.cuts(n) {
+			width := s.widths[n.depth]
+			for seed := range skip {
+				if seed >= n.base && seed < n.base+s.widths[n.depth] {
+					width--
+				}
+			}
+			if width > 0 && !emitCut(width) {
+				return
+			}
+			continue
+		}
+		if n.depth == k {
+			if skip[n.base] {
+				continue
+			}
+			if !emitLeaf(bbLeaf{combo: n.base, assign: s.assignment(n.base)}) {
+				return
+			}
+			continue
+		}
+		for kind := 0; kind < ddt.NumKinds; kind++ {
+			acc := n.acc
+			acc.Accumulate(s.bounds[n.depth][kind])
+			heap.Push(&h, s.node(n.depth+1, n.base+kind*s.widths[n.depth+1], acc))
+		}
+	}
+}
+
+// comboIndex recovers a job's combination index from its assignment —
+// the inverse of bbSearcher.assignment, used by the collector to tag
+// results without threading indexes through the job stream.
+func comboIndex(assign apps.Assignment, dominant []string) int {
+	idx := 0
+	for _, role := range dominant {
+		idx = idx*ddt.NumKinds + int(apps.KindFor(assign, role))
+	}
+	return idx
+}
+
+// step1BranchBound is the bound-guided Step1 body: seed, search, cut.
+//
+// Phase 1 (seed) runs the ddt.NumKinds uniform-kind combinations as
+// ordinary jobs: together they capture the schedule, the ambient lane
+// and every (role, kind) lane the bound tables need — the same ~10·K
+// captures the flat scan pays, just scheduled up front — while their
+// exact results open the Pareto front. Phase 2 assembles the per-role
+// bound tables (memoized lane profiles; on a warm cache this costs map
+// lookups). Phase 3 is the best-first search: a single searcher
+// goroutine owns the priority queue and streams surviving leaves to the
+// worker pool, while subtree cuts flow to the collector as bulk widths;
+// the collector feeds finished results to the shared front guard, so
+// every landed outcome tightens the very bound tests that decide the
+// next cuts.
+//
+// Results holds only materialized combinations (sorted by combination
+// index); cut subtrees appear solely in the Pruned width count. The
+// survivor front is bit-identical to the exhaustive scan's: cuts and
+// per-leaf prunes discard only combinations whose admissible lower
+// bound a front member strictly dominates, and such combinations can
+// never enter any later front.
+func (e *Engine) step1BranchBound(ctx context.Context, reference Config, s1 *Step1Result) error {
+	dominant, total := s1.DominantRoles, s1.Simulations
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	guard := newFrontGuard(e.opts.abortMargin())
+	guardFor := func(Job) *frontGuard { return guard }
+
+	type materialized struct {
+		combo int
+		res   Result
+	}
+	var mat []materialized
+	done := 0
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		cancel()
+	}
+	land := func(o Outcome) {
+		combo := comboIndex(o.Job.Assign, dominant)
+		mat = append(mat, materialized{combo: combo, res: o.Result})
+		if !o.Result.Aborted {
+			guard.add(o.Result.Point(combo))
+		}
+		done++
+		if e.opts.Progress != nil {
+			e.opts.Progress(done, total)
+		}
+	}
+
+	// Phase 1: seeds. combination index of all-kind-j is j * repunit.
+	skip := make(map[int]bool, ddt.NumKinds)
+	repunit := (total - 1) / (ddt.NumKinds - 1)
+	seedJobs := func(yield func(Job) bool) {
+		for j := 0; j < ddt.NumKinds; j++ {
+			skip[j*repunit] = true
+			if !yield(Job{Cfg: reference, Assign: e.assignFromCombo(dominant, j*repunit)}) {
+				return
+			}
+		}
+	}
+	for o := range e.stream(runCtx, seedJobs, guardFor) {
+		if o.Err != nil {
+			fail(o.Err)
+			continue
+		}
+		land(o)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Phase 2: bound tables.
+	searcher, ok := e.newBBSearcher(reference, dominant, guard)
+
+	// Phase 3: search the rest of the tree — or, if any lane is still
+	// unavailable (a seed aborted before capture, cache eviction), fall
+	// back to the flat scan over the unseeded combinations; per-leaf
+	// pruneJob still applies there, only subtree cutting is lost.
+	leafCh := make(chan bbLeaf, e.workers())
+	cutCh := make(chan int, e.workers())
+	go func() {
+		defer close(leafCh)
+		defer close(cutCh)
+		if !ok {
+			for combo := 0; combo < total; combo++ {
+				if skip[combo] {
+					continue
+				}
+				select {
+				case leafCh <- bbLeaf{combo: combo, assign: e.assignFromCombo(dominant, combo)}:
+				case <-runCtx.Done():
+					return
+				}
+			}
+			return
+		}
+		searcher.search(runCtx, skip,
+			func(lf bbLeaf) bool {
+				select {
+				case leafCh <- lf:
+					return true
+				case <-runCtx.Done():
+					return false
+				}
+			},
+			func(width int) bool {
+				select {
+				case cutCh <- width:
+					return true
+				case <-runCtx.Done():
+					return false
+				}
+			})
+	}()
+	jobs := func(yield func(Job) bool) {
+		for lf := range leafCh {
+			if !yield(Job{Cfg: reference, Assign: lf.assign}) {
+				return
+			}
+		}
+	}
+	outs := e.stream(runCtx, jobs, guardFor)
+	cuts := cutCh
+	for outs != nil || cuts != nil {
+		select {
+		case o, open := <-outs:
+			if !open {
+				outs = nil
+				continue
+			}
+			if o.Err != nil {
+				fail(o.Err)
+				continue
+			}
+			land(o)
+		case w, open := <-cuts:
+			if !open {
+				cuts = nil
+				continue
+			}
+			e.pruned.Add(int64(w))
+			e.bbCuts.Add(1)
+			s1.Pruned += w
+			done += w
+			if e.opts.Progress != nil {
+				e.opts.Progress(done, total)
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	sort.Slice(mat, func(i, j int) bool { return mat[i].combo < mat[j].combo })
+	s1.Results = make([]Result, len(mat))
+	pos := make(map[int]int, len(mat))
+	for i, m := range mat {
+		s1.Results[i] = m.res
+		pos[m.combo] = i
+	}
+	front := guard.points()
+	s1.Survivors = make([]Result, len(front))
+	for i, p := range front {
+		s1.Survivors[i] = s1.Results[pos[p.Tag]]
+	}
+	for _, r := range s1.Results {
+		switch {
+		case r.Pruned:
+			s1.Pruned++
+		case r.Aborted:
+			s1.Aborted++
+		}
+	}
+	return nil
+}
+
+// assignFromCombo decodes a combination index into the assignment of the
+// dominant slate, least significant digit on the last role.
+func (e *Engine) assignFromCombo(dominant []string, combo int) apps.Assignment {
+	assign := make(apps.Assignment, len(dominant))
+	for i := len(dominant) - 1; i >= 0; i-- {
+		assign[dominant[i]] = ddt.Kind(combo % ddt.NumKinds)
+		combo /= ddt.NumKinds
+	}
+	return assign
+}

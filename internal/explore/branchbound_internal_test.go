@@ -1,0 +1,133 @@
+package explore
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/apps/netapps"
+	"repro/internal/ddt"
+	"repro/internal/metrics"
+	"repro/internal/pareto"
+)
+
+// bbFixture runs one bound-pruned Step1 on DRR's 3-role grid to populate
+// the lane caches, then rebuilds a searcher over the same bound tables so
+// tests can drive the best-first loop directly through the onPop hook.
+func bbFixture(t *testing.T) (*Engine, *bbSearcher, *frontGuard, *Step1Result) {
+	t.Helper()
+	a, err := netapps.ByName("DRR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(a, Options{TracePackets: 120, DominantK: 3, BoundPrune: true})
+	ref := Config{TraceName: a.TraceNames()[0], Knobs: a.DefaultKnobs()}
+	s1, err := eng.Step1(context.Background(), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard := newFrontGuard(eng.opts.abortMargin())
+	searcher, ok := eng.newBBSearcher(ref, s1.DominantRoles, guard)
+	if !ok {
+		t.Fatal("bound tables unavailable after a bound-pruned Step1")
+	}
+	return eng, searcher, guard, s1
+}
+
+// TestBranchBoundMonotoneExpansion pins the best-first invariant: with
+// child bounds coordinatewise >= parent bounds, the heap pops prefixes in
+// monotone non-decreasing priority order — first with an empty front
+// (full expansion of all 1111 tree nodes), then with the real survivor
+// front loaded, where cutting must preserve both the order and the exact
+// width accounting.
+func TestBranchBoundMonotoneExpansion(t *testing.T) {
+	_, searcher, guard, s1 := bbFixture(t)
+	space := 1
+	for range searcher.roles {
+		space *= ddt.NumKinds
+	}
+
+	runSearch := func() (pops int, leaves, cuts int) {
+		prev := -1.0
+		rootSeen := false
+		searcher.onPop = func(depth int, vec metrics.Vector, prio float64) {
+			if !rootSeen {
+				if depth != 0 {
+					t.Fatalf("first pop at depth %d, want the root", depth)
+				}
+				rootSeen = true
+			}
+			if prio < prev {
+				t.Fatalf("pop %d: priority %v < previous %v — expansion not best-first", pops, prio, prev)
+			}
+			prev = prio
+			pops++
+			for _, m := range metrics.AllMetrics() {
+				if vec.Get(m) < 0 {
+					t.Fatalf("negative bound %s at depth %d", m, depth)
+				}
+			}
+		}
+		searcher.search(context.Background(), map[int]bool{},
+			func(bbLeaf) bool { leaves++; return true },
+			func(w int) bool { cuts += w; return true })
+		return pops, leaves, cuts
+	}
+
+	// Empty front: nothing dominates, so the search expands every node.
+	pops, leaves, cuts := runSearch()
+	if cuts != 0 {
+		t.Fatalf("empty front cut %d combinations", cuts)
+	}
+	wantPops := 0
+	for w := 1; w <= space; w *= ddt.NumKinds {
+		wantPops += w
+	}
+	if pops != wantPops || leaves != space {
+		t.Fatalf("empty front: %d pops and %d leaves, want %d and %d", pops, leaves, wantPops, space)
+	}
+
+	// Real front: order stays monotone and leaves + cut widths still
+	// account for the whole space.
+	for i, sv := range s1.Survivors {
+		guard.add(sv.Point(i))
+	}
+	if _, leaves, cuts = runSearch(); leaves+cuts != space {
+		t.Fatalf("survivor front: %d leaves + %d cut of %d combinations", leaves, cuts, space)
+	}
+
+	// Degenerate front: a zero point dominates every bound, so the root
+	// itself is cut and the whole space goes in one tombstone.
+	guard.add(pareto.Point{Label: "zero", Vec: metrics.Vector{}})
+	pops, leaves, cuts = runSearch()
+	if pops != 1 || leaves != 0 || cuts != space {
+		t.Fatalf("zero front: %d pops, %d leaves, %d cut — want one root-wide tombstone", pops, leaves, cuts)
+	}
+}
+
+// TestBranchBoundSeedsExcludedFromCuts pins the accounting rule that
+// makes materialized + cut == space exact: seed combinations inside a
+// cut subtree are subtracted from the tombstone width because they
+// already carry a Result of their own.
+func TestBranchBoundSeedsExcludedFromCuts(t *testing.T) {
+	_, searcher, guard, _ := bbFixture(t)
+	space := 1
+	for range searcher.roles {
+		space *= ddt.NumKinds
+	}
+	skip := make(map[int]bool)
+	repunit := (space - 1) / (ddt.NumKinds - 1)
+	for j := 0; j < ddt.NumKinds; j++ {
+		skip[j*repunit] = true
+	}
+	guard.add(pareto.Point{Label: "zero", Vec: metrics.Vector{}})
+	leaves, cuts := 0, 0
+	searcher.search(context.Background(), skip,
+		func(bbLeaf) bool { leaves++; return true },
+		func(w int) bool { cuts += w; return true })
+	if leaves != 0 {
+		t.Fatalf("zero front emitted %d leaves", leaves)
+	}
+	if want := space - ddt.NumKinds; cuts != want {
+		t.Fatalf("root tombstone width %d, want %d (space minus the %d seeds)", cuts, want, ddt.NumKinds)
+	}
+}

@@ -65,10 +65,20 @@ type EngineStats struct {
 	Profiled  int // results derived arithmetically from cached reuse profiles (zero probes)
 	CacheHits int // results served from the cache
 	Aborted   int // simulations (live, replayed or composed) stopped early by the dominance guard
-	Pruned    int // combinations discarded by the admissible lower bound, zero replays
+	// Pruned counts combinations discarded by the admissible lower bound
+	// with zero replays — individually (one bound check each) or as
+	// branch-and-bound subtree cuts, which add their full leaf width in
+	// one step.
+	Pruned int
 	// LaneProfiles counts the isolated per-lane profiled passes the
 	// bound computation paid — ~10·K for a 10^K space, not per-job work.
 	LaneProfiles int
+	// Expanded counts the tree nodes the branch-and-bound search popped
+	// off its best-first heap; SubtreeCuts counts the bulk tombstones it
+	// recorded, each covering a whole dominated lane-prefix subtree.
+	// Both stay zero outside the tree search.
+	Expanded    int
+	SubtreeCuts int
 }
 
 // Engine is the streaming exploration driver: it expands combination and
@@ -113,6 +123,8 @@ type Engine struct {
 	aborted      atomic.Int64
 	pruned       atomic.Int64
 	laneProfiled atomic.Int64
+	bbExpanded   atomic.Int64
+	bbCuts       atomic.Int64
 }
 
 // NewEngine builds an Engine for the application. Unless
@@ -176,6 +188,8 @@ func (e *Engine) Stats() EngineStats {
 		Aborted:      int(e.aborted.Load()),
 		Pruned:       int(e.pruned.Load()),
 		LaneProfiles: int(e.laneProfiled.Load()),
+		Expanded:     int(e.bbExpanded.Load()),
+		SubtreeCuts:  int(e.bbCuts.Load()),
 	}
 }
 
@@ -1088,6 +1102,15 @@ func (e *Engine) collect(cancel context.CancelFunc, outcomes <-chan Outcome, res
 // the running front has already dominated (beyond Options.AbortMargin)
 // are stopped mid-simulation; their entries in Results carry partial
 // vectors and Aborted set, and they are — provably — never survivors.
+//
+// With bound pruning active (and Options.FlatPrune off), the flat scan
+// is replaced by the best-first branch-and-bound search over lane
+// prefixes (see step1BranchBound): whole subtrees of the combination
+// tree are cut against the live front before enumeration, Results holds
+// only the materialized combinations (sorted by combination index), and
+// Pruned counts every discarded combination whether it was cut in bulk
+// or individually. Simulations, the survivor set and all fronts are
+// identical either way.
 func (e *Engine) Step1(ctx context.Context, reference Config) (*Step1Result, error) {
 	probes, err := e.Profile(ctx, reference)
 	if err != nil {
@@ -1097,6 +1120,19 @@ func (e *Engine) Step1(ctx context.Context, reference Config) (*Step1Result, err
 	total := 1
 	for range dominant {
 		total *= ddt.NumKinds
+	}
+
+	if e.boundPruneActive() && !e.opts.FlatPrune {
+		s1 := &Step1Result{
+			DominantRoles: dominant,
+			Profile:       probes,
+			Reference:     reference,
+			Simulations:   total,
+		}
+		if err := e.step1BranchBound(ctx, reference, s1); err != nil {
+			return nil, err
+		}
+		return s1, nil
 	}
 
 	jobs := func(yield func(Job) bool) {

@@ -160,6 +160,16 @@ type Options struct {
 	// cross-configuration averaged charts (it lacks full configuration
 	// coverage), while every step front stays exact.
 	BoundPrune bool
+	// FlatPrune forces the linear scan even when BoundPrune is active:
+	// every combination is enumerated and bound-checked individually
+	// against the live front, instead of the default best-first
+	// branch-and-bound search that cuts whole lane-prefix subtrees
+	// before enumeration. Survivors and fronts are identical either way;
+	// the flag exists as the benchmark baseline the searcher is measured
+	// against, and for consumers that need a per-combination Result for
+	// every point of the space (branch-and-bound compacts Results to the
+	// materialized combinations).
+	FlatPrune bool
 	// EarlyAbort stops a running simulation once its cost vector is
 	// dominated by the incremental front beyond AbortMargin. Survivor
 	// fronts are provably unchanged (costs only grow, so a dominated
@@ -389,16 +399,25 @@ type Step1Result struct {
 	DominantRoles []string
 	Profile       *profiler.Set // the profiling run that picked the roles
 	Reference     Config
-	Results       []Result // every combination on the reference config
-	Survivors     []Result // the 4-D non-dominated subset
-	Simulations   int
-	Aborted       int // simulations the early-abort guard stopped
-	Pruned        int // combinations the bound-guided search discarded with zero replays
+	// Results holds the combinations on the reference config, in
+	// combination order. The flat scan materializes every one; the
+	// branch-and-bound search materializes only the combinations it
+	// composed or individually pruned — subtrees cut in bulk appear
+	// solely in the Pruned count, so Results + Pruned always accounts
+	// for the whole space.
+	Results     []Result
+	Survivors   []Result // the 4-D non-dominated subset
+	Simulations int      // the full combination space size, 10^K
+	Aborted     int      // simulations the early-abort guard stopped
+	Pruned      int      // combinations the bound-guided search discarded with zero replays (bulk subtree cuts counted by width)
 }
 
 // SurvivorFraction reports how much of the combination space survived
 // (the paper observes ≈20%).
 func (s Step1Result) SurvivorFraction() float64 {
+	if s.Simulations > 0 {
+		return float64(len(s.Survivors)) / float64(s.Simulations)
+	}
 	if len(s.Results) == 0 {
 		return 0
 	}

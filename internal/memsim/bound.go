@@ -95,6 +95,44 @@ func (b *LaneBound) Accumulate(o LaneBound) {
 	b.EndLive += o.EndLive
 }
 
+// CostFloor returns the coordinatewise floor of the alternative lane
+// bounds: the per-field minimum, except MaxL1Hits which takes the
+// MAXIMUM. It panics on an empty slice.
+//
+// The floor is the partial-assignment aggregation of branch-and-bound
+// search: when a role's lane is still free, any of the alternatives
+// (one per DDT kind) could fill it, and the floor stands in for
+// "whichever turns out cheapest". Admissibility follows from Cost (and
+// any energy model monotone in the resulting Counts and cycles) being
+// coordinatewise monotone in the ingredient fields — non-decreasing in
+// every field, except non-increasing in MaxL1Hits, whose growth only
+// ever moves probes from slower levels into L1. The floor is therefore
+// <= every alternative in the "cheaper" direction on every field at
+// once, and since Accumulate preserves those per-field orderings
+// (sums, and max for Peak, are monotone), a combination bound built
+// from assigned lanes' real ingredients plus one floor per free role
+// can never exceed the bound — hence never the exact cost — of any
+// completion of that prefix. TestCostFloorAdmissible pins this against
+// brute-force enumeration.
+func CostFloor(alts []LaneBound) LaneBound {
+	if len(alts) == 0 {
+		panic("memsim: CostFloor of no alternatives")
+	}
+	f := alts[0]
+	for _, a := range alts[1:] {
+		f.Probes = min(f.Probes, a.Probes)
+		f.MaxL1Hits = max(f.MaxL1Hits, a.MaxL1Hits)
+		f.ColdFills = min(f.ColdFills, a.ColdFills)
+		f.Pipelined = min(f.Pipelined, a.Pipelined)
+		f.ReadWords = min(f.ReadWords, a.ReadWords)
+		f.WriteWords = min(f.WriteWords, a.WriteWords)
+		f.OpCycles = min(f.OpCycles, a.OpCycles)
+		f.Peak = min(f.Peak, a.Peak)
+		f.EndLive = min(f.EndLive, a.EndLive)
+	}
+	return f
+}
+
 // BoundEligible reports whether cfg admits the lower-bound construction:
 // the geometry must be profileable (GeomEligible) and the level
 // latencies monotone (L1 <= L2 <= DRAM), which is what makes "maximal L1

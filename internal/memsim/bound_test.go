@@ -2,6 +2,7 @@ package memsim
 
 import (
 	"encoding/binary"
+	"math/rand"
 	"testing"
 )
 
@@ -87,6 +88,85 @@ func TestBoundFromProfileArithmetic(t *testing.T) {
 	c2, _, _ := squeezed.Cost(cfg)
 	if c2.L1Hits != 0 || c2.L2Hits != 0 || c2.DRAMFills != b.Probes {
 		t.Fatalf("clamped split wrong: %+v", c2)
+	}
+}
+
+// randomLaneBound draws ingredient fields with the structural invariants
+// a real profile guarantees (cold lines and L1 hits within the probe
+// count, end-live within the own peak), on a small grid so clamp
+// boundaries inside Cost are hit often.
+func randomLaneBound(rng *rand.Rand) LaneBound {
+	probes := uint64(rng.Intn(40))
+	peak := uint64(rng.Intn(2000))
+	return LaneBound{
+		Probes:     probes,
+		MaxL1Hits:  uint64(rng.Intn(int(probes) + 1)),
+		ColdFills:  uint64(rng.Intn(int(probes) + 1)),
+		Pipelined:  uint64(rng.Intn(20)),
+		ReadWords:  uint64(rng.Intn(100)),
+		WriteWords: uint64(rng.Intn(100)),
+		OpCycles:   uint64(rng.Intn(500)),
+		Peak:       peak,
+		EndLive:    uint64(rng.Intn(int(peak) + 1)),
+	}
+}
+
+// TestCostFloorAdmissible is the property branch-and-bound prefix bounds
+// rest on: a prefix accumulation extended with the CostFloor of a free
+// role's alternatives never exceeds — on any objective ingredient — the
+// same prefix extended with any individual alternative. Checked across
+// random prefixes, alternative sets and (monotone-latency) platforms,
+// on every ingredient an eligible objective is monotone in: cycles,
+// word accesses, below-L1 references, DRAM fills and the footprint
+// floor.
+func TestCostFloorAdmissible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfgs := []Config{DefaultConfig()}
+	for _, lat := range [][3]uint64{{1, 1, 1}, {0, 5, 200}, {3, 3, 80}} {
+		c := DefaultConfig()
+		c.L1HitCycles, c.L2HitCycles, c.DRAMCycles = lat[0], lat[1], lat[2]
+		cfgs = append(cfgs, c)
+	}
+	for _, cfg := range cfgs {
+		if !BoundEligible(cfg) {
+			t.Fatalf("test platform not bound-eligible: %+v", cfg)
+		}
+	}
+	for trial := 0; trial < 400; trial++ {
+		alts := make([]LaneBound, 1+rng.Intn(10))
+		for i := range alts {
+			alts[i] = randomLaneBound(rng)
+		}
+		prefix := LaneBound{}
+		for d := rng.Intn(4); d > 0; d-- {
+			prefix.Accumulate(randomLaneBound(rng))
+		}
+		floor := CostFloor(alts)
+		withFloor := prefix
+		withFloor.Accumulate(floor)
+		for _, cfg := range cfgs {
+			fc, fcy, fpk := withFloor.Cost(cfg)
+			for i, a := range alts {
+				withAlt := prefix
+				withAlt.Accumulate(a)
+				ac, acy, apk := withAlt.Cost(cfg)
+				switch {
+				case fcy > acy:
+					t.Fatalf("trial %d alt %d: floor cycles %d > alt %d", trial, i, fcy, acy)
+				case fpk > apk:
+					t.Fatalf("trial %d alt %d: floor peak %d > alt %d", trial, i, fpk, apk)
+				case fc.Accesses() > ac.Accesses():
+					t.Fatalf("trial %d alt %d: floor accesses %d > alt %d", trial, i, fc.Accesses(), ac.Accesses())
+				case fc.L2Hits+fc.DRAMFills > ac.L2Hits+ac.DRAMFills:
+					t.Fatalf("trial %d alt %d: floor below-L1 refs %d > alt %d",
+						trial, i, fc.L2Hits+fc.DRAMFills, ac.L2Hits+ac.DRAMFills)
+				case fc.DRAMFills > ac.DRAMFills:
+					t.Fatalf("trial %d alt %d: floor DRAM fills %d > alt %d", trial, i, fc.DRAMFills, ac.DRAMFills)
+				case fc.OpCycles > ac.OpCycles:
+					t.Fatalf("trial %d alt %d: floor op cycles %d > alt %d", trial, i, fc.OpCycles, ac.OpCycles)
+				}
+			}
+		}
 	}
 }
 

@@ -6,14 +6,20 @@ import "repro/internal/metrics"
 // either rejects the candidate (some member already dominates it) or
 // inserts it and evicts every member it dominates. This is the streaming
 // counterpart of Front — results can be pruned as simulations complete
-// instead of being materialized and filtered at a barrier — and the
-// invariant the exploration Engine's early-abort guard queries while
-// simulations are still running.
+// instead of being filtered at a barrier — and the invariant the
+// exploration Engine's early-abort guard queries while simulations are
+// still running.
 //
 // The zero value is ready to use. OnlineFront is not safe for concurrent
 // use; callers that share one across goroutines must serialize access.
 type OnlineFront struct {
 	pts []Point
+	// mins[m] is the exact minimum of metric m over the current members —
+	// the O(objectives) pre-check of DominatedBeyond. It stays exact
+	// across evictions without a rescan: a member is only ever evicted by
+	// a point that dominates it, so the evicting point replaces every
+	// per-axis minimum the evicted member could have held.
+	mins metrics.Vector
 }
 
 // NewOnlineFront returns an empty incremental front.
@@ -39,12 +45,25 @@ func (f *OnlineFront) Add(p Point) bool {
 			kept = append(kept, q)
 		}
 	}
+	if len(kept) == 0 {
+		f.mins = p.Vec
+	} else {
+		for _, m := range metrics.AllMetrics() {
+			if v := p.Vec.Get(m); v < f.mins.Get(m) {
+				f.mins = f.mins.Set(m, v)
+			}
+		}
+	}
 	f.pts = append(kept, p)
 	return true
 }
 
 // Len returns the current front size.
 func (f *OnlineFront) Len() int { return len(f.pts) }
+
+// Mins returns the exact per-objective minima over the current members.
+// Meaningless on an empty front (Len() == 0).
+func (f *OnlineFront) Mins() metrics.Vector { return f.mins }
 
 // Points returns the front in the same deterministic order as Front:
 // ascending energy, ties by label then tag.
@@ -62,8 +81,24 @@ func (f *OnlineFront) Points() []Point {
 // finished simulation cannot join the front — the test behind the
 // exploration Engine's early abort. A positive margin keeps the check
 // conservative against later front churn and float rounding.
+//
+// A per-objective minima pre-check answers most negative queries in
+// O(objectives): if v beats even the front-wide minimum on some axis
+// (v < min*(1+margin)), then every member q has q*(1+margin) > v there,
+// so no member can dominate v and the full front walk is skipped. The
+// pre-check is purely conservative — it only ever returns early with
+// false when the walk would have returned false (pinned by
+// TestOnlineFrontMinsFastReject).
 func (f *OnlineFront) DominatedBeyond(v metrics.Vector, margin float64) bool {
+	if len(f.pts) == 0 {
+		return false
+	}
 	scale := 1 + margin
+	for _, m := range metrics.AllMetrics() {
+		if v.Get(m) < f.mins.Get(m)*scale {
+			return false
+		}
+	}
 	for _, q := range f.pts {
 		worse, strict := true, false
 		for _, m := range metrics.AllMetrics() {

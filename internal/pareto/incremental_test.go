@@ -124,6 +124,79 @@ func TestOnlineFrontAddReportsMembership(t *testing.T) {
 	}
 }
 
+// walkDominatedBeyond is the pre-minima full front walk, kept as the
+// reference the fast-reject property test compares against.
+func walkDominatedBeyond(f *OnlineFront, v metrics.Vector, margin float64) bool {
+	scale := 1 + margin
+	for _, q := range f.pts {
+		worse, strict := true, false
+		for _, m := range metrics.AllMetrics() {
+			qm, vm := q.Vec.Get(m)*scale, v.Get(m)
+			if qm > vm {
+				worse = false
+				break
+			}
+			if qm < vm {
+				strict = true
+			}
+		}
+		if worse && strict {
+			return true
+		}
+	}
+	return false
+}
+
+// TestOnlineFrontMinsFastReject is the soundness property of the
+// per-objective minima pre-check: across random fronts (with evictions),
+// random query vectors and margins, DominatedBeyond must agree exactly
+// with the full front walk — the fast path never rejects a point the
+// walk would accept (and never invents a domination either) — and the
+// maintained minima stay exact across evictions.
+func TestOnlineFrontMinsFastReject(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	margins := []float64{0, 0.1, 0.5}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(60)
+		grid := 2 + rng.Intn(10)
+		f := NewOnlineFront()
+		for _, p := range randomPoints(rng, n, grid) {
+			f.Add(p)
+		}
+
+		// Minima stay exact across the insert/evict churn above.
+		for _, m := range metrics.AllMetrics() {
+			want := f.pts[0].Vec.Get(m)
+			for _, q := range f.pts[1:] {
+				if v := q.Vec.Get(m); v < want {
+					want = v
+				}
+			}
+			if got := f.Mins().Get(m); got != want {
+				t.Fatalf("trial %d: mins[%s] = %v, want %v", trial, m, got, want)
+			}
+		}
+
+		// Queries drawn from the same grid (ties and near-misses common)
+		// plus a few off-grid ones.
+		for q := 0; q < 40; q++ {
+			v := metrics.Vector{
+				Energy:    float64(rng.Intn(grid+2)) - 0.5*rng.Float64(),
+				Time:      float64(rng.Intn(grid + 2)),
+				Accesses:  float64(rng.Intn(grid + 2)),
+				Footprint: float64(rng.Intn(grid + 2)),
+			}
+			margin := margins[rng.Intn(len(margins))]
+			got := f.DominatedBeyond(v, margin)
+			want := walkDominatedBeyond(f, v, margin)
+			if got != want {
+				t.Fatalf("trial %d: DominatedBeyond(%v, %v) = %v, full walk says %v (front %v)",
+					trial, v, margin, got, want, f.pts)
+			}
+		}
+	}
+}
+
 func TestDominatedBeyond(t *testing.T) {
 	f := NewOnlineFront()
 	f.Add(Point{Label: "m", Vec: metrics.Vector{Energy: 10, Time: 10, Accesses: 10, Footprint: 10}})

@@ -64,6 +64,18 @@ const (
 	arenaShift = 28
 	arenaSpan  = 1 << arenaShift
 
+	// arenaStagger offsets each arena's first bank within its region:
+	// region i starts allocating at baseAddr + i*arenaSpan + i*arenaStagger.
+	// With power-of-two regions alone, every arena's hot head would share
+	// the low address bits — and therefore the same cache sets — so
+	// concurrently-live roles would fight over a handful of sets however
+	// large the cache, a pure artifact of the aligned layout. A real
+	// linker or allocator places per-module buffers at essentially
+	// arbitrary offsets; the stagger models that. 6464 is an odd multiple
+	// of both 32- and 64-byte lines, so the per-arena set offsets stay
+	// distinct modulo any power-of-two set span.
+	arenaStagger = 6464
+
 	// maxArenas bounds the named arenas a 32-bit space can hold beside
 	// the default region.
 	maxArenas = 13
@@ -196,7 +208,7 @@ func (h *Heap) NewArena(name string) *Arena {
 	if idx > maxArenas {
 		panic(fmt.Sprintf("vheap: too many arenas (max %d)", maxArenas))
 	}
-	base := uint32(baseAddr + idx*arenaSpan)
+	base := uint32(baseAddr + idx*arenaSpan + idx*arenaStagger)
 	if h.def.next > baseAddr+arenaSpan {
 		panic("vheap: cannot partition a heap whose default space has grown past region 0")
 	}
@@ -205,7 +217,7 @@ func (h *Heap) NewArena(name string) *Arena {
 		h:       h,
 		name:    name,
 		base:    base,
-		limit:   uint64(base) + arenaSpan,
+		limit:   uint64(baseAddr) + uint64(idx+1)*arenaSpan,
 		next:    base,
 		classes: make(map[uint32]*sizeClass),
 	}
