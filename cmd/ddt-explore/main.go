@@ -20,6 +20,15 @@
 //	                                                 # prunes dominated ones
 //	                                                 # with zero replays
 //	                                                 # (-noprune disables)
+//	ddt-explore -app DRR -packets 100000 \
+//	            -sample-rate 0.015625                # long-trace screening:
+//	                                                 # estimate the space with
+//	                                                 # 1/64-sampled replays,
+//	                                                 # then re-run the few
+//	                                                 # near-front survivors
+//	                                                 # exactly — the front is
+//	                                                 # identical in membership
+//	                                                 # to an exact run
 //	ddt-explore -app URL -platforms all              # co-design sweep of the
 //	                                                 # recommendation: one
 //	                                                 # geometry-collapsed probe
@@ -60,11 +69,12 @@ type cliConfig struct {
 	workers     int
 	earlyAbort  bool
 	abortMargin float64
-	cachePath   string // results-only persistent cache
-	replayCache string // results + access streams persistent cache
-	compose     bool   // compositional capture: per-role sub-streams
-	noprune     bool   // disable bound-guided combination pruning
-	platforms   string // platform names to evaluate the recommendation on
+	cachePath   string  // results-only persistent cache
+	replayCache string  // results + access streams persistent cache
+	compose     bool    // compositional capture: per-role sub-streams
+	noprune     bool    // disable bound-guided combination pruning
+	sampleRate  float64 // two-phase screening: sampled estimates, exact re-check
+	platforms   string  // platform names to evaluate the recommendation on
 	cpuProfile  string
 	memProfile  string
 	progress    bool
@@ -88,6 +98,7 @@ func main() {
 	flag.StringVar(&c.replayCache, "replay-cache", "", "like -cache, but also captures and persists access streams and the reuse profiles of platform evaluations, so later runs evaluate new platform configurations by replay — or by profile arithmetic with zero probe passes — instead of re-execution")
 	flag.BoolVar(&c.compose, "compose", false, "compositional capture: record one access sub-stream per container role (per-role heap arenas) and evaluate DDT combinations by interleaving cached sub-streams instead of re-executing — the 10^K cross-product costs ~10*K executions")
 	flag.BoolVar(&c.noprune, "noprune", false, "with -compose, disable bound-guided pruning: by default, combinations whose admissible per-lane lower bound (sum of isolated lane reuse-profile bounds) is already dominated by the running Pareto front are discarded with zero replays — fronts stay bit-identical either way")
+	flag.Float64Var(&c.sampleRate, "sample-rate", 0, "screen the combination space with SHARDS-sampled replays at this spatial rate (e.g. 0.015625 = 1/64) before re-running the surviving near-front combinations exactly — the reported front is identical in membership to an exact run; implies -compose (0 disables; rates round down to a power of two)")
 	flag.StringVar(&c.platforms, "platforms", "", "comma-separated platform points (or 'all') to evaluate the best-energy recommendation on: points sharing a cache line size are costed by one all-geometry replay pass (a cached reuse profile makes the sweep pure arithmetic); names from the default sweep set")
 	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile of the exploration to this file")
 	flag.StringVar(&c.memProfile, "memprofile", "", "write a heap profile (taken after the exploration) to this file")
@@ -108,6 +119,16 @@ func run(c cliConfig) error {
 	if c.cachePath != "" && c.replayCache != "" {
 		return fmt.Errorf("-cache and -replay-cache are mutually exclusive")
 	}
+	if c.sampleRate < 0 || c.sampleRate > 1 {
+		return fmt.Errorf("-sample-rate must be in [0, 1], got %v", c.sampleRate)
+	}
+	if c.sampleRate > 0 {
+		// Screening estimates combinations from composed per-role lanes,
+		// so it implies the compositional path (and, inside the engine,
+		// bound pruning and completion-bound aborts for the exact
+		// verification phase).
+		c.compose = true
+	}
 	if c.cpuProfile != "" {
 		f, err := os.Create(c.cpuProfile)
 		if err != nil {
@@ -125,6 +146,7 @@ func run(c cliConfig) error {
 		Workers:      c.workers,
 		EarlyAbort:   c.earlyAbort,
 		AbortMargin:  c.abortMargin,
+		SampleRate:   c.sampleRate,
 	}
 	if c.progress {
 		var lastPct int = -1
@@ -215,6 +237,10 @@ func run(c cliConfig) error {
 	if st.Expanded > 0 {
 		fmt.Printf("branch-and-bound: expanded %d tree nodes, cut %d dominated subtrees in bulk\n",
 			st.Expanded, st.SubtreeCuts)
+	}
+	if s1 := r.Step1; s1.SampleRate > 0 {
+		fmt.Printf("screening: %d sampled estimates at achieved rate 1/%.0f; %d screened on intervals, %d bound-pruned, %d abort-stopped, %d verified exactly -> %d survivors (front identical to an exact run)\n",
+			st.Sampled, 1/s1.SampleRate, s1.Screened, s1.Pruned, s1.Aborted, s1.Verified, len(s1.Survivors))
 	}
 
 	if c.platforms != "" {

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"repro/internal/memsim"
 )
@@ -296,6 +298,13 @@ type UnpackedLane struct {
 	SegWriteW []uint32
 	SegMax    []uint64
 	SegEnd    []int64
+
+	// Sampled-view memo (viewFor): the lane's hash-kept line
+	// subsequence plus exact per-segment probe aggregates, one per
+	// (line shift, sample shift) pair. Built lazily on first sampled
+	// replay and shared by every combination the lane participates in.
+	viewMu sync.Mutex
+	views  map[uint32]*sampledView
 }
 
 // Segments returns the number of decoded segments.
@@ -356,7 +365,7 @@ func (s *SubStream) Unpack() (*UnpackedLane, error) {
 // configuration only) is polled about once per batchEvents probed
 // accesses.
 func ReplayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsim.Config, guard GuardFunc) ([]Cost, error) {
-	costs, _, err := replayComposedUnpacked(sched, lanes, cfgs, guard, false)
+	costs, _, err := replayComposedUnpacked(sched, lanes, cfgs, guard, false, 0)
 	return costs, err
 }
 
@@ -364,10 +373,32 @@ func ReplayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsi
 // reuse profiles of the pass, one per geometry family — the composed
 // counterpart of ReplayMultiProfiled.
 func ReplayComposedUnpackedProfiled(sched *Schedule, lanes []*UnpackedLane, cfgs []memsim.Config) ([]Cost, []*memsim.ReuseProfile, error) {
-	return replayComposedUnpacked(sched, lanes, cfgs, nil, true)
+	return replayComposedUnpacked(sched, lanes, cfgs, nil, true, 0)
 }
 
-func replayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsim.Config, guard GuardFunc, profiled bool) ([]Cost, []*memsim.ReuseProfile, error) {
+// ReplayComposedUnpackedSampled is ReplayComposedUnpacked at spatial
+// sample rate 2^-sampleShift — the screening evaluator: the schedule
+// walk, segment aggregation and footprint reconstruction stay exact,
+// while only the hash-kept line subset descends the recency stacks, so
+// the per-combination probe cost drops by ~2^sampleShift. Costs come
+// back as scaled estimates; combine with the sampled profile's RelCI
+// for the interval. Guards are not supported under sampling (a sampled
+// partial cost is not a sound lower bound to abort on); shift 0 is
+// exactly ReplayComposedUnpacked.
+func ReplayComposedUnpackedSampled(sched *Schedule, lanes []*UnpackedLane, cfgs []memsim.Config, sampleShift uint32) ([]Cost, error) {
+	costs, _, err := replayComposedUnpacked(sched, lanes, cfgs, nil, false, sampleShift)
+	return costs, err
+}
+
+// ReplayComposedUnpackedProfiledSampled is the profiled variant of
+// ReplayComposedUnpackedSampled: the sampled costs plus one sampled
+// reuse profile per geometry family, carrying the sample descriptor and
+// per-bucket variance for RelCI.
+func ReplayComposedUnpackedProfiledSampled(sched *Schedule, lanes []*UnpackedLane, cfgs []memsim.Config, sampleShift uint32) ([]Cost, []*memsim.ReuseProfile, error) {
+	return replayComposedUnpacked(sched, lanes, cfgs, nil, true, sampleShift)
+}
+
+func replayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsim.Config, guard GuardFunc, profiled bool, sampleShift uint32) ([]Cost, []*memsim.ReuseProfile, error) {
 	if len(lanes) != len(sched.Roles)+1 {
 		return nil, nil, fmt.Errorf("astream: schedule names %d roles but %d lanes supplied", len(sched.Roles), len(lanes))
 	}
@@ -379,10 +410,28 @@ func replayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsi
 	if guard != nil && len(cfgs) != 1 {
 		return nil, nil, fmt.Errorf("astream: guarded composed replay supports exactly one configuration")
 	}
+	if guard != nil && sampleShift != 0 {
+		return nil, nil, fmt.Errorf("astream: guarded composed replay does not support sampling")
+	}
 	sc := getScratch()
 	defer putScratch(sc)
-	plan := sc.planFor(cfgs, profiled)
+	plan := sc.planFor(cfgs, profiled, sampleShift)
 	cursor := sc.cursorsFor(len(lanes))
+
+	// A fully sampled plan (no exact LineSim leftovers) replays through
+	// the lanes' memoized sampled views: kept lines only, exact
+	// invariants from prefix sums. Mixed plans keep the full access walk
+	// — the LineSims need every access anyway.
+	var views [][]*sampledView
+	if sampleShift != 0 && len(plan.sims) == 0 {
+		views = make([][]*sampledView, len(lanes))
+		for li, u := range lanes {
+			views[li] = make([]*sampledView, len(plan.geoms))
+			for k, gs := range plan.geoms {
+				views[li][k] = u.viewFor(uint32(bits.TrailingZeros32(gs.LineBytes())), sampleShift)
+			}
+		}
+	}
 
 	var (
 		inv        memsim.Counts
@@ -390,7 +439,38 @@ func replayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsi
 		peak       uint64
 		sinceGuard int
 		toks       = sched.Tokens
+		// Completion lower bound ingredients (guarded replays only): a
+		// composed replay consumes every segment of every lane exactly
+		// once, so the final platform-invariant totals are known before
+		// the walk starts. At each poll the guard then sees not the bare
+		// partial cost but partial probe outcomes + exact remaining
+		// invariants + every unprobed access taken as an L1 hit — the
+		// cheapest completion any schedule suffix could produce — which
+		// stops hopeless near-front replays long before their partials
+		// alone would cross the front.
+		totInv    memsim.Counts
+		totProbes uint64
+		probed    uint64
+		finalPeak uint64
 	)
+	if guard != nil {
+		for _, u := range lanes {
+			totProbes += uint64(len(u.Addr))
+			for s := range u.SegOps {
+				totInv.ReadWords += uint64(u.SegReadW[s])
+				totInv.WriteWords += uint64(u.SegWriteW[s])
+				totInv.OpCycles += u.SegOps[s]
+			}
+		}
+		// The footprint peak is platform-invariant and exactly
+		// reconstructible before any probe — without it the snapshot's
+		// running peak understates the final one for most of the walk
+		// and a front member can never dominate the footprint axis.
+		var err error
+		if finalPeak, err = ComposedPeak(sched, lanes); err != nil {
+			return nil, nil, err
+		}
+	}
 	for i := 0; i < len(toks); {
 		t := int(toks[i])
 		if t >= len(lanes) {
@@ -413,7 +493,13 @@ func replayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsi
 		cursor[t] = sEnd
 		lo, hi := u.SegIdx[s0], u.SegIdx[sEnd]
 		if hi > lo {
-			plan.probe(u.Addr[lo:hi], u.Size[lo:hi])
+			if views != nil {
+				for k, gs := range plan.geoms {
+					views[t][k].probeRun(gs, s0, sEnd)
+				}
+			} else {
+				plan.probe(u.Addr[lo:hi], u.Size[lo:hi])
+			}
 		}
 		for s := s0; s < sEnd; s++ {
 			inv.ReadWords += uint64(u.SegReadW[s])
@@ -422,11 +508,24 @@ func replayComposedUnpacked(sched *Schedule, lanes []*UnpackedLane, cfgs []memsi
 			totalLive, peak = advanceLive(u.SegMax[s], u.SegEnd[s], totalLive, peak)
 		}
 		if guard != nil {
+			probed += uint64(hi - lo)
 			if sinceGuard += int(hi - lo); sinceGuard >= batchEvents {
 				sinceGuard = 0
 				// A guarded replay has exactly one configuration, which a
 				// non-profiled plan always serves with a dedicated LineSim.
-				if snap := costOf(cfgs[0], plan.sims[0], inv, peak); guard(snap) {
+				// The snapshot is the completion lower bound: exact final
+				// invariants, probe outcomes so far, and all remaining
+				// probes as L1 hits. Every component still only grows from
+				// poll to poll (a probed access can only cost at least the
+				// L1 hit assumed for it), so the guard's dominance
+				// arguments hold unchanged.
+				ls := plan.sims[0]
+				cnt := totInv
+				cnt.L1Hits = ls.L1Hits + (totProbes - probed)
+				cnt.L2Hits = ls.L2Hits
+				cnt.DRAMFills = ls.DRAMFills
+				snap := Cost{Counts: cnt, Cycles: cfgs[0].CyclesFor(cnt, ls.Pipelined()), Peak: finalPeak}
+				if guard(snap) {
 					snap.Aborted = true
 					return []Cost{snap}, nil, nil
 				}
@@ -521,7 +620,7 @@ func replayComposed(sched *Schedule, lanes []*SubStream, cfgs []memsim.Config, g
 
 	sc := getScratch()
 	defer putScratch(sc)
-	plan := sc.planFor(cfgs, false)
+	plan := sc.planFor(cfgs, false, 0)
 	ds := sc.decodersFor(len(lanes))
 	for i, ls := range lanes {
 		ds[i] = decoder{chunks: ls.Chunks}

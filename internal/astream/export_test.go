@@ -1,6 +1,16 @@
 package astream
 
+import "repro/internal/memsim"
+
 // ForceLineSimReplay disables all-geometry routing in multi-replays for
 // benchmarks that need the per-configuration LineSim path as a
 // baseline. Test-only.
 func ForceLineSimReplay(v bool) { forceLineSim = v }
+
+// ReplayComposedUnpackedSampledGuardProbe exposes the internal guarded
+// composed replay with a nonzero sample shift, which the public sampled
+// entry points never combine — solely so tests can pin that the
+// combination is refused. Test-only.
+func ReplayComposedUnpackedSampledGuardProbe(sched *Schedule, lanes []*UnpackedLane, cfgs []memsim.Config, guard GuardFunc) ([]Cost, []*memsim.ReuseProfile, error) {
+	return replayComposedUnpacked(sched, lanes, cfgs, guard, false, 3)
+}

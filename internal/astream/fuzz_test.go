@@ -197,6 +197,30 @@ func FuzzReuseProfileDecode(f *testing.F) {
 	mut[len(mut)/3] ^= 0xff
 	f.Add(mut)
 
+	// A sampled (v3 descriptor + variance arrays) profile, its
+	// truncations and corruptions: the sampling fields are validated as
+	// hard as the histograms.
+	sgs, err := memsim.NewGeomSimSampled(family, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sgs.ProbeAccesses(
+		[]uint32{0x1000, 0x1004, 0x8000, 0x1000, 0x20040, 0xfff0, 0x1000, 0x8000},
+		[]uint32{4, 4, 64, 4, 12, 32, 4, 64},
+	)
+	sprof := sgs.Profile()
+	sprof.ReadWords, sprof.WriteWords, sprof.OpCycles, sprof.Peak = 20, 3, 99, 4096
+	sseed, err := sprof.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sseed)
+	f.Add(sseed[:len(sseed)-3])
+	f.Add(sseed[:len(sseed)*2/3])
+	smut := append([]byte(nil), sseed...)
+	smut[len(smut)/2] ^= 0xff
+	f.Add(smut)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var p memsim.ReuseProfile
 		if err := p.UnmarshalBinary(data); err != nil {

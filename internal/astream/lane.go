@@ -23,10 +23,42 @@ import (
 // ones are probed but yield nothing (callers gate on
 // memsim.BoundEligible anyway).
 func ReplayLaneProfiled(u *UnpackedLane, cfgs []memsim.Config) []*memsim.ReuseProfile {
+	return replayLaneProfiled(u, cfgs, 0)
+}
+
+// ReplayLaneProfiledSampled is ReplayLaneProfiled at spatial sample
+// rate 2^-sampleShift. The bound ingredients that must stay exact for
+// admissibility — ColdLines (distinct-line walk), Peak and EndLive
+// (liveness walk), and the invariant counters — are computed exactly
+// regardless of the rate; only the depth histograms are sampled, so
+// bounds derived from the profile become interval estimates (widen by
+// RelCI before using them to cut). Shift 0 is exactly
+// ReplayLaneProfiled.
+func ReplayLaneProfiledSampled(u *UnpackedLane, cfgs []memsim.Config, sampleShift uint32) []*memsim.ReuseProfile {
+	return replayLaneProfiled(u, cfgs, sampleShift)
+}
+
+func replayLaneProfiled(u *UnpackedLane, cfgs []memsim.Config, sampleShift uint32) []*memsim.ReuseProfile {
 	sc := getScratch()
 	defer putScratch(sc)
-	plan := sc.planFor(cfgs, true)
-	plan.probe(u.Addr, u.Size)
+	plan := sc.planFor(cfgs, true, sampleShift)
+	if sampleShift != 0 && len(plan.sims) == 0 {
+		// Whole-lane pass through the memoized sampled view: one run
+		// spanning every segment.
+		for _, gs := range plan.geoms {
+			v := u.viewFor(uint32(bits.TrailingZeros32(gs.LineBytes())), sampleShift)
+			v.probeRun(gs, 0, len(u.SegOps))
+		}
+	} else {
+		if sampleShift == 0 {
+			// An exact pass counts its own distinct lines as it walks,
+			// sparing the separate distinctLines sweep below.
+			for _, gs := range plan.geoms {
+				gs.TrackColdLines()
+			}
+		}
+		plan.probe(u.Addr, u.Size)
+	}
 
 	var inv memsim.Counts
 	var live, peak uint64
@@ -38,8 +70,22 @@ func ReplayLaneProfiled(u *UnpackedLane, cfgs []memsim.Config) []*memsim.ReusePr
 	}
 	profs := plan.profiles(inv, peak)
 	for _, p := range profs {
-		p.ColdLines = distinctLines(u, p.LineBytes)
 		p.EndLive = live
+		p.ColdLines = 0
+		if sampleShift == 0 {
+			for _, gs := range plan.geoms {
+				if gs.LineBytes() == p.LineBytes {
+					p.ColdLines = gs.ColdLines()
+					break
+				}
+			}
+		}
+		if p.ColdLines == 0 {
+			// Sampled pass (or a lane with no probes): the cold-fill
+			// floor must stay exact regardless of the rate, so walk the
+			// spans separately.
+			p.ColdLines = distinctLines(u, p.LineBytes)
+		}
 	}
 	return profs
 }
@@ -50,7 +96,8 @@ func ReplayLaneProfiled(u *UnpackedLane, cfgs []memsim.Config) []*memsim.ReusePr
 // hierarchy probes no lines for.
 func distinctLines(u *UnpackedLane, lineBytes uint32) uint64 {
 	shift := uint32(bits.TrailingZeros32(lineBytes))
-	seen := make(map[uint32]struct{}, 1024)
+	seen := newLineSet()
+	prev := ^uint32(0)
 	for i, addr := range u.Addr {
 		size := u.Size[i]
 		if size == 0 {
@@ -61,12 +108,64 @@ func distinctLines(u *UnpackedLane, lineBytes uint32) uint64 {
 		if last < first {
 			continue // addr+size wraps the 32-bit space
 		}
+		if first == prev && last == prev {
+			continue // spatial locality: same single line as last access
+		}
 		for line := first; ; line++ {
-			seen[line] = struct{}{}
+			seen.add(line)
 			if line == last {
 				break
 			}
 		}
+		prev = last
 	}
-	return uint64(len(seen))
+	return uint64(seen.n)
+}
+
+// lineSet is a linear-probing hash set of cache-line numbers, stored as
+// line+1 so a zero word marks an empty slot (line numbers stay below
+// 2^30: lineBytes is a power of two ≥ 4, so the +1 never wraps).
+// distinctLines inserts tens of millions of mostly-repeated lines per
+// lane; with the generic map, hashing and bucket chasing dominated the
+// whole isolated profiled pass.
+type lineSet struct {
+	slots []uint32
+	n     int
+}
+
+func newLineSet() *lineSet { return &lineSet{slots: make([]uint32, 1<<14)} }
+
+func (s *lineSet) add(line uint32) {
+	key := line + 1
+	mask := uint32(len(s.slots) - 1)
+	i := (key * 2654435761) & mask
+	for {
+		switch s.slots[i] {
+		case key:
+			return
+		case 0:
+			s.slots[i] = key
+			if s.n++; s.n >= len(s.slots)/2 {
+				s.grow()
+			}
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *lineSet) grow() {
+	old := s.slots
+	s.slots = make([]uint32, len(old)*2)
+	mask := uint32(len(s.slots) - 1)
+	for _, key := range old {
+		if key == 0 {
+			continue
+		}
+		i := (key * 2654435761) & mask
+		for s.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.slots[i] = key
+	}
 }

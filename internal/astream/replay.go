@@ -21,16 +21,21 @@ type Cost struct {
 	Cycles uint64
 	Peak   uint64 // footprint high-water mark, bytes
 	// Aborted marks a guarded replay the guard stopped; Counts, Cycles
-	// and Peak then hold the partial totals at the stop.
+	// and Peak then hold the guard's lower-bound snapshot at the stop
+	// (never more than the exact full-replay cost on any component).
 	Aborted bool
 }
 
-// GuardFunc is polled during a guarded replay with the running partial
-// cost; returning true stops the replay (the Cost comes back Aborted).
-// All components of a Cost only grow as the replay proceeds, so the same
-// dominance arguments that make live early abort sound apply unchanged.
-// The poll cadence is one check per decoded batch — the same order of
-// magnitude as the live simulation's probe-count cadence.
+// GuardFunc is polled during a guarded replay with a running lower
+// bound on the replay's final cost; returning true stops the replay
+// (the Cost comes back Aborted). Flat replays poll the bare partial
+// cost; the unpacked composed replay polls the tighter completion
+// bound (exact final invariants plus remaining accesses taken as L1
+// hits). Either way every component only grows from poll to poll and
+// never exceeds the exact final cost, so the same dominance arguments
+// that make live early abort sound apply unchanged. The poll cadence
+// is one check per decoded batch — the same order of magnitude as the
+// live simulation's probe-count cadence.
 type GuardFunc func(Cost) bool
 
 // costOf merges the platform-invariant counters with one LineSim's probe
@@ -79,22 +84,24 @@ func (s *scratch) simFor(i int, cfg memsim.Config) *memsim.LineSim {
 }
 
 // geoFor returns an all-geometry kernel for the family in plan slot i,
-// cold — recycled from anywhere in the scratch's kernel pool when an
-// identical family is pooled (a worker alternating between the line-
-// size families of a sweep must not rebuild tag stores per pass),
-// freshly built otherwise. planFor only requests eligible same-line-
-// size families, so construction cannot fail.
-func (s *scratch) geoFor(i int, family []memsim.Config) *memsim.GeomSim {
+// cold — recycled from anywhere in the scratch's kernel pool when a
+// kernel of identical identity (family AND sample shift; the tag
+// stores are sized for the shift's scaled set counts) is pooled (a
+// worker alternating between the line-size families of a sweep must
+// not rebuild tag stores per pass), freshly built otherwise. planFor
+// only requests eligible same-line-size families, so construction
+// cannot fail.
+func (s *scratch) geoFor(i int, family []memsim.Config, sampleShift uint32) *memsim.GeomSim {
 	for len(s.geos) <= i {
 		s.geos = append(s.geos, nil)
 	}
 	for j := i; j < len(s.geos); j++ {
-		if gs := s.geos[j]; gs != nil && gs.Reset(family) {
+		if gs := s.geos[j]; gs != nil && gs.ResetSampled(family, sampleShift) {
 			s.geos[i], s.geos[j] = gs, s.geos[i]
 			return gs
 		}
 	}
-	gs, err := memsim.NewGeomSim(family)
+	gs, err := memsim.NewGeomSimSampled(family, sampleShift)
 	if err != nil {
 		panic("astream: planFor built an invalid geometry family: " + err.Error())
 	}
@@ -216,8 +223,11 @@ var forceLineSim = false
 // line-size grouping is the shared memsim.LineFamiliesOf, so the plan
 // can never partition differently from the exploration layers. A family
 // of one only takes the GeomSim path when the caller wants its reuse
-// profile; otherwise a plain LineSim is cheaper.
-func (sc *scratch) planFor(cfgs []memsim.Config, profiled bool) multiPlan {
+// profile or a sampled pass (LineSim has no sampling mode); otherwise a
+// plain LineSim is cheaper. Ineligible configurations always fall back
+// to an exact LineSim, even under sampling — their costs simply come
+// back exact, which only tightens the caller's interval.
+func (sc *scratch) planFor(cfgs []memsim.Config, profiled bool, sampleShift uint32) multiPlan {
 	p := multiPlan{cfgs: cfgs}
 	for _, fam := range memsim.LineFamiliesOf(cfgs) {
 		var idx []int
@@ -231,7 +241,7 @@ func (sc *scratch) planFor(cfgs []memsim.Config, profiled bool) multiPlan {
 		if len(idx) == 0 {
 			continue
 		}
-		if len(idx) < 2 && !profiled {
+		if len(idx) < 2 && !profiled && sampleShift == 0 {
 			p.simIdx = append(p.simIdx, idx...)
 			continue
 		}
@@ -239,7 +249,7 @@ func (sc *scratch) planFor(cfgs []memsim.Config, profiled bool) multiPlan {
 		for k, i := range idx {
 			fcfgs[k] = cfgs[i]
 		}
-		p.geoms = append(p.geoms, sc.geoFor(len(p.geoms), fcfgs))
+		p.geoms = append(p.geoms, sc.geoFor(len(p.geoms), fcfgs, sampleShift))
 		p.geomIdx = append(p.geomIdx, idx)
 	}
 	for j, i := range p.simIdx {
@@ -297,7 +307,7 @@ func (p *multiPlan) profiles(inv memsim.Counts, peak uint64) []*memsim.ReuseProf
 // family fall back to a dedicated per-config LineSim over the same
 // decoded batches (the decode is still paid exactly once).
 func ReplayMulti(s *Stream, cfgs []memsim.Config) ([]Cost, error) {
-	costs, _, err := replayMulti(s, cfgs, false)
+	costs, _, err := replayMulti(s, cfgs, false, 0)
 	return costs, err
 }
 
@@ -307,16 +317,27 @@ func ReplayMulti(s *Stream, cfgs []memsim.Config) ([]Cost, error) {
 // product by pure arithmetic afterwards. The exploration cache persists
 // them so warm platform sweeps need zero probe passes.
 func ReplayMultiProfiled(s *Stream, cfgs []memsim.Config) ([]Cost, []*memsim.ReuseProfile, error) {
-	return replayMulti(s, cfgs, true)
+	return replayMulti(s, cfgs, true, 0)
 }
 
-func replayMulti(s *Stream, cfgs []memsim.Config, profiled bool) ([]Cost, []*memsim.ReuseProfile, error) {
+// ReplayMultiProfiledSampled is ReplayMultiProfiled at spatial sample
+// rate 2^-sampleShift: the decode still walks every event (the
+// platform-invariant aggregates stay exact) but only the hash-kept line
+// subset descends the recency stacks, so the probe cost — the dominant
+// term on long streams — drops by ~2^sampleShift. Costs and profiles
+// come back as scaled estimates with confidence intervals
+// (ReuseProfile.RelCI); shift 0 is exactly ReplayMultiProfiled.
+func ReplayMultiProfiledSampled(s *Stream, cfgs []memsim.Config, sampleShift uint32) ([]Cost, []*memsim.ReuseProfile, error) {
+	return replayMulti(s, cfgs, true, sampleShift)
+}
+
+func replayMulti(s *Stream, cfgs []memsim.Config, profiled bool, sampleShift uint32) ([]Cost, []*memsim.ReuseProfile, error) {
 	if s.Partial {
 		return nil, nil, ErrPartial
 	}
 	sc := getScratch()
 	defer putScratch(sc)
-	plan := sc.planFor(cfgs, profiled)
+	plan := sc.planFor(cfgs, profiled, sampleShift)
 	var (
 		inv  memsim.Counts
 		peak uint64

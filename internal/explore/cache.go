@@ -98,6 +98,16 @@ type Cache struct {
 	lprofiles  map[string]*memsim.ReuseProfile
 	lprofOrder []string
 
+	// Sampled reuse profiles (also guarded by sm, counted against the
+	// stream budget): the rate-tagged estimates a screening replay
+	// leaves behind, keyed like reuse profiles plus the sample shift
+	// (screenKey) so they can never answer an exact lookup. Cheap
+	// screening artifacts, rebuildable by one sampled replay: evicted
+	// FIRST, ahead even of lane profiles, and never persisted by
+	// SaveWithStreams.
+	sprofiles  map[string]*memsim.ReuseProfile
+	sprofOrder []string
+
 	pm       sync.Mutex
 	profiles map[string]*profiler.Set
 
@@ -164,6 +174,7 @@ func NewCache() *Cache {
 		unpacked:     make(map[string]*astream.UnpackedLane),
 		rprofiles:    make(map[string]*memsim.ReuseProfile),
 		lprofiles:    make(map[string]*memsim.ReuseProfile),
+		sprofiles:    make(map[string]*memsim.ReuseProfile),
 		streamBudget: DefaultStreamBudget,
 	}
 }
@@ -190,6 +201,7 @@ type CacheStats struct {
 	ReuseProfiles              int // retained per-(identity, line size) reuse profiles
 	ProfileHits, ProfileMisses uint64
 	LaneProfiles               int // retained per-lane isolated reuse profiles (bound pruning)
+	SampledProfiles            int // retained rate-tagged sampled reuse profiles (screening)
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -201,6 +213,7 @@ func (c *Cache) Stats() CacheStats {
 	ns, nb := len(c.streams), c.streamBytes
 	nl, nsch := len(c.lanes), len(c.scheds)
 	np, nlp := len(c.rprofiles), len(c.lprofiles)
+	nsp := len(c.sprofiles)
 	c.sm.RUnlock()
 	return CacheStats{
 		Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n,
@@ -210,7 +223,8 @@ func (c *Cache) Stats() CacheStats {
 		LaneHits: c.laneHits.Load(), LaneMisses: c.laneMisses.Load(),
 		ReuseProfiles: np,
 		ProfileHits:   c.rprofHits.Load(), ProfileMisses: c.rprofMisses.Load(),
-		LaneProfiles: nlp,
+		LaneProfiles:    nlp,
+		SampledProfiles: nsp,
 	}
 }
 
@@ -433,6 +447,46 @@ func (c *Cache) storeLaneProfile(key string, p *memsim.ReuseProfile) {
 	c.evictLocked()
 }
 
+// lookupSampledProfile returns the rate-tagged sampled reuse profile
+// for a screenKey-wrapped (identity, line size) key. Shared, not
+// copied: immutable once stored.
+func (c *Cache) lookupSampledProfile(key string) *memsim.ReuseProfile {
+	c.sm.RLock()
+	p := c.sprofiles[key]
+	c.sm.RUnlock()
+	if p == nil {
+		c.rprofMisses.Add(1)
+		return nil
+	}
+	c.rprofHits.Add(1)
+	return p
+}
+
+// storeSampledProfile retains one sampled reuse profile under the
+// stream budget, merging with any earlier profile for the key exactly
+// as storeReuseProfile does (sampled passes of the same stream at the
+// same rate agree wherever they overlap — the hash filter is
+// deterministic).
+func (c *Cache) storeSampledProfile(key string, p *memsim.ReuseProfile) {
+	if p == nil {
+		return
+	}
+	c.sm.Lock()
+	defer c.sm.Unlock()
+	if c.streamBudget <= 0 {
+		return
+	}
+	if old, ok := c.sprofiles[key]; ok {
+		c.streamBytes -= int64(old.SizeBytes())
+		p = p.Merge(old)
+	} else {
+		c.sprofOrder = append(c.sprofOrder, key)
+	}
+	c.sprofiles[key] = p
+	c.streamBytes += int64(p.SizeBytes())
+	c.evictLocked()
+}
+
 // lookupSchedule returns the DDT-invariant schedule entry (operation
 // schedule, ambient lane, summary) for a configuration key.
 func (c *Cache) lookupSchedule(key string) (*astream.Schedule, *astream.SubStream, apps.Summary, bool) {
@@ -493,13 +547,16 @@ func (c *Cache) has(key string) bool {
 // evictLocked drops retained stream data until the budget holds, in a
 // fixed tier order, oldest first within each tier:
 //
-//  1. lane profiles — derived data, cheaply recomputed from their
+//  1. sampled reuse profiles — screening estimates, the cheapest
+//     artifacts in the cache (one sampled replay rebuilds one) and the
+//     only approximate ones;
+//  2. lane profiles — derived data, cheaply recomputed from their
 //     cached lane; losing one costs a single isolated probe pass and
 //     nothing user-visible;
-//  2. whole streams — each is one simulation point (a lane serves
+//  3. whole streams — each is one simulation point (a lane serves
 //     10^(K-1) combinations);
-//  3. lane sub-streams;
-//  4. reuse profiles — a profile is a few KB that answers a whole
+//  4. lane sub-streams;
+//  5. reuse profiles — a profile is a few KB that answers a whole
 //     geometry cross product with zero probes, so it outlives the
 //     streams it summarizes.
 //
@@ -507,6 +564,14 @@ func (c *Cache) has(key string) bool {
 // depends on them. The order is asserted by TestCacheEvictionOrder.
 // Called with sm held.
 func (c *Cache) evictLocked() {
+	for c.streamBytes > c.streamBudget && len(c.sprofOrder) > 0 {
+		key := c.sprofOrder[0]
+		c.sprofOrder = c.sprofOrder[1:]
+		if p, ok := c.sprofiles[key]; ok {
+			c.streamBytes -= int64(p.SizeBytes())
+			delete(c.sprofiles, key)
+		}
+	}
 	for c.streamBytes > c.streamBudget && len(c.lprofOrder) > 0 {
 		key := c.lprofOrder[0]
 		c.lprofOrder = c.lprofOrder[1:]
@@ -554,6 +619,9 @@ func (c *Cache) evictLocked() {
 	}
 	if len(c.lprofOrder) == 0 {
 		c.lprofOrder = nil
+	}
+	if len(c.sprofOrder) == 0 {
+		c.sprofOrder = nil
 	}
 }
 
@@ -752,6 +820,14 @@ func streamKey(app string, cfg Config, assign apps.Assignment, packets int, aren
 // covers.
 func reuseProfileKey(skey string, lineBytes uint32) string {
 	return fmt.Sprintf("%s|reuse|%d", skey, lineBytes)
+}
+
+// screenKey tags a cache key with the screening sample shift, so
+// sampled estimates, their widened-bound tombstones and their profiles
+// never collide with exact entries — or with entries screened at a
+// different rate.
+func screenKey(key string, sampleShift uint32) string {
+	return fmt.Sprintf("%s|s%d", key, sampleShift)
 }
 
 // laneProfileKey identifies one isolated lane profile: the lane's cache

@@ -162,12 +162,33 @@ func TestReuseProfilePersistenceAndBudget(t *testing.T) {
 	}
 }
 
+// mkSampledProfile builds a small sampled reuse profile (screening
+// estimate) from a sampled all-geometry pass.
+func mkSampledProfile(t *testing.T) *memsim.ReuseProfile {
+	t.Helper()
+	gs, err := memsim.NewGeomSimSampled([]memsim.Config{memsim.DefaultConfig()}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]uint32, 256)
+	sizes := make([]uint32, 256)
+	for i := range addrs {
+		addrs[i], sizes[i] = uint32(i*64), 4
+	}
+	gs.ProbeAccesses(addrs, sizes)
+	p := gs.Profile()
+	p.ReadWords, p.WriteWords, p.OpCycles, p.Peak = 8, 2, 40, 512
+	return p
+}
+
 // TestCacheEvictionOrder pins the documented eviction tiers end to end:
-// under a shrinking budget, lane profiles go first (derived data,
-// rederivable from their lane), then whole streams, then lane
-// sub-streams, then reuse profiles — and schedules never.
+// under a shrinking budget, sampled profiles go first (approximate
+// screening artifacts, one sampled replay each), then lane profiles
+// (derived data, rederivable from their lane), then whole streams,
+// then lane sub-streams, then reuse profiles — and schedules never.
 func TestCacheEvictionOrder(t *testing.T) {
 	c := NewCache()
+	sp := mkSampledProfile(t)
 	lp := mkReuseProfile(t)
 	lp.ColdLines, lp.EndLive = 2, 64
 	rp := mkReuseProfile(t)
@@ -184,34 +205,63 @@ func TestCacheEvictionOrder(t *testing.T) {
 	c.storeLane("lane", lane)
 	c.storeReuseProfile("rprof", rp)
 	c.storeLaneProfile("lprof", lp)
+	c.storeSampledProfile(screenKey("sprof", 2), sp)
 
-	snapshot := func() (lprofs, streams, lanes, rprofs int) {
+	snapshot := func() (sprofs, lprofs, streams, lanes, rprofs int) {
 		s := c.Stats()
-		return s.LaneProfiles, s.Streams, s.Lanes, s.ReuseProfiles
+		return s.SampledProfiles, s.LaneProfiles, s.Streams, s.Lanes, s.ReuseProfiles
 	}
-	if lp, st, ln, rp := snapshot(); lp != 1 || st != 1 || ln != 1 || rp != 1 {
-		t.Fatalf("setup wrong: %d/%d/%d/%d", lp, st, ln, rp)
+	if sp, lp, st, ln, rp := snapshot(); sp != 1 || lp != 1 || st != 1 || ln != 1 || rp != 1 {
+		t.Fatalf("setup wrong: %d/%d/%d/%d/%d", sp, lp, st, ln, rp)
 	}
 
-	// Tier 1: squeeze out only the lane profile.
+	// Tier 1: squeeze out only the sampled profile.
 	c.SetStreamBudget(c.Stats().StreamBytes - 1)
-	if lp, st, ln, rp := snapshot(); lp != 0 || st != 1 || ln != 1 || rp != 1 {
-		t.Fatalf("lane profile not evicted first: %d/%d/%d/%d", lp, st, ln, rp)
+	if sp, lp, st, ln, rp := snapshot(); sp != 0 || lp != 1 || st != 1 || ln != 1 || rp != 1 {
+		t.Fatalf("sampled profile not evicted first: %d/%d/%d/%d/%d", sp, lp, st, ln, rp)
 	}
-	// Tier 2: the whole stream goes before the lane.
+	// Tier 2: the lane profile goes before anything user-visible.
 	c.SetStreamBudget(c.Stats().StreamBytes - 1)
-	if lp, st, ln, rp := snapshot(); st != 0 || ln != 1 || rp != 1 {
-		t.Fatalf("stream not evicted second: %d/%d/%d/%d", lp, st, ln, rp)
+	if _, lp, st, ln, rp := snapshot(); lp != 0 || st != 1 || ln != 1 || rp != 1 {
+		t.Fatalf("lane profile not evicted second: %d/%d/%d/%d", lp, st, ln, rp)
 	}
-	// Tier 3: the lane sub-stream goes before the reuse profile.
+	// Tier 3: the whole stream goes before the lane.
 	c.SetStreamBudget(c.Stats().StreamBytes - 1)
-	if lp, st, ln, rp := snapshot(); ln != 0 || rp != 1 {
-		t.Fatalf("lane not evicted third: %d/%d/%d/%d", lp, st, ln, rp)
+	if _, lp, st, ln, rp := snapshot(); st != 0 || ln != 1 || rp != 1 {
+		t.Fatalf("stream not evicted third: %d/%d/%d/%d", lp, st, ln, rp)
 	}
-	// Tier 4: finally the reuse profile.
+	// Tier 4: the lane sub-stream goes before the reuse profile.
+	c.SetStreamBudget(c.Stats().StreamBytes - 1)
+	if _, lp, st, ln, rp := snapshot(); ln != 0 || rp != 1 {
+		t.Fatalf("lane not evicted fourth: %d/%d/%d/%d", lp, st, ln, rp)
+	}
+	// Tier 5: finally the reuse profile.
 	c.SetStreamBudget(1)
-	if _, _, _, rp := snapshot(); rp != 0 {
+	if _, _, _, _, rp := snapshot(); rp != 0 {
 		t.Fatal("reuse profile survived a 1-byte budget")
+	}
+}
+
+// TestSampledProfilesNotPersisted pins that sampled screening profiles
+// are runtime-only: SaveWithStreams drops them (they are approximate
+// artifacts any screening run rebuilds in one sampled replay).
+func TestSampledProfilesNotPersisted(t *testing.T) {
+	c := NewCache()
+	key := screenKey("sprof", 2)
+	c.storeSampledProfile(key, mkSampledProfile(t))
+	var buf bytes.Buffer
+	if err := c.SaveWithStreams(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded := NewCache()
+	if err := loaded.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s := loaded.Stats(); s.SampledProfiles != 0 {
+		t.Fatalf("sampled profiles persisted: %+v", s)
+	}
+	if loaded.lookupSampledProfile(key) != nil {
+		t.Fatal("sampled profile survived a save/load round trip")
 	}
 }
 

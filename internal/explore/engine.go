@@ -79,6 +79,10 @@ type EngineStats struct {
 	// Both stay zero outside the tree search.
 	Expanded    int
 	SubtreeCuts int
+	// Sampled counts the SHARDS-sampled screening replays a two-phase
+	// Step1 ran — phase-one estimates, each O(segments + R·lines)
+	// against the lanes' memoized sampled views. Zero on exact runs.
+	Sampled int
 }
 
 // Engine is the streaming exploration driver: it expands combination and
@@ -115,6 +119,18 @@ type Engine struct {
 	laneBounds sync.Map // lane profile key -> memsim.LaneBound
 	laneLocks  sync.Map // lane profile key -> *sync.Mutex, dedupes slow-path computes per lane
 
+	// Screening state (Options.SampleRate): sampleShift is the SHARDS
+	// rate exponent (0 = exact), screenCtx tags screening tombstones and
+	// estimates with the rate so they never answer exact lookups, and
+	// screenMaxCI tracks the widest confidence half-width any screening
+	// estimate has reported — the member-side slack every interval
+	// dominance test in the screening phase must absorb.
+	sampleShift   uint32
+	screenCtx     string
+	screenMaxCI   atomic.Uint64 // math.Float64bits of the running max
+	screenProbes  atomic.Uint64 // exact probe count over screening replays
+	screenSampled atomic.Uint64 // hash-kept probes over screening replays
+
 	simulated    atomic.Int64
 	replayed     atomic.Int64
 	composed     atomic.Int64
@@ -125,12 +141,18 @@ type Engine struct {
 	laneProfiled atomic.Int64
 	bbExpanded   atomic.Int64
 	bbCuts       atomic.Int64
+	sampled      atomic.Int64
 }
 
 // NewEngine builds an Engine for the application. Unless
 // Options.DisableCache is set, the engine uses Options.Cache or, when that
 // is nil, a fresh private cache.
 func NewEngine(a apps.App, opts Options) *Engine {
+	if opts.SampleRate > 0 && opts.SampleRate < 1 {
+		opts.Compose = true    // screening replays compose cached lanes
+		opts.BoundPrune = true // the verification phase cuts on exact bounds
+		opts.EarlyAbort = true // ... and stops replays whose completion bound is dominated
+	}
 	if opts.BoundPrune {
 		opts.Compose = true // the bound is defined on composed lanes
 	}
@@ -157,6 +179,12 @@ func NewEngine(a apps.App, opts Options) *Engine {
 		exploreCtx: ctx,
 		pruneOK:    memsim.BoundEligible(opts.platformConfig()),
 		model:      energy.CACTILike(opts.platformConfig()),
+	}
+	if e.sampleShift = opts.sampleShift(); e.sampleShift != 0 {
+		// Screening artifacts (estimates, widened-bound tombstones) are
+		// rate-specific: tag their context so a run at another rate — or
+		// an exact one — never inherits them.
+		e.screenCtx = fmt.Sprintf("%s sample=%d", ctx, e.sampleShift)
 	}
 	if !opts.DisableCache {
 		if opts.Cache != nil {
@@ -190,6 +218,7 @@ func (e *Engine) Stats() EngineStats {
 		LaneProfiles: int(e.laneProfiled.Load()),
 		Expanded:     int(e.bbExpanded.Load()),
 		SubtreeCuts:  int(e.bbCuts.Load()),
+		Sampled:      int(e.sampled.Load()),
 	}
 }
 
@@ -202,6 +231,17 @@ func (e *Engine) Stats() EngineStats {
 // an exact tie, which a pruned run would have discarded).
 func (e *Engine) boundPruneActive() bool {
 	return e.opts.BoundPrune && e.cache != nil && e.pruneOK && e.opts.Prune == PruneFront
+}
+
+// screeningActive reports whether Step1 runs as the two-phase sampled
+// screening: a rate was requested, composition can serve the sampled
+// replays (Compose + cache), and the survivor strategy is the Pareto
+// filter — screening estimates can only stand in for exact vectors
+// under dominance reasoning, which PruneBestPerMetric's per-axis argmin
+// does not use. Anything else silently runs exactly.
+func (e *Engine) screeningActive() bool {
+	return e.sampleShift != 0 && e.opts.Compose && e.cache != nil &&
+		e.opts.Prune == PruneFront
 }
 
 // guarded reports whether the streaming steps should attach front
@@ -273,6 +313,13 @@ type frontGuard struct {
 	mu     sync.Mutex
 	front  *pareto.OnlineFront
 	margin float64
+	// memberSlack, when non-nil, reports the relative uncertainty of the
+	// front's member vectors — the widest confidence half-width any
+	// screening estimate has claimed so far. dominates() then requires a
+	// member to dominate even after inflating itself by that slack, so a
+	// sampled front cuts a point only when its PESSIMISTIC interval end
+	// still dominates. nil on exact fronts.
+	memberSlack func() float64
 }
 
 func newFrontGuard(margin float64) *frontGuard {
@@ -299,7 +346,32 @@ func (g *frontGuard) dominatedBeyond(v metrics.Vector) bool {
 func (g *frontGuard) dominates(v metrics.Vector) bool {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.memberSlack != nil {
+		return g.front.DominatedInterval(v, 0, g.memberSlack())
+	}
 	return g.front.DominatedBeyond(v, 0)
+}
+
+// dominatesExact is dominates without the memberSlack widening: the
+// face-value strict test against the members as recorded. The screening
+// phase uses it for DEFERRAL decisions only — rescheduling a
+// combination to the back of the exact verification queue — so unlike
+// every discard test it needs no admissibility argument; phase two
+// settles the combination with exact evidence either way.
+func (g *frontGuard) dominatesExact(v metrics.Vector) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.front.DominatedBeyond(v, 0)
+}
+
+// dominatedInterval is the two-sided interval test the screening filter
+// applies to sampled estimates: v (an estimate with half-width vSlack)
+// is only discarded when a member still dominates it with both
+// intervals at their pessimistic ends.
+func (g *frontGuard) dominatedInterval(v metrics.Vector, vSlack, mSlack float64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.front.DominatedInterval(v, vSlack, mSlack)
 }
 
 func (g *frontGuard) points() []pareto.Point {
@@ -327,6 +399,14 @@ func (e *Engine) Stream(ctx context.Context, jobs iter.Seq[Job]) <-chan Outcome 
 // stream is Stream plus the per-job early-abort guard hookup used by the
 // methodology steps. guardFor is called from the feeder goroutine only.
 func (e *Engine) stream(ctx context.Context, jobs iter.Seq[Job], guardFor func(Job) *frontGuard) <-chan Outcome {
+	return e.streamMode(ctx, jobs, guardFor, false)
+}
+
+// streamMode is stream with the screening switch: screen routes every
+// job through the sampled phase-one path first (screenJob). The flag is
+// per-stream, not engine state, so a screening phase and an exact
+// verification phase of the same engine can overlap safely.
+func (e *Engine) streamMode(ctx context.Context, jobs iter.Seq[Job], guardFor func(Job) *frontGuard, screen bool) <-chan Outcome {
 	out := make(chan Outcome)
 	feed := make(chan indexedJob)
 
@@ -353,7 +433,7 @@ func (e *Engine) stream(ctx context.Context, jobs iter.Seq[Job], guardFor func(J
 		go func() {
 			defer wg.Done()
 			for ij := range feed {
-				o := e.runJob(ij.idx, ij.job, ij.guard)
+				o := e.runJobMode(ij.idx, ij.job, ij.guard, screen)
 				select {
 				case out <- o:
 				case <-ctx.Done():
@@ -378,6 +458,34 @@ func (e *Engine) stream(ctx context.Context, jobs iter.Seq[Job], guardFor func(J
 // — which records whatever capture mode is on, so later jobs take a
 // cheaper path. All paths fill the cache.
 func (e *Engine) runJob(idx int, jb Job, guard *frontGuard) Outcome {
+	return e.runJobMode(idx, jb, guard, false)
+}
+
+// runJobMode is runJob with the screening switch: when screen is set
+// the job is first offered to the sampled phase-one path, and only
+// falls through to the exact body when screening cannot answer it
+// (lanes not yet captured — such a job is one of the ~10·K seed
+// executions, and its exact result seeds the screening front with zero
+// slack). Fallen-through results are mirrored under the rate-tagged
+// key so a warm screening run never falls through again.
+func (e *Engine) runJobMode(idx int, jb Job, guard *frontGuard, screen bool) Outcome {
+	if !screen {
+		return e.runJobExact(idx, jb, guard)
+	}
+	if o, ok := e.screenJob(idx, jb, guard); ok {
+		return o
+	}
+	o := e.runJobExact(idx, jb, guard)
+	if e.cache != nil && o.Err == nil && !o.Result.Aborted {
+		key := screenKey(cacheKey(e.app.Name(), jb.Cfg, jb.Assign, e.opts.packets(), e.opts.platformConfig(), e.opts.Arenas), e.sampleShift)
+		e.cache.store(key, o.Result, e.screenCtx)
+	}
+	return o
+}
+
+// runJobExact is the exact resolution chain every non-screening job —
+// and every screening seed — goes through.
+func (e *Engine) runJobExact(idx int, jb Job, guard *frontGuard) Outcome {
 	o := Outcome{Index: idx, Job: jb}
 	var key, skey string
 	compose := e.opts.Compose && e.cache != nil
@@ -583,19 +691,44 @@ func (e *Engine) composeJob(o *Outcome, jb Job, guard *frontGuard) bool {
 // unavailable, or the bound is not dominated, sending the caller to the
 // composed-replay path.
 func (e *Engine) pruneJob(o *Outcome, jb Job, guard *frontGuard) bool {
+	bound, sum, ok, dominated := e.jobBound(jb, guard.dominates)
+	if !ok || !dominated {
+		return false
+	}
+	o.Result = Result{
+		App:     e.app.Name(),
+		Config:  jb.Cfg,
+		Assign:  jb.Assign,
+		Vec:     bound,
+		Summary: sum,
+		Aborted: true,
+		Pruned:  true,
+	}
+	o.Aborted, o.Pruned = true, true
+	e.pruned.Add(1)
+	return true
+}
+
+// jobBound assembles the job's admissible lower-bound cost vector from
+// the memoized per-lane bounds and reports whether dom holds on it.
+// ok is false — with nothing computed — when any lane or profile is
+// unavailable, so misses stay cheap and transient. dom is any dominance
+// test against a front; pruneJob passes the guard's (slack-widened
+// under screening), the screening deferral passes the face-value one.
+func (e *Engine) jobBound(jb Job, dom func(metrics.Vector) bool) (bound metrics.Vector, sum apps.Summary, ok, dominated bool) {
 	app, packets := e.app.Name(), e.opts.packets()
 	sk := schedKey(app, jb.Cfg, packets)
-	sched, ambient, sum, ok := e.cache.lookupSchedule(sk)
-	if !ok {
-		return false
+	sched, ambient, sum, schedOK := e.cache.lookupSchedule(sk)
+	if !schedOK {
+		return metrics.Vector{}, apps.Summary{}, false, false
 	}
 	cfg := e.opts.platformConfig()
 	lineBytes := memsim.EffectiveLineBytes(cfg)
-	total, ok := e.laneBoundFor(laneProfileKey(sk, lineBytes), cfg, func() (*astream.UnpackedLane, bool) {
+	total, boundOK := e.laneBoundFor(laneProfileKey(sk, lineBytes), cfg, func() (*astream.UnpackedLane, bool) {
 		return e.cache.unpackedLane(sk, ambient, true)
 	})
-	if !ok {
-		return false
+	if !boundOK {
+		return metrics.Vector{}, apps.Summary{}, false, false
 	}
 	for _, role := range sched.Roles {
 		lk := laneKey(app, jb.Cfg, packets, role, apps.KindFor(jb.Assign, role))
@@ -607,19 +740,19 @@ func (e *Engine) pruneJob(o *Outcome, jb Job, guard *frontGuard) bool {
 			return e.cache.unpackedLane(lk, sub, false)
 		})
 		if !ok {
-			return false
+			return metrics.Vector{}, apps.Summary{}, false, false
 		}
 		total.Accumulate(b)
 	}
 	counts, cycles, peak := total.Cost(cfg)
 	seconds := float64(cycles) / cfg.ClockHz
-	bound := metrics.Vector{
+	bound = metrics.Vector{
 		Energy:    e.model.Energy(counts, seconds),
 		Time:      seconds,
 		Accesses:  float64(counts.Accesses()),
 		Footprint: float64(peak),
 	}
-	if !guard.dominates(bound) {
+	if !dom(bound) {
 		// The closed-form footprint floor is the loosest axis (it knows
 		// nothing about which lanes' live bytes coexist). Tighten it to
 		// the EXACT composed peak — a schedule walk over the lanes'
@@ -631,34 +764,23 @@ func (e *Engine) pruneJob(o *Outcome, jb Job, guard *frontGuard) bool {
 		// exact peak can flip the answer.
 		relaxed := bound
 		relaxed.Footprint = math.Inf(1)
-		if !guard.dominates(relaxed) {
-			return false
+		if !dom(relaxed) {
+			return bound, sum, true, false
 		}
-		_, lanes, _, ok := e.composedLanes(jb.Cfg, jb.Assign)
-		if !ok {
-			return false
+		_, lanes, _, lanesOK := e.composedLanes(jb.Cfg, jb.Assign)
+		if !lanesOK {
+			return bound, sum, true, false
 		}
 		exactPeak, err := astream.ComposedPeak(sched, lanes)
 		if err != nil {
-			return false
+			return bound, sum, true, false
 		}
 		bound.Footprint = float64(exactPeak)
-		if !guard.dominates(bound) {
-			return false
+		if !dom(bound) {
+			return bound, sum, true, false
 		}
 	}
-	o.Result = Result{
-		App:     app,
-		Config:  jb.Cfg,
-		Assign:  jb.Assign,
-		Vec:     bound,
-		Summary: sum,
-		Aborted: true,
-		Pruned:  true,
-	}
-	o.Aborted, o.Pruned = true, true
-	e.pruned.Add(1)
-	return true
+	return bound, sum, true, true
 }
 
 // laneBoundFor returns one lane's memoized bound ingredients at cfg,
@@ -1120,6 +1242,10 @@ func (e *Engine) Step1(ctx context.Context, reference Config) (*Step1Result, err
 	total := 1
 	for range dominant {
 		total *= ddt.NumKinds
+	}
+
+	if e.screeningActive() {
+		return e.step1Screened(ctx, reference, probes, dominant, total)
 	}
 
 	if e.boundPruneActive() && !e.opts.FlatPrune {

@@ -170,6 +170,30 @@ type Options struct {
 	// every point of the space (branch-and-bound compacts Results to the
 	// materialized combinations).
 	FlatPrune bool
+	// SampleRate, when in (0, 1), turns Step1 into a two-phase screening
+	// exploration (implies Compose, and so Arenas; requires a cache and
+	// the PruneFront survivor strategy — otherwise the run is exact).
+	// Phase one replays every combination through the SHARDS-sampled
+	// kernel at the nearest power-of-two rate at or below SampleRate
+	// (R = 2^-shift, shift <= memsim.MaxSampleShift): hash-selected
+	// cache lines drive miniature recency stacks while the invariant
+	// counters stay exact, so each replay costs O(segments + R·lines)
+	// against memoized per-lane views. Screened estimates carry a
+	// per-result confidence half-width (Result.RelCI), the running front
+	// is consulted only at the pessimistic ends of both intervals
+	// (pareto.OnlineFront.DominatedInterval — this also widens the
+	// BoundPrune cut test), and everything not provably dominated is
+	// verified EXACTLY in phase two, most-promising-first by the
+	// estimated ranking, under the exact guard (implies BoundPrune:
+	// admissible bound cuts and mid-replay aborts dispose of estimated-
+	// dominated candidates on exact evidence, with the estimate order
+	// filling the exact front early so the cuts fire at their maximal
+	// rate). The reported front therefore contains only exact vectors
+	// and is bit-identical in membership to the exhaustive run's (pinned
+	// by TestScreenedFrontMatchesExact); combinations discarded on
+	// sampled evidence keep their estimates in Results with Screened and
+	// Aborted set. Zero (or >= 1) disables screening.
+	SampleRate float64
 	// EarlyAbort stops a running simulation once its cost vector is
 	// dominated by the incremental front beyond AbortMargin. Survivor
 	// fronts are provably unchanged (costs only grow, so a dominated
@@ -190,6 +214,27 @@ type Options struct {
 // does not specify one: long enough that tables fill and queues back up,
 // short enough that a full 100-combination sweep stays in seconds.
 const DefaultTracePackets = 4000
+
+// DefaultSampleRate is the screening sample rate the ddt-explore CLI
+// selects with a bare -sample-rate flag: 1/64 keeps per-bin confidence
+// intervals tight on trace lengths worth screening (≥100x the default)
+// while cutting per-replay probe work by well over an order of
+// magnitude.
+const DefaultSampleRate = 1.0 / 64
+
+// sampleShift converts SampleRate to the kernel's power-of-two shift,
+// rounding the rate DOWN (coarser) to the nearest 2^-k and clamping at
+// memsim.MaxSampleShift. Zero means exact.
+func (o Options) sampleShift() uint32 {
+	if o.SampleRate <= 0 || o.SampleRate >= 1 {
+		return 0
+	}
+	var s uint32
+	for r := o.SampleRate; r < 1 && s < memsim.MaxSampleShift; r *= 2 {
+		s++
+	}
+	return s
+}
 
 func (o Options) packets() int {
 	if o.TracePackets > 0 {
@@ -236,6 +281,17 @@ type Result struct {
 	// too, so every existing filter (Live, logs, Pareto analyses)
 	// excludes them.
 	Pruned bool
+	// Screened marks a phase-one sampled estimate (Options.SampleRate):
+	// Vec was derived from hash-sampled recency stacks and lies within
+	// (1 ± RelCI) of the exact vector with high probability. A screened
+	// result the interval filter discards also carries Aborted, so it
+	// never enters Pareto analyses; one that survives screening is
+	// replaced by its exact phase-two re-evaluation and loses the mark.
+	Screened bool
+	// RelCI is the relative confidence half-width of a screened
+	// estimate (the worst across the replay's profiles); 0 for exact
+	// results.
+	RelCI float64
 }
 
 // Label is the combination label used in logs and charts: the assignment
@@ -410,6 +466,22 @@ type Step1Result struct {
 	Simulations int      // the full combination space size, 10^K
 	Aborted     int      // simulations the early-abort guard stopped
 	Pruned      int      // combinations the bound-guided search discarded with zero replays (bulk subtree cuts counted by width)
+	// Screened counts combinations a two-phase run (Options.SampleRate)
+	// disposed of on sampled evidence alone: their estimates were
+	// interval-dominated by the screening front and they were never
+	// replayed exactly. Verified counts the combinations that carried
+	// an exact vector through phase-two verification to the end — the
+	// pool the survivor front was drawn from; verification candidates
+	// discarded there on exact evidence land in Pruned (bound cuts)
+	// or Aborted (stopped replays) instead. Screened + Verified +
+	// Pruned + Aborted always accounts for the whole space. Screened
+	// and Verified stay zero on exact runs.
+	Screened int
+	Verified int
+	// SampleRate is the spatial sample rate the screening phase
+	// achieved (kept probes / total probes over the sampled replays);
+	// 0 when Step1 ran exactly.
+	SampleRate float64
 }
 
 // SurvivorFraction reports how much of the combination space survived

@@ -3,6 +3,7 @@ package memsim
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"math/bits"
 	"sort"
 )
@@ -52,6 +53,41 @@ type GeomSim struct {
 	winHits   uint64 // window hits not yet folded into the hist[0]s
 	pipelined uint64
 
+	// SHARDS-style spatial sampling (NewGeomSimSampled). rateShift k
+	// selects sample rate R = 2^-k: a line is probed iff
+	// splitmix(line) <= threshold = 2^64/2^k - 1, so the kept subset is a
+	// uniform pseudo-random R-fraction of the distinct lines, fixed for
+	// the whole pass (every probe of a kept line is kept — the property
+	// that preserves per-line reuse behavior). Set counts are scaled down
+	// by the same factor (the "miniature cache" of SHARDS): the sampled
+	// lines see sets>>k sets, so per-set occupancy — and therefore the
+	// per-set stack-distance distribution — matches the full cache, while
+	// bucket counts shrink by R and are re-scaled by 1<<k in CountsFor.
+	// probes and pipelined stay exact (every line is still walked and
+	// counted); sampledProbes counts only the kept subset, which is what
+	// the histograms sum to. rateShift 0 is the exact kernel: the filter,
+	// the scaling and the variance tracking all disappear and every code
+	// path below is untouched.
+	rateShift     uint32
+	threshold     uint64
+	sampledProbes uint64
+	// sampleSeen assigns each distinct kept line a dense slot index in
+	// first-seen order (nil when exact); curSlot is the slot of the line
+	// a probeLine descent is currently charging, resolved ONCE per
+	// probed line so the per-group variance counters index flat arrays
+	// instead of hashing (line, depth) keys at every level.
+	sampleSeen map[uint32]uint32
+	curSlot    uint32
+
+	// Exact-mode distinct-line tracking (TrackColdLines): an
+	// open-addressed set of line+1 keys (a zero word is an empty slot;
+	// line numbers stay below 2^30, so the +1 never wraps) inserted as
+	// the walk probes, so a profiled pass learns ColdLines — the
+	// cold-fill floor of the admissible per-lane bound — without a
+	// second walk over the stream. Zero length = disarmed.
+	coldSlots []uint32
+	coldLines uint64
+
 	groups []geomGroup
 }
 
@@ -60,14 +96,26 @@ type GeomSim struct {
 // family member needs at this set count) plus the depth histogram, and
 // the L1 geometries (pairs) whose miss streams feed second-level groups.
 type geomGroup struct {
-	sets uint32
+	sets uint32 // nominal (family) set count; the CountsFor lookup key
 	cap  uint32
-	mask uint32
-	tags []uint32 // sets*cap entries, MRU first within each set
+	mask uint32   // scaled-sets-1 under sampling, sets-1 exact
+	tags []uint32 // scaledSets*cap entries, MRU first within each set
 	// hist[d] counts probes that found their line at per-set depth d;
 	// hist[cap] counts probes at depth >= cap (or absent) — a miss for
 	// every associativity <= cap.
 	hist []uint64
+	// Sampled-mode variance ingredients (nil on an exact kernel): for
+	// each depth bucket d, sq[d] accumulates the sum over kept lines l of
+	// c_{l,d}^2, where c_{l,d} is how many of l's probes landed at depth
+	// d — maintained incrementally ((c+1)^2 - c^2 = 2c+1) from the
+	// per-(line,depth) counters in contrib. Under Bernoulli line
+	// inclusion at rate R the estimator N_d = hist[d]/R has variance
+	// (1-R)/R^2 * sum(c^2), which is what ReuseProfile.RelCI evaluates.
+	sq []uint64
+	// contrib[slot*(cap+1)+d] counts depth-d probes of the kept line at
+	// that slot (GeomSim.sampleSeen assigns slots densely). Flat and
+	// grown on demand — non-nil only on sampled kernels.
+	contrib []uint32
 	// pairs are the distinct L1 associativities of the family at this
 	// set count, ascending; a probe at depth d feeds the L2 groups of
 	// every pair with assoc <= d (exactly the configurations whose L1
@@ -86,11 +134,14 @@ type geomPair struct {
 // geomL2 is one second-level recency-stack: per-set LRU depth tracking
 // for one L2 set count, fed by one L1 geometry's miss stream.
 type geomL2 struct {
-	sets uint32
+	sets uint32 // nominal set count (lookup key); mask is the scaled one
 	cap  uint32
 	mask uint32
 	tags []uint32
 	hist []uint64 // cap+1, as in geomGroup
+	// Variance ingredients, as in geomGroup (nil on an exact kernel).
+	sq      []uint64
+	contrib []uint32
 }
 
 // effectiveGeometry normalizes a cache geometry exactly as newCache
@@ -171,7 +222,24 @@ func LineFamiliesOf(cfgs []Config) []LineFamily {
 // NewGeomSim builds the all-geometry kernel for a family of
 // configurations sharing an L1 line size. Every configuration must be
 // GeomEligible and use the same (effective) line size.
-func NewGeomSim(cfgs []Config) (*GeomSim, error) {
+func NewGeomSim(cfgs []Config) (*GeomSim, error) { return NewGeomSimSampled(cfgs, 0) }
+
+// MaxSampleShift bounds the spatial sample rate: R >= 2^-16.
+const MaxSampleShift = 16
+
+// NewGeomSimSampled builds the kernel with SHARDS-style spatial
+// sampling at rate R = 2^-sampleShift. Shift 0 IS the exact kernel —
+// NewGeomSim delegates here — so the sampled and exact paths can never
+// diverge structurally. A sampled pass keeps a hash-selected
+// R-fraction of the distinct lines, runs them against set counts scaled
+// down by the same factor, and records per-bucket variance ingredients;
+// CountsFor then re-scales bucket sums by 1/R into unbiased estimates
+// whose confidence interval ReuseProfile.RelCI reports. Line probes and
+// pipelined words remain exact regardless of shift.
+func NewGeomSimSampled(cfgs []Config, sampleShift uint32) (*GeomSim, error) {
+	if sampleShift > MaxSampleShift {
+		return nil, fmt.Errorf("memsim: sample shift %d exceeds max %d", sampleShift, MaxSampleShift)
+	}
 	if len(cfgs) == 0 {
 		return nil, fmt.Errorf("memsim: GeomSim needs at least one configuration")
 	}
@@ -223,27 +291,42 @@ func NewGeomSim(cfgs []Config) (*GeomSim, error) {
 		minSets:   s1list[0],
 		lastFirst: noLine,
 		lastLine:  noLine,
+		rateShift: sampleShift,
 		groups:    make([]geomGroup, len(s1list)),
+	}
+	if sampleShift > 0 {
+		s.threshold = ^uint64(0) >> sampleShift
+		s.sampleSeen = make(map[uint32]uint32)
 	}
 	for gi, s1 := range s1list {
 		cap := l1cap[s1]
+		scaled := scaledSets(s1, sampleShift)
 		g := geomGroup{
 			sets: s1,
 			cap:  cap,
-			mask: s1 - 1,
-			tags: newTagStore(s1 * cap),
+			mask: scaled - 1,
+			tags: newTagStore(scaled * cap),
 			hist: make([]uint64, cap+1),
+		}
+		if sampleShift > 0 {
+			g.sq = make([]uint64, cap+1)
+			g.contrib = make([]uint32, 0, 1024)
 		}
 		for _, a1 := range l1pairs[s1] {
 			cands := l2setsFor[l1geom{s1, a1}]
 			p := geomPair{assoc: a1, l2: make([]geomL2, len(cands))}
 			for li, s2 := range cands {
+				scaled2 := scaledSets(s2, sampleShift)
 				p.l2[li] = geomL2{
 					sets: s2,
 					cap:  l2cap,
-					mask: s2 - 1,
-					tags: newTagStore(s2 * l2cap),
+					mask: scaled2 - 1,
+					tags: newTagStore(scaled2 * l2cap),
 					hist: make([]uint64, l2cap+1),
+				}
+				if sampleShift > 0 {
+					p.l2[li].sq = make([]uint64, l2cap+1)
+					p.l2[li].contrib = make([]uint32, 0, 1024)
 				}
 			}
 			g.pairs = append(g.pairs, p)
@@ -252,6 +335,39 @@ func NewGeomSim(cfgs []Config) (*GeomSim, error) {
 	}
 	return s, nil
 }
+
+// scaledSets shrinks a set count by the sample rate, floored at one set
+// — the SHARDS miniature cache. Power-of-two in, power-of-two out.
+func scaledSets(sets, sampleShift uint32) uint32 {
+	if s := sets >> sampleShift; s > 0 {
+		return s
+	}
+	return 1
+}
+
+// sampleHash is the splitmix64 finalizer over the line index: the
+// spatial sampling filter. A line is kept iff sampleHash(line) <=
+// threshold, so membership is a fixed pseudo-random property of the
+// line, identical across groups, passes, lanes and platforms — sampled
+// lane profiles of the same stream remain comparable.
+func sampleHash(line uint32) uint64 {
+	z := uint64(line) + 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SampleHash exposes the spatial sampling hash so callers can apply
+// the kernel's own keep/skip filter to a line stream ahead of time
+// (astream's precomputed sampled lane views). A line is kept at shift
+// k iff SampleHash(line) <= SampleThreshold(k).
+func SampleHash(line uint32) uint64 { return sampleHash(line) }
+
+// SampleThreshold returns the keep threshold for sample rate
+// R = 2^-sampleShift. Shift 0 keeps every line.
+func SampleThreshold(sampleShift uint32) uint64 { return ^uint64(0) >> sampleShift }
 
 // insertSorted inserts v into a small ascending slice, keeping it
 // duplicate-free.
@@ -283,8 +399,15 @@ func newTagStore(n uint32) []uint32 {
 // slice), reusing every tag array and histogram, and reports whether it
 // could. Like LineSim.Reset it is what lets the replay layer pool
 // GeomSims instead of rebuilding their stores per pass.
-func (s *GeomSim) Reset(cfgs []Config) bool {
-	if len(cfgs) != len(s.family) {
+func (s *GeomSim) Reset(cfgs []Config) bool { return s.ResetSampled(cfgs, 0) }
+
+// ResetSampled is Reset for a pooled sampled kernel: the identity a
+// kernel can be reused for is (family, sample shift) — the tag stores
+// are sized for the scaled set counts, so a different shift needs a
+// rebuild. Maps are cleared in place (clear keeps their buckets), which
+// is what makes a steady-state sampled probe pass allocation-free.
+func (s *GeomSim) ResetSampled(cfgs []Config, sampleShift uint32) bool {
+	if sampleShift != s.rateShift || len(cfgs) != len(s.family) {
 		return false
 	}
 	for i, cfg := range cfgs {
@@ -296,18 +419,95 @@ func (s *GeomSim) Reset(cfgs []Config) bool {
 		g := &s.groups[gi]
 		clearTags(g.tags)
 		clearHist(g.hist)
+		if g.contrib != nil {
+			clearHist(g.sq)
+			clear(g.contrib)
+		}
 		for pi := range g.pairs {
 			for li := range g.pairs[pi].l2 {
 				l2 := &g.pairs[pi].l2[li]
 				clearTags(l2.tags)
 				clearHist(l2.hist)
+				if l2.contrib != nil {
+					clearHist(l2.sq)
+					clear(l2.contrib)
+				}
 			}
 		}
 	}
+	if s.sampleSeen != nil {
+		clear(s.sampleSeen)
+	}
+	if s.coldSlots != nil {
+		s.coldSlots = s.coldSlots[:0] // disarmed until TrackColdLines re-arms
+		s.coldLines = 0
+	}
 	s.lastFirst, s.lastLine = noLine, noLine
-	s.probes, s.winHits, s.pipelined = 0, 0, 0
+	s.probes, s.winHits, s.pipelined, s.sampledProbes = 0, 0, 0, 0
 	return true
 }
+
+// SampleShift returns the kernel's sample-rate shift (0 = exact).
+func (s *GeomSim) SampleShift() uint32 { return s.rateShift }
+
+// TrackColdLines arms distinct-line counting for the next pass of an
+// exact kernel. Reset disarms it, so pooled kernels only pay the
+// per-line set insert on passes that asked for it. Panics on a sampled
+// kernel: its walk descends only hash-kept lines, and a subset count
+// could silently stand in for the exact cold-fill floor.
+func (s *GeomSim) TrackColdLines() {
+	if s.rateShift != 0 {
+		panic("memsim: TrackColdLines on a sampled kernel")
+	}
+	if cap(s.coldSlots) == 0 {
+		s.coldSlots = make([]uint32, 1<<14)
+		return
+	}
+	s.coldSlots = s.coldSlots[:cap(s.coldSlots)]
+	clear(s.coldSlots)
+	s.coldLines = 0
+}
+
+// ColdLines returns the distinct lines counted since TrackColdLines.
+func (s *GeomSim) ColdLines() uint64 { return s.coldLines }
+
+func (s *GeomSim) coldAdd(line uint32) {
+	key := line + 1
+	mask := uint32(len(s.coldSlots) - 1)
+	i := (key * 2654435761) & mask
+	for {
+		switch s.coldSlots[i] {
+		case key:
+			return
+		case 0:
+			s.coldSlots[i] = key
+			if s.coldLines++; s.coldLines*2 >= uint64(len(s.coldSlots)) {
+				s.coldGrow()
+			}
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *GeomSim) coldGrow() {
+	old := s.coldSlots
+	s.coldSlots = make([]uint32, len(old)*2)
+	mask := uint32(len(s.coldSlots) - 1)
+	for _, key := range old {
+		if key == 0 {
+			continue
+		}
+		i := (key * 2654435761) & mask
+		for s.coldSlots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.coldSlots[i] = key
+	}
+}
+
+// LineBytes returns the family's shared address-mapping line size.
+func (s *GeomSim) LineBytes() uint32 { return s.lineBytes }
 
 func clearTags(t []uint32) {
 	for i := range t {
@@ -331,12 +531,17 @@ func (s *GeomSim) ProbeAccesses(addrs, sizes []uint32) {
 	if len(addrs) != len(sizes) {
 		panic("memsim: ProbeAccesses length mismatch")
 	}
+	if s.rateShift != 0 {
+		s.probeAccessesSampled(addrs, sizes)
+		return
+	}
 	var (
 		shift               = s.shift
 		minSets             = s.minSets
 		lastFirst, lastLine = s.lastFirst, s.lastLine
 		probes, winHits     uint64
 		pipelined           uint64
+		cold                = len(s.coldSlots) > 0
 	)
 	for i, addr := range addrs {
 		size := sizes[i]
@@ -365,6 +570,9 @@ func (s *GeomSim) ProbeAccesses(addrs, sizes []uint32) {
 			lastFirst, lastLine = noLine, noLine
 		}
 		for line := first; ; line++ {
+			if cold {
+				s.coldAdd(line)
+			}
 			s.probeLine(line)
 			probes++
 			if line == last {
@@ -375,6 +583,74 @@ func (s *GeomSim) ProbeAccesses(addrs, sizes []uint32) {
 	s.lastFirst, s.lastLine = lastFirst, lastLine
 	s.probes += probes
 	s.winHits += winHits
+	s.pipelined += pipelined
+}
+
+// probeAccessesSampled is the sampled-mode walk: the invariant counters
+// (probes, pipelined) are accumulated exactly for every line, but only
+// lines passing the spatial hash filter descend the recency stacks. The
+// shared skip window is disabled — a lazily-folded window hit cannot be
+// attributed to individual lines, and the filter needs per-line
+// attribution — which costs nothing relative to the 1/R win.
+func (s *GeomSim) probeAccessesSampled(addrs, sizes []uint32) {
+	var (
+		shift         = s.shift
+		threshold     = s.threshold
+		probes        uint64
+		sampledProbes uint64
+		pipelined     uint64
+	)
+	for i, addr := range addrs {
+		size := sizes[i]
+		if size == 0 {
+			continue
+		}
+		first := addr >> shift
+		last := (addr + size - 1) >> shift
+		if words, lines := uint64((size+3)>>2), uint64(last-first+1); words > lines {
+			pipelined += words - lines
+		}
+		if last < first {
+			continue // addr+size wraps the 32-bit space: the hierarchy probes no lines
+		}
+		for line := first; ; line++ {
+			probes++
+			if sampleHash(line) <= threshold {
+				sampledProbes++
+				s.curSlot = s.slotFor(line)
+				s.probeLine(line)
+			}
+			if line == last {
+				break
+			}
+		}
+	}
+	s.probes += probes
+	s.sampledProbes += sampledProbes
+	s.pipelined += pipelined
+}
+
+// ProbeSampledLines feeds a sampled kernel a pre-filtered batch: lines
+// already hash-selected (SampleHash(line) <= SampleThreshold(shift)),
+// in probe order, together with the EXACT line-probe and
+// pipelined-word counts of the full batch the filter was applied to.
+// The outcome is bit-identical to ProbeAccesses over the unfiltered
+// batch — the filter is a pure function of the line index, so hoisting
+// it out of the replay costs nothing in fidelity. Callers that
+// precompute the kept subsequence of a fixed access stream (astream's
+// sampled lane views) pay the full walk and the hashing once, then
+// replay at O(kept lines) per pass. Panics on an exact kernel: shift 0
+// has no filter the caller could have applied.
+func (s *GeomSim) ProbeSampledLines(lines []uint32, probes, pipelined uint64) {
+	if s.rateShift == 0 {
+		panic("memsim: ProbeSampledLines on an exact kernel")
+	}
+	for _, line := range lines {
+		s.curSlot = s.slotFor(line)
+		s.probeLine(line)
+	}
+	s.probes += probes
+	s.sampledProbes += uint64(len(lines))
 	s.pipelined += pipelined
 }
 
@@ -391,6 +667,9 @@ func (s *GeomSim) probeLine(line uint32) {
 		base := (line & g.mask) * g.cap
 		if tags[base] == line {
 			g.hist[0]++ // MRU: a hit for every associativity, no reorder
+			if g.contrib != nil {
+				addContrib(g.sq, &g.contrib, s.curSlot, 0, g.cap+1)
+			}
 			continue
 		}
 		var d uint32
@@ -438,6 +717,9 @@ func (s *GeomSim) probeLine(line uint32) {
 			}
 		}
 		g.hist[d]++
+		if g.contrib != nil {
+			addContrib(g.sq, &g.contrib, s.curSlot, d, g.cap+1)
+		}
 		// Geometries with assoc <= d missed L1; their L2 streams see
 		// this line. pairs is ascending by assoc.
 		for pi := range g.pairs {
@@ -446,7 +728,7 @@ func (s *GeomSim) probeLine(line uint32) {
 				break
 			}
 			for li := range p.l2 {
-				probeGeomL2(&p.l2[li], line)
+				probeGeomL2(&p.l2[li], line, s.curSlot)
 			}
 		}
 	}
@@ -454,11 +736,14 @@ func (s *GeomSim) probeLine(line uint32) {
 
 // probeGeomL2 descends one second-level recency stack, mirroring the
 // first-level policy (find depth, move/install to MRU, record).
-func probeGeomL2(l2 *geomL2, line uint32) {
+func probeGeomL2(l2 *geomL2, line, slot uint32) {
 	base := (line & l2.mask) * l2.cap
 	t := l2.tags[base : base+l2.cap]
 	if t[0] == line {
 		l2.hist[0]++
+		if l2.contrib != nil {
+			addContrib(l2.sq, &l2.contrib, slot, 0, l2.cap+1)
+		}
 		return
 	}
 	d := l2.cap
@@ -475,6 +760,36 @@ func probeGeomL2(l2 *geomL2, line uint32) {
 		t[0] = line
 	}
 	l2.hist[d]++
+	if l2.contrib != nil {
+		addContrib(l2.sq, &l2.contrib, slot, d, l2.cap+1)
+	}
+}
+
+// slotFor returns the dense slot index of a kept line, assigning the
+// next free one on first sight. One map access per probed line replaces
+// the per-(line,depth) hashing every stack level used to pay.
+func (s *GeomSim) slotFor(line uint32) uint32 {
+	if slot, ok := s.sampleSeen[line]; ok {
+		return slot
+	}
+	slot := uint32(len(s.sampleSeen))
+	s.sampleSeen[line] = slot
+	return slot
+}
+
+// addContrib folds one more depth-d probe of the kept line at slot into
+// the per-bucket sum-of-squared-contributions: (c+1)^2 - c^2 = 2c+1.
+// The flat counters are indexed slot*stride+d (stride = cap+1) and
+// extended with zeros as new slots appear; append's doubling keeps the
+// growth amortized-free and ResetSampled's clear keeps the capacity.
+func addContrib(sq []uint64, contrib *[]uint32, slot, d, stride uint32) {
+	idx := int(slot)*int(stride) + int(d)
+	if idx >= len(*contrib) {
+		*contrib = append(*contrib, make([]uint32, idx+1-len(*contrib))...)
+	}
+	c := (*contrib)[idx]
+	sq[d] += uint64(c)*2 + 1
+	(*contrib)[idx] = c + 1
 }
 
 // finalize folds deferred skip-window hits into every group's depth-0
@@ -503,7 +818,7 @@ func (s *GeomSim) Pipelined() uint64 { return s.pipelined }
 // are set; the caller merges the platform-invariant ones.
 func (s *GeomSim) CountsFor(cfg Config) (Counts, uint64, bool) {
 	s.finalize()
-	c, ok := countsFromHists(cfg, s.lineBytes, s.probes, func(s1 uint32) ([]uint64, bool) {
+	c, ok := countsFromHists(cfg, s.lineBytes, s.probes, s.rateShift, func(s1 uint32) ([]uint64, bool) {
 		for gi := range s.groups {
 			if g := &s.groups[gi]; g.sets == s1 {
 				return g.hist[:g.cap], true
@@ -537,8 +852,12 @@ func (s *GeomSim) CountsFor(cfg Config) (Counts, uint64, bool) {
 // kernel and on a persisted ReuseProfile: resolve the configuration's
 // effective geometry against the depth histograms. The histogram
 // lookups return the tracked-depth bucket slice (without the deeper-
-// than-tracked bucket, which never contributes to a hit sum).
-func countsFromHists(cfg Config, lineBytes uint32, probes uint64,
+// than-tracked bucket, which never contributes to a hit sum). With a
+// nonzero sample shift the raw bucket sums cover only the kept line
+// subset and are re-scaled by 1<<shift into unbiased estimates, each
+// clamped to what remains of the exact probe total so the derived
+// Counts always account for exactly probes.
+func countsFromHists(cfg Config, lineBytes uint32, probes uint64, sampleShift uint32,
 	l1hist func(s1 uint32) ([]uint64, bool),
 	l2hist func(s1, a1, s2 uint32) ([]uint64, bool)) (Counts, bool) {
 	if effectiveLine(cfg) != lineBytes || !GeomEligible(cfg) {
@@ -562,11 +881,27 @@ func countsFromHists(cfg Config, lineBytes uint32, probes uint64,
 	for _, n := range h2[:a2] {
 		l2Hits += n
 	}
+	l1Hits = scaleCount(l1Hits, sampleShift, probes)
+	l2Hits = scaleCount(l2Hits, sampleShift, probes-l1Hits)
 	return Counts{
 		L1Hits:    l1Hits,
 		L2Hits:    l2Hits,
 		DRAMFills: probes - l1Hits - l2Hits,
 	}, true
+}
+
+// scaleCount re-scales a raw sampled bucket sum by 1<<shift, clamped to
+// limit. raw > limit>>shift iff raw<<shift > limit (for power-of-two
+// divisors), so the comparison doubles as the overflow guard; shift 0
+// returns raw untouched, keeping the exact path bit-identical.
+func scaleCount(raw uint64, sampleShift uint32, limit uint64) uint64 {
+	if sampleShift == 0 {
+		return raw
+	}
+	if raw > limit>>sampleShift {
+		return limit
+	}
+	return raw << sampleShift
 }
 
 // Profile snapshots the pass into a persistable ReuseProfile. The
@@ -576,28 +911,41 @@ func countsFromHists(cfg Config, lineBytes uint32, probes uint64,
 func (s *GeomSim) Profile() *ReuseProfile {
 	s.finalize()
 	p := &ReuseProfile{
-		LineBytes: s.lineBytes,
-		Probes:    s.probes,
-		Pipelined: s.pipelined,
+		LineBytes:   s.lineBytes,
+		Probes:      s.probes,
+		Pipelined:   s.pipelined,
+		SampleShift: s.rateShift,
+	}
+	if s.rateShift > 0 {
+		p.SampledProbes = s.sampledProbes
+		p.SampledLines = uint64(len(s.sampleSeen))
 	}
 	for gi := range s.groups {
 		g := &s.groups[gi]
-		p.L1 = append(p.L1, L1Profile{
+		e := L1Profile{
 			Sets: g.sets,
 			Hist: append([]uint64(nil), g.hist[:g.cap]...),
 			Deep: g.hist[g.cap],
-		})
+		}
+		if g.sq != nil {
+			e.Sq = append([]uint64(nil), g.sq...)
+		}
+		p.L1 = append(p.L1, e)
 		for pi := range g.pairs {
 			pair := &g.pairs[pi]
 			for li := range pair.l2 {
 				l2 := &pair.l2[li]
-				p.L2 = append(p.L2, L2Profile{
+				e2 := L2Profile{
 					L1Sets:  g.sets,
 					L1Assoc: pair.assoc,
 					L2Sets:  l2.sets,
 					Hist:    append([]uint64(nil), l2.hist[:l2.cap]...),
 					Deep:    l2.hist[l2.cap],
-				})
+				}
+				if l2.sq != nil {
+					e2.Sq = append([]uint64(nil), l2.sq...)
+				}
+				p.L2 = append(p.L2, e2)
 			}
 		}
 	}
@@ -635,6 +983,17 @@ type ReuseProfile struct {
 	ColdLines uint64
 	EndLive   uint64
 
+	// Spatial-sampling descriptor (version 3; zero on exact profiles).
+	// SampleShift k means the histograms were collected over a
+	// hash-selected 2^-k fraction of the distinct lines: they sum to
+	// SampledProbes (of SampledLines distinct kept lines), and CountsFor
+	// re-scales bucket sums by 2^k into unbiased estimates whose
+	// confidence interval RelCI reports. Probes, Pipelined and the
+	// platform-invariant aggregates above remain exact regardless.
+	SampleShift   uint32
+	SampledProbes uint64
+	SampledLines  uint64
+
 	L1 []L1Profile // ascending by Sets
 	L2 []L2Profile // ascending by (L1Sets, L1Assoc, L2Sets)
 }
@@ -642,20 +1001,36 @@ type ReuseProfile struct {
 // L1Profile is the per-set stack-distance histogram for one L1 set
 // count: Hist[d] probes hit at depth d, Deep probes at depth >=
 // len(Hist) or absent (a miss for every associativity <= len(Hist)).
+// On a sampled profile Sq carries the per-bucket variance ingredient
+// (sum over kept lines of squared per-line contributions), one entry
+// per Hist bucket plus one for Deep; nil on exact profiles.
 type L1Profile struct {
 	Sets uint32
 	Hist []uint64
 	Deep uint64
+	Sq   []uint64
 }
 
 // L2Profile is the second-level histogram for one (L1 geometry, L2 set
-// count): the stack distances of the L1 geometry's miss stream.
+// count): the stack distances of the L1 geometry's miss stream. Sq as
+// in L1Profile.
 type L2Profile struct {
 	L1Sets  uint32
 	L1Assoc uint32
 	L2Sets  uint32
 	Hist    []uint64
 	Deep    uint64
+	Sq      []uint64
+}
+
+// sampledTotal is what every L1 histogram of the profile must sum to:
+// the kept-subset probe count under sampling, the exact probe count
+// otherwise.
+func (p *ReuseProfile) sampledTotal() uint64 {
+	if p.SampleShift > 0 {
+		return p.SampledProbes
+	}
+	return p.Probes
 }
 
 // CountsFor derives one configuration's exact probe outcome from the
@@ -663,7 +1038,7 @@ type L2Profile struct {
 // second result is the pipelined word count for CyclesFor. ok is false
 // when the configuration is outside the covered cross product.
 func (p *ReuseProfile) CountsFor(cfg Config) (Counts, uint64, bool) {
-	c, ok := countsFromHists(cfg, p.LineBytes, p.Probes, func(s1 uint32) ([]uint64, bool) {
+	c, ok := countsFromHists(cfg, p.LineBytes, p.Probes, p.SampleShift, func(s1 uint32) ([]uint64, bool) {
 		for i := range p.L1 {
 			if p.L1[i].Sets == s1 {
 				return p.L1[i].Hist, true
@@ -695,6 +1070,59 @@ func (p *ReuseProfile) Covers(cfg Config) bool {
 	return ok
 }
 
+// Sampled reports whether the profile's histograms are sampled
+// estimates (SampleShift > 0) rather than exact counts.
+func (p *ReuseProfile) Sampled() bool { return p.SampleShift > 0 }
+
+// ciZ is the z-score of RelCI's confidence interval: +-3 sigma, ~99.7%
+// under the normal approximation of the sampling estimator.
+const ciZ = 3.0
+
+// RelCI returns the relative half-width of the confidence interval on
+// the configuration's estimated hit/miss split: the derived objective
+// lies within (1 +- RelCI) of its exact value with high probability
+// (~ciZ sigma; the coverage rate is pinned empirically by the sampling
+// property test in astream). Exact profiles — and profiles that do not
+// cover cfg, which have no estimate to bound — report 0; the caller
+// gates on Covers. The width combines the delta-method variance of the
+// scaled bucket sums, Var = (1-R)/R^2 * sum(c_l^2), evaluated over the
+// configuration's own L1/L2 histogram entries, with a small-sample
+// allowance ~1/sqrt(kept lines) that dominates when the filter kept too
+// few lines to trust the normal approximation, and is capped at 1
+// (an estimate can never be vouched for tighter than +-100%).
+func (p *ReuseProfile) RelCI(cfg Config) float64 {
+	if p.SampleShift == 0 || p.Probes == 0 || !p.Covers(cfg) {
+		return 0
+	}
+	s1, a1 := effectiveGeometry(cfg.L1)
+	s2, _ := effectiveGeometry(cfg.L2)
+	var sq uint64
+	for i := range p.L1 {
+		if p.L1[i].Sets == s1 {
+			for _, v := range p.L1[i].Sq {
+				sq += v
+			}
+			break
+		}
+	}
+	for i := range p.L2 {
+		e := &p.L2[i]
+		if e.L1Sets == s1 && e.L1Assoc == a1 && e.L2Sets == s2 {
+			for _, v := range e.Sq {
+				sq += v
+			}
+			break
+		}
+	}
+	r := 1 / float64(uint64(1)<<p.SampleShift)
+	variance := (1 - r) / (r * r) * float64(sq)
+	rel := ciZ*math.Sqrt(variance)/float64(p.Probes) + ciZ/math.Sqrt(float64(p.SampledLines)+1)
+	if rel > 1 {
+		rel = 1
+	}
+	return rel
+}
+
 // Merge combines two profiles of the SAME stream at the same line size
 // into one covering everything either covered: the union of their
 // histogram entries, keeping the deeper histogram where keys collide
@@ -711,7 +1139,9 @@ func (p *ReuseProfile) Merge(o *ReuseProfile) *ReuseProfile {
 	if p.LineBytes != o.LineBytes || p.Probes != o.Probes || p.Pipelined != o.Pipelined ||
 		p.ReadWords != o.ReadWords || p.WriteWords != o.WriteWords ||
 		p.OpCycles != o.OpCycles || p.Peak != o.Peak ||
-		p.ColdLines != o.ColdLines || p.EndLive != o.EndLive {
+		p.ColdLines != o.ColdLines || p.EndLive != o.EndLive ||
+		p.SampleShift != o.SampleShift || p.SampledProbes != o.SampledProbes ||
+		p.SampledLines != o.SampledLines {
 		return p
 	}
 	out := &ReuseProfile{
@@ -719,6 +1149,8 @@ func (p *ReuseProfile) Merge(o *ReuseProfile) *ReuseProfile {
 		ReadWords: p.ReadWords, WriteWords: p.WriteWords,
 		OpCycles: p.OpCycles, Peak: p.Peak,
 		ColdLines: p.ColdLines, EndLive: p.EndLive,
+		SampleShift: p.SampleShift, SampledProbes: p.SampledProbes,
+		SampledLines: p.SampledLines,
 	}
 	out.L1 = append(out.L1, p.L1...)
 	for _, e := range o.L1 {
@@ -777,12 +1209,12 @@ func sortL2(l []L2Profile) {
 // SizeBytes reports the profile's approximate retained size, for the
 // exploration cache's stream budget.
 func (p *ReuseProfile) SizeBytes() int {
-	n := 80
+	n := 104
 	for i := range p.L1 {
-		n += 16 + 8*len(p.L1[i].Hist)
+		n += 16 + 8*len(p.L1[i].Hist) + 8*len(p.L1[i].Sq)
 	}
 	for i := range p.L2 {
-		n += 24 + 8*len(p.L2[i].Hist)
+		n += 24 + 8*len(p.L2[i].Hist) + 8*len(p.L2[i].Sq)
 	}
 	return n
 }
@@ -799,12 +1231,16 @@ func (p *ReuseProfile) String() string {
 // every histogram sums (with its Deep bucket) to exactly the probe
 // count its level must account for — so a corrupt or truncated profile
 // errors instead of silently miscounting. Version 2 appends the lane
-// lower-bound aggregates (ColdLines, EndLive); version 1 profiles still
-// decode, with those fields zero (a weaker but still admissible bound).
+// lower-bound aggregates (ColdLines, EndLive); version 3 appends the
+// spatial-sampling descriptor (SampleShift, and when nonzero
+// SampledProbes/SampledLines plus per-entry Sq variance arrays).
+// Version 1 and 2 profiles still decode, with the newer fields zero —
+// i.e. as exact profiles with a weaker but still admissible bound.
 const (
 	reuseProfileMagic   = 0xD7 // first byte of every encoded profile
 	reuseProfileV1      = 1
-	reuseProfileVersion = 2
+	reuseProfileV2      = 2
+	reuseProfileVersion = 3
 
 	maxProfileHist = 64   // depth buckets per histogram
 	maxProfileL1   = 64   // L1 set counts
@@ -824,6 +1260,11 @@ func (p *ReuseProfile) MarshalBinary() ([]byte, error) {
 	b = binary.AppendUvarint(b, p.Peak)
 	b = binary.AppendUvarint(b, p.ColdLines)
 	b = binary.AppendUvarint(b, p.EndLive)
+	b = binary.AppendUvarint(b, uint64(p.SampleShift))
+	if p.SampleShift > 0 {
+		b = binary.AppendUvarint(b, p.SampledProbes)
+		b = binary.AppendUvarint(b, p.SampledLines)
+	}
 	b = binary.AppendUvarint(b, uint64(len(p.L1)))
 	for i := range p.L1 {
 		e := &p.L1[i]
@@ -833,6 +1274,9 @@ func (p *ReuseProfile) MarshalBinary() ([]byte, error) {
 			b = binary.AppendUvarint(b, n)
 		}
 		b = binary.AppendUvarint(b, e.Deep)
+		if p.SampleShift > 0 {
+			b = appendSq(b, e.Sq, len(e.Hist)+1)
+		}
 	}
 	b = binary.AppendUvarint(b, uint64(len(p.L2)))
 	for i := range p.L2 {
@@ -845,8 +1289,25 @@ func (p *ReuseProfile) MarshalBinary() ([]byte, error) {
 			b = binary.AppendUvarint(b, n)
 		}
 		b = binary.AppendUvarint(b, e.Deep)
+		if p.SampleShift > 0 {
+			b = appendSq(b, e.Sq, len(e.Hist)+1)
+		}
 	}
 	return b, nil
+}
+
+// appendSq writes exactly n variance entries (one per histogram bucket
+// plus the deep bucket), zero-padding a short slice so the encoded form
+// always has the length the decoder expects.
+func appendSq(b []byte, sq []uint64, n int) []byte {
+	for j := 0; j < n; j++ {
+		var v uint64
+		if j < len(sq) {
+			v = sq[j]
+		}
+		b = binary.AppendUvarint(b, v)
+	}
+	return b
 }
 
 // profileDecoder walks an encoded profile with truncation checking.
@@ -906,6 +1367,32 @@ func (d *profileDecoder) hist(total uint64) ([]uint64, uint64, error) {
 	return h, deep, nil
 }
 
+// sq decodes one variance array (len(hist)+1 entries, the deep bucket
+// last) and validates it against the histogram it annotates: each
+// bucket's sum of squared per-line contributions lies between the
+// bucket count (every contribution is >= 1) and its square (the
+// one-line extreme) — in particular it is zero exactly when the bucket
+// is. The upper check is skipped for counts whose square would not fit
+// 64 bits.
+func (d *profileDecoder) sq(hist []uint64, deep uint64) ([]uint64, error) {
+	out := make([]uint64, len(hist)+1)
+	for i := range out {
+		v, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		h := deep
+		if i < len(hist) {
+			h = hist[i]
+		}
+		if v < h || (h < 1<<32 && v > h*h) {
+			return nil, fmt.Errorf("memsim: reuse profile variance entry %d inconsistent with bucket count %d", v, h)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
 func pow2u32(v uint32) bool { return v != 0 && v&(v-1) == 0 }
 
 // UnmarshalBinary decodes and validates an encoded profile
@@ -917,7 +1404,7 @@ func (p *ReuseProfile) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("memsim: not a reuse profile")
 	}
 	version := data[1]
-	if version != reuseProfileV1 && version != reuseProfileVersion {
+	if version != reuseProfileV1 && version != reuseProfileV2 && version != reuseProfileVersion {
 		return fmt.Errorf("memsim: unsupported reuse profile version %d", version)
 	}
 	d := profileDecoder{b: data, pos: 2}
@@ -947,7 +1434,7 @@ func (p *ReuseProfile) UnmarshalBinary(data []byte) error {
 	if out.Peak, err = d.uvarint(); err != nil {
 		return err
 	}
-	if version >= reuseProfileVersion {
+	if version >= reuseProfileV2 {
 		if out.ColdLines, err = d.uvarint(); err != nil {
 			return err
 		}
@@ -964,6 +1451,35 @@ func (p *ReuseProfile) UnmarshalBinary(data []byte) error {
 		// peak — which would make the "lower bound" inadmissible.
 		if out.EndLive > out.Peak {
 			return fmt.Errorf("memsim: reuse profile end-live %d exceeds peak %d", out.EndLive, out.Peak)
+		}
+	}
+	if version >= reuseProfileVersion {
+		if out.SampleShift, err = d.u32("sample shift"); err != nil {
+			return err
+		}
+		if out.SampleShift > MaxSampleShift {
+			return fmt.Errorf("memsim: reuse profile sample shift %d exceeds max %d", out.SampleShift, MaxSampleShift)
+		}
+		if out.SampleShift > 0 {
+			if out.SampledProbes, err = d.uvarint(); err != nil {
+				return err
+			}
+			if out.SampledLines, err = d.uvarint(); err != nil {
+				return err
+			}
+			// The kept subset is a subset: its probe count can never
+			// exceed the exact total, its line count never the probe
+			// count, and a nonzero probe count implies at least one kept
+			// line (every sampled probe is of a kept line).
+			if out.SampledProbes > out.Probes {
+				return fmt.Errorf("memsim: reuse profile sampled probes %d exceed %d probes", out.SampledProbes, out.Probes)
+			}
+			if out.SampledLines > out.SampledProbes {
+				return fmt.Errorf("memsim: reuse profile sampled lines %d exceed %d sampled probes", out.SampledLines, out.SampledProbes)
+			}
+			if out.SampledProbes > 0 && out.SampledLines == 0 {
+				return fmt.Errorf("memsim: reuse profile has %d sampled probes but no sampled lines", out.SampledProbes)
+			}
 		}
 	}
 
@@ -986,8 +1502,13 @@ func (p *ReuseProfile) UnmarshalBinary(data []byte) error {
 		if i > 0 && e.Sets <= out.L1[i-1].Sets {
 			return fmt.Errorf("memsim: reuse profile L1 set counts not strictly ascending")
 		}
-		if e.Hist, e.Deep, err = d.hist(out.Probes); err != nil {
+		if e.Hist, e.Deep, err = d.hist(out.sampledTotal()); err != nil {
 			return err
+		}
+		if out.SampleShift > 0 {
+			if e.Sq, err = d.sq(e.Hist, e.Deep); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -1032,7 +1553,7 @@ func (p *ReuseProfile) UnmarshalBinary(data []byte) error {
 			if e.L1Assoc == 0 || uint64(e.L1Assoc) > uint64(len(l1.Hist)) {
 				return fmt.Errorf("memsim: reuse profile L2 histogram references untracked L1 assoc %d at %d sets", e.L1Assoc, e.L1Sets)
 			}
-			misses = out.Probes
+			misses = out.sampledTotal()
 			for _, n := range l1.Hist[:e.L1Assoc] {
 				misses -= n
 			}
@@ -1044,6 +1565,11 @@ func (p *ReuseProfile) UnmarshalBinary(data []byte) error {
 		}
 		if e.Hist, e.Deep, err = d.hist(misses); err != nil {
 			return err
+		}
+		if out.SampleShift > 0 {
+			if e.Sq, err = d.sq(e.Hist, e.Deep); err != nil {
+				return err
+			}
 		}
 	}
 	if d.pos != len(data) {

@@ -1,0 +1,323 @@
+package memsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSampledShiftZeroBitIdentical pins the shared-code-path contract:
+// NewGeomSimSampled with shift 0 IS the exact kernel — same counts,
+// probes, pipelined words and profile as NewGeomSim over the same
+// stream — because shift 0 takes the identical code path, not a
+// parallel implementation.
+func TestSampledShiftZeroBitIdentical(t *testing.T) {
+	family := geomFamily()
+	exact, err := NewGeomSim(family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := NewGeomSimSampled(family, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	addrs, sizes := randomAccesses(rng, 5000)
+	exact.ProbeAccesses(addrs, sizes)
+	zero.ProbeAccesses(addrs, sizes)
+
+	if exact.Probes() != zero.Probes() || exact.Pipelined() != zero.Pipelined() {
+		t.Fatalf("aggregates diverge: %d/%d vs %d/%d",
+			exact.Probes(), exact.Pipelined(), zero.Probes(), zero.Pipelined())
+	}
+	for k, cfg := range family {
+		ec, ep, eok := exact.CountsFor(cfg)
+		zc, zp, zok := zero.CountsFor(cfg)
+		if eok != zok || ec != zc || ep != zp {
+			t.Errorf("cfg %d: exact %+v/%d/%v vs shift-0 %+v/%d/%v", k, ec, ep, eok, zc, zp, zok)
+		}
+	}
+	pe, pz := exact.Profile(), zero.Profile()
+	if !reflect.DeepEqual(pe, pz) {
+		t.Errorf("profiles diverge:\nexact  %+v\nshift0 %+v", pe, pz)
+	}
+	if pz.Sampled() || pz.SampleShift != 0 {
+		t.Errorf("shift-0 profile claims sampling: %+v", pz)
+	}
+	if ci := pz.RelCI(family[0]); ci != 0 {
+		t.Errorf("exact profile reports nonzero CI %g", ci)
+	}
+}
+
+// TestSampledResetIdentity pins the pooled identity of a sampled
+// kernel: (family, shift). A different shift or family is refused —
+// the tag stores are sized for the scaled set counts — and a reset
+// kernel reproduces the original pass bit-for-bit (the hash filter is
+// a pure function of the line).
+func TestSampledResetIdentity(t *testing.T) {
+	family := geomFamily()
+	gs, err := NewGeomSimSampled(family, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	addrs, sizes := randomAccesses(rng, 4000)
+	gs.ProbeAccesses(addrs, sizes)
+	first := gs.Profile()
+
+	if gs.ResetSampled(family, 2) {
+		t.Error("ResetSampled accepted a different shift")
+	}
+	if gs.Reset(family) {
+		t.Error("Reset (shift 0) accepted a sampled kernel")
+	}
+	other := append([]Config(nil), family...)
+	other[0].L2.SizeBytes *= 2
+	if gs.ResetSampled(other, 3) {
+		t.Error("ResetSampled accepted a different family")
+	}
+	if !gs.ResetSampled(family, 3) {
+		t.Fatal("ResetSampled refused the identical (family, shift)")
+	}
+	gs.ProbeAccesses(addrs, sizes)
+	if again := gs.Profile(); !reflect.DeepEqual(first, again) {
+		t.Errorf("replayed sampled pass diverges:\nfirst %+v\nagain %+v", first, again)
+	}
+	if gs.SampleShift() != 3 {
+		t.Errorf("SampleShift() = %d, want 3", gs.SampleShift())
+	}
+}
+
+// TestSampledEstimatesWithinCI is the kernel half of the error-bound
+// property: at R in {1/8, 1/64}, the scaled hit/miss estimates of every
+// family member stay within the profile's own reported confidence
+// interval for the overwhelming majority of observations (the interval
+// is ~3 sigma plus a small-sample allowance), and never stray past
+// three interval widths. The exact invariant counters must not drift
+// at all.
+func TestSampledEstimatesWithinCI(t *testing.T) {
+	family := geomFamily()
+	var within, total int
+	for _, shift := range []uint32{3, 6} {
+		for seed := int64(1); seed <= 4; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			addrs, sizes := randomAccesses(rng, 12000)
+
+			exact, err := NewGeomSim(family)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sampled, err := NewGeomSimSampled(family, shift)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exact.ProbeAccesses(addrs, sizes)
+			sampled.ProbeAccesses(addrs, sizes)
+
+			if exact.Probes() != sampled.Probes() || exact.Pipelined() != sampled.Pipelined() {
+				t.Fatalf("shift %d seed %d: exact invariants drifted: %d/%d vs %d/%d", shift, seed,
+					exact.Probes(), exact.Pipelined(), sampled.Probes(), sampled.Pipelined())
+			}
+			prof := sampled.Profile()
+			if !prof.Sampled() || prof.SampleShift != shift {
+				t.Fatalf("shift %d seed %d: profile descriptor %d/%v", shift, seed, prof.SampleShift, prof.Sampled())
+			}
+			if prof.SampledProbes > prof.Probes {
+				t.Fatalf("shift %d seed %d: sampled probes %d exceed %d", shift, seed, prof.SampledProbes, prof.Probes)
+			}
+			for k, cfg := range family {
+				want, _, _ := exact.CountsFor(cfg)
+				got, _, ok := sampled.CountsFor(cfg)
+				if !ok {
+					t.Fatalf("shift %d seed %d cfg %d: not covered", shift, seed, k)
+				}
+				if s := got.L1Hits + got.L2Hits + got.DRAMFills; s != exact.Probes() {
+					t.Fatalf("shift %d seed %d cfg %d: estimates sum to %d, want %d", shift, seed, k, s, exact.Probes())
+				}
+				ci := prof.RelCI(cfg)
+				if ci <= 0 || ci > 1 {
+					t.Fatalf("shift %d seed %d cfg %d: CI %g out of range", shift, seed, k, ci)
+				}
+				tol := ci * float64(exact.Probes())
+				for name, pair := range map[string][2]uint64{
+					"L1Hits":    {got.L1Hits, want.L1Hits},
+					"L2Hits":    {got.L2Hits, want.L2Hits},
+					"DRAMFills": {got.DRAMFills, want.DRAMFills},
+				} {
+					err := absDiff(pair[0], pair[1])
+					total++
+					if float64(err) <= tol {
+						within++
+					} else if float64(err) > 3*tol {
+						t.Errorf("shift %d seed %d cfg %d %s: |%d-%d| = %d beyond 3x CI %g",
+							shift, seed, k, name, pair[0], pair[1], err, tol)
+					}
+				}
+			}
+		}
+	}
+	if rate := float64(within) / float64(total); rate < 0.85 {
+		t.Errorf("only %.0f%% of %d estimates within their CI, want >= 85%%", 100*rate, total)
+	}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// TestSampledProfileRoundTrip pins the v3 encoding: a sampled profile
+// survives encode/decode with its sampling descriptor and variance
+// arrays intact, so cached sampled profiles answer CountsFor and RelCI
+// identically to the live pass.
+func TestSampledProfileRoundTrip(t *testing.T) {
+	family := geomFamily()
+	gs, err := NewGeomSimSampled(family, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	addrs, sizes := randomAccesses(rng, 8000)
+	gs.ProbeAccesses(addrs, sizes)
+	prof := gs.Profile()
+	prof.ReadWords, prof.WriteWords, prof.OpCycles, prof.Peak = 101, 17, 4242, 1<<20
+
+	raw, err := prof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw[1] != reuseProfileVersion {
+		t.Fatalf("sampled profile encodes version %d, want %d", raw[1], reuseProfileVersion)
+	}
+	var back ReuseProfile
+	if err := back.UnmarshalBinary(raw); err != nil {
+		t.Fatalf("round-trip decode: %v", err)
+	}
+	if !reflect.DeepEqual(prof, &back) {
+		t.Fatalf("round trip mangled the profile:\nin  %+v\nout %+v", prof, &back)
+	}
+	for k, cfg := range family {
+		wc, wp, _ := prof.CountsFor(cfg)
+		gc, gp, ok := back.CountsFor(cfg)
+		if !ok || gc != wc || gp != wp {
+			t.Errorf("cfg %d: decoded counts %+v/%d/%v != %+v/%d", k, gc, gp, ok, wc, wp)
+		}
+		if prof.RelCI(cfg) != back.RelCI(cfg) {
+			t.Errorf("cfg %d: decoded CI %g != %g", k, back.RelCI(cfg), prof.RelCI(cfg))
+		}
+	}
+
+	// Merge identity must include the sampling descriptor: a sampled and
+	// an exact profile of the same stream are different estimators and
+	// never merge.
+	exact, err := NewGeomSim(family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact.ProbeAccesses(addrs, sizes)
+	ep := exact.Profile()
+	ep.ReadWords, ep.WriteWords, ep.OpCycles, ep.Peak = 101, 17, 4242, 1<<20
+	if merged := prof.Merge(ep); !reflect.DeepEqual(merged, prof) {
+		t.Error("sampled profile merged with an exact one")
+	}
+}
+
+// TestSampledProfileValidation pins hard validation of the v3 fields:
+// structurally impossible sampling descriptors and variance arrays are
+// rejected on decode, never trusted.
+func TestSampledProfileValidation(t *testing.T) {
+	family := geomFamily()
+	gs, err := NewGeomSimSampled(family, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	addrs, sizes := randomAccesses(rng, 6000)
+	gs.ProbeAccesses(addrs, sizes)
+	base := gs.Profile()
+
+	encode := func(p *ReuseProfile) []byte {
+		raw, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	reject := func(name string, p *ReuseProfile) {
+		t.Helper()
+		if err := new(ReuseProfile).UnmarshalBinary(encode(p)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+
+	over := *base
+	over.SampledProbes = over.Probes + 1
+	reject("sampled probes > probes", &over)
+
+	noLines := *base
+	noLines.SampledLines = 0
+	reject("sampled probes without sampled lines", &noLines)
+
+	manyLines := *base
+	manyLines.SampledLines = manyLines.SampledProbes + 1
+	reject("sampled lines > sampled probes", &manyLines)
+
+	deepShift := *base
+	deepShift.SampleShift = MaxSampleShift + 1
+	reject("sample shift beyond max", &deepShift)
+
+	// A variance entry below its bucket count (every kept line
+	// contributes at least 1, squared) or above its square (the one-line
+	// extreme) is impossible.
+	for d, n := range base.L1[0].Hist {
+		if n == 0 {
+			continue
+		}
+		low := *base
+		low.L1 = append([]L1Profile(nil), base.L1...)
+		low.L1[0].Sq = append([]uint64(nil), base.L1[0].Sq...)
+		low.L1[0].Sq[d] = n - 1
+		reject("variance below bucket count", &low)
+
+		high := *base
+		high.L1 = append([]L1Profile(nil), base.L1...)
+		high.L1[0].Sq = append([]uint64(nil), base.L1[0].Sq...)
+		high.L1[0].Sq[d] = n*n + 1
+		reject("variance above squared bucket count", &high)
+		break
+	}
+
+	// Truncations of a sampled encoding must error, never panic.
+	raw := encode(base)
+	for cut := 0; cut < len(raw); cut += 5 {
+		var p ReuseProfile
+		if err := p.UnmarshalBinary(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+}
+
+// TestGeomSimSampledProbeZeroAllocs pins the pooled-scratch contract
+// for the sampled kernel: after one warm pass, ResetSampled + replaying
+// the same stream allocates nothing — the variance maps are cleared in
+// place, keeping their buckets.
+func TestGeomSimSampledProbeZeroAllocs(t *testing.T) {
+	family := geomFamily()
+	gs, err := NewGeomSimSampled(family, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	addrs, sizes := randomAccesses(rng, 2048)
+	gs.ProbeAccesses(addrs, sizes) // warm: maps grow to steady-state size
+	if allocs := testing.AllocsPerRun(50, func() {
+		if !gs.ResetSampled(family, 3) {
+			t.Fatal("ResetSampled refused identical identity")
+		}
+		gs.ProbeAccesses(addrs, sizes)
+	}); allocs != 0 {
+		t.Errorf("sampled Reset+probe allocates %.1f objects/op, want 0", allocs)
+	}
+}

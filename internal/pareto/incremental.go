@@ -89,6 +89,24 @@ func (f *OnlineFront) Points() []Point {
 // pre-check is purely conservative — it only ever returns early with
 // false when the walk would have returned false (pinned by
 // TestOnlineFrontMinsFastReject).
+// DominatedInterval is the interval-aware variant of DominatedBeyond
+// for screening with sampled (estimated) cost vectors: v is an estimate
+// whose true value lies within ±vSlack (relative), and the front
+// members carry their own relative slack mSlack. The check deflates v
+// to the optimistic end of its interval and inflates the members to the
+// pessimistic end of theirs — equivalent to DominatedBeyond with margin
+// (1+mSlack)/(1-vSlack) - 1 — so a true result means v is dominated
+// even under the worst joint estimation error the intervals admit: the
+// only sound condition to cut on during a sampled screening pass.
+// vSlack >= 1 makes the interval vacuous (the optimistic end reaches
+// zero) and nothing is ever dominated.
+func (f *OnlineFront) DominatedInterval(v metrics.Vector, vSlack, mSlack float64) bool {
+	if vSlack >= 1 {
+		return false
+	}
+	return f.DominatedBeyond(v, (1+mSlack)/(1-vSlack)-1)
+}
+
 func (f *OnlineFront) DominatedBeyond(v metrics.Vector, margin float64) bool {
 	if len(f.pts) == 0 {
 		return false

@@ -197,6 +197,42 @@ func TestOnlineFrontMinsFastReject(t *testing.T) {
 	}
 }
 
+// TestDominatedInterval pins the interval-aware screening check: a
+// candidate is cut only when dominated at the pessimistic end of the
+// joint estimation interval — optimistic candidate against pessimistic
+// members — and a vacuous candidate interval (vSlack >= 1) never cuts.
+func TestDominatedInterval(t *testing.T) {
+	f := NewOnlineFront()
+	f.Add(Point{Label: "m", Vec: metrics.Vector{Energy: 10, Time: 10, Accesses: 10, Footprint: 10}})
+
+	v := metrics.Vector{Energy: 13, Time: 13, Accesses: 13, Footprint: 13}
+	// Exact intervals collapse to DominatedBeyond at margin 0.
+	if f.DominatedInterval(v, 0, 0) != f.DominatedBeyond(v, 0) {
+		t.Error("zero-slack interval check disagrees with exact dominance")
+	}
+	// 30% worse on every axis: dominated with 10%/10% slacks (joint
+	// margin (1.1/0.9)-1 ~ 22%) but spared with 20%/20% (joint 50%).
+	if !f.DominatedInterval(v, 0.1, 0.1) {
+		t.Error("30%% worse vector not flagged under 10%%/10%% slacks")
+	}
+	if f.DominatedInterval(v, 0.2, 0.2) {
+		t.Error("30%% worse vector flagged under 20%%/20%% slacks")
+	}
+	// A vacuous candidate interval can never prove domination.
+	far := metrics.Vector{Energy: 1e6, Time: 1e6, Accesses: 1e6, Footprint: 1e6}
+	if f.DominatedInterval(far, 1, 0) || f.DominatedInterval(far, 1.5, 0.1) {
+		t.Error("vacuous candidate interval still cut")
+	}
+	// Asymmetric slacks: only the member slack inflates when the
+	// candidate is exact.
+	if !f.DominatedInterval(v, 0, 0.25) {
+		t.Error("exact candidate 30%% worse spared at member slack 25%%")
+	}
+	if f.DominatedInterval(v, 0, 0.35) {
+		t.Error("exact candidate 30%% worse cut at member slack 35%%")
+	}
+}
+
 func TestDominatedBeyond(t *testing.T) {
 	f := NewOnlineFront()
 	f.Add(Point{Label: "m", Vec: metrics.Vector{Energy: 10, Time: 10, Accesses: 10, Footprint: 10}})

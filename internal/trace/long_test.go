@@ -1,0 +1,69 @@
+package trace_test
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// The long preset keeps the network's traffic shape: same seed and mix,
+// packet count raised to LongPackets, time span scaled in proportion so
+// throughput and concurrent-flow depth are preserved rather than
+// compressed.
+func TestLongConfig(t *testing.T) {
+	base := trace.BuiltinConfigs()[0]
+	cfg, err := trace.LongConfig(base.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != base.Name+"-1M" {
+		t.Fatalf("long preset named %q", cfg.Name)
+	}
+	if cfg.Packets != trace.LongPackets {
+		t.Fatalf("long preset has %d packets", cfg.Packets)
+	}
+	scale := float64(trace.LongPackets) / float64(base.Packets)
+	if got, want := cfg.DurationS, base.DurationS*scale; got != want {
+		t.Fatalf("long preset duration %v, want %v", got, want)
+	}
+	if cfg.Seed != base.Seed || cfg.Nodes != base.Nodes || cfg.MTU != base.MTU {
+		t.Fatalf("long preset changed the network: %+v", cfg)
+	}
+	if _, err := trace.LongConfig("no-such-trace"); err == nil {
+		t.Fatal("unknown base accepted")
+	}
+}
+
+func TestBuiltinLongName(t *testing.T) {
+	// The packets override keeps the test cheap; the preset's duration
+	// scaling still applies, so the short generation run spans the long
+	// window's early seconds at the network's native arrival rate.
+	tr, err := trace.Builtin("FLA-1M", 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "FLA-1M" || len(tr.Packets) != 4000 {
+		t.Fatalf("got %q with %d packets", tr.Name, len(tr.Packets))
+	}
+	if _, err := trace.Builtin("no-such-trace-1M", 0); err == nil {
+		t.Fatal("unknown long preset accepted")
+	}
+}
+
+// Generation must not drown the measurements that consume long traces:
+// the packet slice is preallocated from the config hint and the
+// chronological sort runs on a concrete comparison, not the reflection
+// swapper, so a million-packet trace generates in well under a second.
+func BenchmarkGenerateLong(b *testing.B) {
+	cfg, err := trace.LongConfig("FLA")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := trace.Generate(cfg)
+		if len(tr.Packets) != trace.LongPackets {
+			b.Fatal("short trace")
+		}
+	}
+}

@@ -17,6 +17,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/xrand"
 )
@@ -312,18 +313,51 @@ func Generate(cfg GenConfig) *Trace {
 		}
 	}
 
-	// Deterministic chronological order (ties broken on full content).
-	sort.Slice(pkts, func(i, j int) bool {
-		a, b := &pkts[i], &pkts[j]
-		if a.TS != b.TS {
-			return a.TS < b.TS
-		}
-		if a.Src != b.Src {
-			return a.Src < b.Src
-		}
-		return a.SrcPort < b.SrcPort
-	})
+	// Deterministic chronological order. The comparison is a total order
+	// over full packet content, so the sorted trace is independent of the
+	// sort algorithm; the concrete sort.Interface avoids both the
+	// reflection-based swapper of sort.Slice and the by-value struct
+	// copies a generic comparison func costs per probe — the two
+	// overheads that dominated million-packet generation.
+	sort.Sort(byTime(pkts))
 	return &Trace{Name: cfg.Name, Network: cfg.Network, Class: cfg.Class, Packets: pkts}
+}
+
+// byTime orders packets chronologically, breaking timestamp ties on
+// every remaining field so the order is total: two packets compare equal
+// only when identical, making the sorted trace unique.
+type byTime []Packet
+
+func (s byTime) Len() int      { return len(s) }
+func (s byTime) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
+func (s byTime) Less(i, j int) bool {
+	a, b := &s[i], &s[j]
+	if a.TS != b.TS {
+		return a.TS < b.TS
+	}
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.DstPort != b.DstPort {
+		return a.DstPort < b.DstPort
+	}
+	if a.Proto != b.Proto {
+		return a.Proto < b.Proto
+	}
+	if a.Size != b.Size {
+		return a.Size < b.Size
+	}
+	if a.Flags != b.Flags {
+		return a.Flags < b.Flags
+	}
+	return a.Payload < b.Payload
 }
 
 // packetSize draws one packet size from the class-specific mix: backbone
@@ -401,10 +435,42 @@ func BuiltinNames() []string {
 	return names
 }
 
-// Builtin generates the named built-in trace. If packets > 0 it overrides
-// the configured trace length (tests and examples use short traces, the
-// benchmark harness longer ones).
+// LongPackets is the trace length of the "-1M" long presets.
+const LongPackets = 1 << 20
+
+// LongConfig returns the million-packet preset of the named built-in
+// trace: the same network, seed and traffic mix with the packet count
+// raised to LongPackets and the time span scaled proportionally, so
+// throughput and concurrent-flow depth stay at the network's recorded
+// levels instead of compressing a long trace into the original window.
+// The preset is named "<name>-1M" and Builtin resolves it directly —
+// this is the trace scale the sampled screening mode is built for.
+func LongConfig(name string) (GenConfig, error) {
+	for _, cfg := range BuiltinConfigs() {
+		if cfg.Name == name {
+			cfg.DurationS *= float64(LongPackets) / float64(cfg.Packets)
+			cfg.Packets = LongPackets
+			cfg.Name += "-1M"
+			return cfg, nil
+		}
+	}
+	return GenConfig{}, fmt.Errorf("trace: unknown built-in trace %q", name)
+}
+
+// Builtin generates the named built-in trace, or its "<name>-1M" long
+// preset. If packets > 0 it overrides the configured trace length (tests
+// and examples use short traces, the benchmark harness longer ones).
 func Builtin(name string, packets int) (*Trace, error) {
+	if base, ok := strings.CutSuffix(name, "-1M"); ok {
+		cfg, err := LongConfig(base)
+		if err != nil {
+			return nil, err
+		}
+		if packets > 0 {
+			cfg.Packets = packets
+		}
+		return Generate(cfg), nil
+	}
 	for _, cfg := range BuiltinConfigs() {
 		if cfg.Name == name {
 			if packets > 0 {

@@ -1,6 +1,10 @@
 package trace
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+	"sort"
+)
 
 // TimeSlice returns a new trace holding the packets with TS in [from, to),
 // preserving order. The paper's tooling sliced long captures into
@@ -69,13 +73,13 @@ func Concurrency(t *Trace) int {
 	for _, s := range spans {
 		events = append(events, event{s.first, +1}, event{s.last, -1})
 	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].ts != events[j].ts {
-			return events[i].ts < events[j].ts
+	slices.SortFunc(events, func(a, b event) int {
+		if c := cmp.Compare(a.ts, b.ts); c != 0 {
+			return c
 		}
 		// Opens before closes at the same instant: a flow of one packet
 		// still counts as concurrent with itself.
-		return events[i].delta > events[j].delta
+		return cmp.Compare(b.delta, a.delta)
 	})
 	cur, peak := 0, 0
 	for _, e := range events {
