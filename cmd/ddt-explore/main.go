@@ -40,13 +40,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/apps"
@@ -61,57 +63,80 @@ import (
 
 // cliConfig carries every flag of the command.
 type cliConfig struct {
-	app         string
-	packets     int
-	logPath     string
-	csvPath     string
-	charts      bool
-	workers     int
-	earlyAbort  bool
-	abortMargin float64
-	cachePath   string  // results-only persistent cache
-	replayCache string  // results + access streams persistent cache
-	compose     bool    // compositional capture: per-role sub-streams
-	noprune     bool    // disable bound-guided combination pruning
-	sampleRate  float64 // two-phase screening: sampled estimates, exact re-check
-	platforms   string  // platform names to evaluate the recommendation on
-	cpuProfile  string
-	memProfile  string
-	progress    bool
+	app             string
+	packets         int
+	logPath         string
+	csvPath         string
+	charts          bool
+	workers         int
+	earlyAbort      bool
+	abortMargin     float64
+	cachePath       string  // results-only persistent cache
+	replayCache     string  // results + access streams persistent cache
+	compose         bool    // compositional capture: per-role sub-streams
+	noprune         bool    // disable bound-guided combination pruning
+	sampleRate      float64 // two-phase screening: sampled estimates, exact re-check
+	platforms       string  // platform names to evaluate the recommendation on
+	checkpointEvery int     // persist a campaign checkpoint every N settled jobs
+	cpuProfile      string
+	memProfile      string
+	progress        bool
 }
 
-func main() {
+// parseFlags parses args into a cliConfig on a private FlagSet, so the
+// command can be driven in-process by tests and re-exec harnesses.
+func parseFlags(args []string) (cliConfig, error) {
 	var c cliConfig
 	appNames := netapps.Names()
 	for _, a := range netapps.Extensions() {
 		appNames = append(appNames, a.Name())
 	}
-	flag.StringVar(&c.app, "app", "", "application to explore: "+strings.Join(appNames, ", "))
-	flag.IntVar(&c.packets, "packets", 8000, "packets per simulation trace")
-	flag.StringVar(&c.logPath, "log", "", "write the exploration log (for ddt-pareto)")
-	flag.StringVar(&c.csvPath, "csv", "", "write the exploration results as CSV")
-	flag.BoolVar(&c.charts, "charts", false, "print per-configuration Pareto charts")
-	flag.IntVar(&c.workers, "workers", 0, "simulation worker goroutines (0 = all CPUs)")
-	flag.BoolVar(&c.earlyAbort, "early-abort", false, "stop simulations already dominated by the running front (fronts stay exact; full-space charts thin out)")
-	flag.Float64Var(&c.abortMargin, "abort-margin", 0, "early-abort safety margin (0 = default)")
-	flag.StringVar(&c.cachePath, "cache", "", "simulation cache file: loaded before the run, saved after")
-	flag.StringVar(&c.replayCache, "replay-cache", "", "like -cache, but also captures and persists access streams and the reuse profiles of platform evaluations, so later runs evaluate new platform configurations by replay — or by profile arithmetic with zero probe passes — instead of re-execution")
-	flag.BoolVar(&c.compose, "compose", false, "compositional capture: record one access sub-stream per container role (per-role heap arenas) and evaluate DDT combinations by interleaving cached sub-streams instead of re-executing — the 10^K cross-product costs ~10*K executions")
-	flag.BoolVar(&c.noprune, "noprune", false, "with -compose, disable bound-guided pruning: by default, combinations whose admissible per-lane lower bound (sum of isolated lane reuse-profile bounds) is already dominated by the running Pareto front are discarded with zero replays — fronts stay bit-identical either way")
-	flag.Float64Var(&c.sampleRate, "sample-rate", 0, "screen the combination space with SHARDS-sampled replays at this spatial rate (e.g. 0.015625 = 1/64) before re-running the surviving near-front combinations exactly — the reported front is identical in membership to an exact run; implies -compose (0 disables; rates round down to a power of two)")
-	flag.StringVar(&c.platforms, "platforms", "", "comma-separated platform points (or 'all') to evaluate the best-energy recommendation on: points sharing a cache line size are costed by one all-geometry replay pass (a cached reuse profile makes the sweep pure arithmetic); names from the default sweep set")
-	flag.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile of the exploration to this file")
-	flag.StringVar(&c.memProfile, "memprofile", "", "write a heap profile (taken after the exploration) to this file")
-	flag.BoolVar(&c.progress, "progress", false, "report streaming progress per step")
-	flag.Parse()
-
-	if err := run(c); err != nil {
-		fmt.Fprintln(os.Stderr, "ddt-explore:", err)
-		os.Exit(1)
-	}
+	fs := flag.NewFlagSet("ddt-explore", flag.ContinueOnError)
+	fs.StringVar(&c.app, "app", "", "application to explore: "+strings.Join(appNames, ", "))
+	fs.IntVar(&c.packets, "packets", 8000, "packets per simulation trace")
+	fs.StringVar(&c.logPath, "log", "", "write the exploration log (for ddt-pareto)")
+	fs.StringVar(&c.csvPath, "csv", "", "write the exploration results as CSV")
+	fs.BoolVar(&c.charts, "charts", false, "print per-configuration Pareto charts")
+	fs.IntVar(&c.workers, "workers", 0, "simulation worker goroutines (0 = all CPUs)")
+	fs.BoolVar(&c.earlyAbort, "early-abort", false, "stop simulations already dominated by the running front (fronts stay exact; full-space charts thin out)")
+	fs.Float64Var(&c.abortMargin, "abort-margin", 0, "early-abort safety margin (0 = default)")
+	fs.StringVar(&c.cachePath, "cache", "", "simulation cache file: loaded before the run, saved after")
+	fs.StringVar(&c.replayCache, "replay-cache", "", "like -cache, but also captures and persists access streams and the reuse profiles of platform evaluations, so later runs evaluate new platform configurations by replay — or by profile arithmetic with zero probe passes — instead of re-execution")
+	fs.BoolVar(&c.compose, "compose", false, "compositional capture: record one access sub-stream per container role (per-role heap arenas) and evaluate DDT combinations by interleaving cached sub-streams instead of re-executing — the 10^K cross-product costs ~10*K executions")
+	fs.BoolVar(&c.noprune, "noprune", false, "with -compose, disable bound-guided pruning: by default, combinations whose admissible per-lane lower bound (sum of isolated lane reuse-profile bounds) is already dominated by the running Pareto front are discarded with zero replays — fronts stay bit-identical either way")
+	fs.Float64Var(&c.sampleRate, "sample-rate", 0, "screen the combination space with SHARDS-sampled replays at this spatial rate (e.g. 0.015625 = 1/64) before re-running the surviving near-front combinations exactly — the reported front is identical in membership to an exact run; implies -compose (0 disables; rates round down to a power of two)")
+	fs.StringVar(&c.platforms, "platforms", "", "comma-separated platform points (or 'all') to evaluate the best-energy recommendation on: points sharing a cache line size are costed by one all-geometry replay pass (a cached reuse profile makes the sweep pure arithmetic); names from the default sweep set")
+	fs.IntVar(&c.checkpointEvery, "checkpoint-every", 0, "with -cache or -replay-cache, persist a resumable campaign checkpoint every N settled jobs (0 disables periodic checkpoints; an interrupt always writes a final one)")
+	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile of the exploration to this file")
+	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile (taken after the exploration) to this file")
+	fs.BoolVar(&c.progress, "progress", false, "report streaming progress per step")
+	err := fs.Parse(args)
+	return c, err
 }
 
-func run(c cliConfig) error {
+// cliMain is the whole command behind a testable seam: parse, arm
+// SIGINT/SIGTERM cancellation, run, map the outcome to an exit code. A
+// clean interrupt — campaign checkpointed and persisted for resumption
+// — exits 0.
+func cliMain(args []string) int {
+	c, err := parseFlags(args)
+	if err != nil {
+		return 2
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, c); err != nil {
+		fmt.Fprintln(os.Stderr, "ddt-explore:", err)
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	os.Exit(cliMain(os.Args[1:]))
+}
+
+func run(ctx context.Context, c cliConfig) error {
 	a, err := netapps.ByName(c.app)
 	if err != nil {
 		return err
@@ -164,10 +189,7 @@ func run(c cliConfig) error {
 	if c.replayCache != "" {
 		cachePath = c.replayCache
 	}
-	cache, err := loadCache(cachePath)
-	if err != nil {
-		return err
-	}
+	cache := loadCache(cachePath)
 	if cache == nil && c.platforms != "" {
 		// The platform evaluation replays captured streams; give the run
 		// an in-process cache to hold them.
@@ -185,15 +207,54 @@ func run(c cliConfig) error {
 	opts.Compose = c.compose
 	opts.BoundPrune = c.compose && !c.noprune
 	opts.CaptureStreams = !c.compose && (c.replayCache != "" || c.platforms != "")
+	if c.checkpointEvery > 0 {
+		opts.CheckpointEvery = c.checkpointEvery
+		withStreams := c.replayCache != ""
+		opts.Checkpoint = func(ck explore.Checkpoint) {
+			if cachePath != "" {
+				if err := cache.SaveFile(cachePath, withStreams); err != nil {
+					fmt.Fprintln(os.Stderr, "ddt-explore: checkpoint save failed:", err)
+					return
+				}
+			}
+			fmt.Fprintf(os.Stderr, "checkpoint: %d jobs settled (step %d)\n", ck.Settled, ck.Step)
+		}
+	}
 	eng := explore.NewEngine(a, opts)
+	if cache != nil {
+		if ck, ok := cache.Checkpoint(); ok && ck.App == a.Name() && ck.Ctx == eng.ExploreContext() {
+			if ck.Done {
+				fmt.Fprintf(os.Stderr, "cache holds this campaign complete (%d jobs settled); rerunning warm\n", ck.Settled)
+			} else {
+				fmt.Fprintf(os.Stderr, "resuming: %d jobs settled before the last interruption\n", ck.Settled)
+			}
+		}
+	}
 	m := core.Methodology{App: a, Opts: opts, Engine: eng}
 
 	start := time.Now()
-	r, err := m.Run()
+	r, err := m.RunContext(ctx)
 	if err != nil {
+		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+			// Interrupted: the engine already recorded a final mid-flight
+			// checkpoint into the cache on its cancellation path; persist
+			// it and exit cleanly so the next identical invocation
+			// resumes from the watermark.
+			if serr := saveCache(cachePath, cache, c.replayCache != ""); serr != nil {
+				return serr
+			}
+			if cachePath != "" {
+				fmt.Fprintf(os.Stderr, "interrupted: campaign state saved to %s after %d settled jobs; rerun the same command to resume\n",
+					cachePath, eng.Settled())
+			} else {
+				fmt.Fprintln(os.Stderr, "interrupted: no -cache/-replay-cache configured, campaign state not persisted")
+			}
+			return nil
+		}
 		return err
 	}
 	elapsed := time.Since(start)
+	eng.FinishCampaign() // terminal checkpoint: marks the persisted campaign complete
 
 	fmt.Printf("=== %s: 3-step DDT refinement ===\n\n", r.App)
 	fmt.Printf("step 1 - application-level exploration (reference: %s)\n", r.Reference)
@@ -389,60 +450,61 @@ func bestAssignment(r *core.Report) apps.Assignment {
 	return nil
 }
 
-// loadCache opens the persistent simulation cache, tolerating a missing
-// file (the first run creates it).
-func loadCache(path string) (*explore.Cache, error) {
+// loadCache opens the persistent simulation cache. A run must never die
+// to cache damage — the cache is an accelerator, not an input — so every
+// failure degrades gracefully to a cold start: a missing file is the
+// first run, an unusable file is warned about and moved aside to
+// <path>.corrupt (preserving the evidence while letting the end-of-run
+// save recreate the path), and a partially damaged file loads whatever
+// its intact sections hold.
+func loadCache(path string) *explore.Cache {
 	if path == "" {
-		return nil, nil
+		return nil
 	}
 	cache := explore.NewCache()
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return cache, nil
+		return cache
 	}
 	if err != nil {
-		return nil, err
+		fmt.Fprintf(os.Stderr, "ddt-explore: cannot read cache %s (%v); continuing cold\n", path, err)
+		return cache
 	}
-	defer f.Close()
-	if err := cache.Load(f); err != nil {
-		return nil, err
+	rep, lerr := cache.LoadReported(f)
+	f.Close()
+	if lerr != nil {
+		aside := path + ".corrupt"
+		fmt.Fprintf(os.Stderr, "ddt-explore: cache %s is unusable (%v); moving it aside and continuing cold\n", path, lerr)
+		if rerr := os.Rename(path, aside); rerr != nil {
+			fmt.Fprintf(os.Stderr, "ddt-explore: could not move the unusable cache aside: %v\n", rerr)
+		} else {
+			fmt.Fprintf(os.Stderr, "ddt-explore: unusable cache preserved at %s\n", aside)
+		}
+		return explore.NewCache()
+	}
+	for _, s := range rep.Dropped {
+		fmt.Fprintf(os.Stderr, "ddt-explore: cache section %q failed its checksum and was dropped; its work will be recomputed\n", s)
+	}
+	if rep.Truncated {
+		fmt.Fprintf(os.Stderr, "ddt-explore: cache %s ends mid-write (interrupted save?); loaded everything before the tear\n", path)
 	}
 	stats := cache.Stats()
 	fmt.Fprintf(os.Stderr, "loaded %d cached simulations (%d access streams, %d role lanes, %d reuse profiles, %d lane profiles) from %s\n",
 		stats.Entries, stats.Streams, stats.Lanes, stats.ReuseProfiles, stats.LaneProfiles, path)
-	return cache, nil
+	return cache
 }
 
 // saveCache persists the cache for the next run; withStreams additionally
 // persists the captured access streams and per-role sub-streams
-// (-replay-cache). The write is atomic: the cache is serialized to a
-// temporary file in the destination directory and renamed into place, so
-// an interrupt mid-save can never destroy the previous cache.
+// (-replay-cache). The write is atomic and durable (temp file in the
+// destination directory, fsync, rename, directory fsync, bounded
+// retries), so an interrupt or crash mid-save can never destroy the
+// previous cache.
 func saveCache(path string, cache *explore.Cache, withStreams bool) error {
 	if path == "" || cache == nil {
 		return nil
 	}
-	dir, base := filepath.Split(path)
-	f, err := os.CreateTemp(dir, base+".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	save := cache.Save
-	if withStreams {
-		save = cache.SaveWithStreams
-	}
-	if err := save(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := cache.SaveFile(path, withStreams); err != nil {
 		return err
 	}
 	stats := cache.Stats()

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"os"
 	"path/filepath"
@@ -9,6 +10,16 @@ import (
 
 	"repro/internal/report"
 )
+
+// TestMain doubles the test binary as the ddt-explore command when
+// re-exec'd by the interruption tests, so signal handling is exercised
+// against the real cliMain path in a real child process.
+func TestMain(m *testing.M) {
+	if os.Getenv("BE_DDT_EXPLORE") == "1" {
+		os.Exit(cliMain(os.Args[1:]))
+	}
+	os.Exit(m.Run())
+}
 
 // base returns the minimal CLI config the tests start from.
 func base(app string) cliConfig {
@@ -18,7 +29,7 @@ func base(app string) cliConfig {
 func TestRunWritesLog(t *testing.T) {
 	c := base("URL")
 	c.logPath = filepath.Join(t.TempDir(), "url.log")
-	if err := run(c); err != nil {
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(c.logPath)
@@ -46,13 +57,13 @@ func TestRunWithCharts(t *testing.T) {
 	c.charts = true
 	c.workers = 2
 	c.earlyAbort = true
-	if err := run(c); err != nil {
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownApp(t *testing.T) {
-	if err := run(base("Quake")); err == nil {
+	if err := run(context.Background(), base("Quake")); err == nil {
 		t.Fatal("unknown app accepted")
 	}
 }
@@ -60,7 +71,7 @@ func TestRunUnknownApp(t *testing.T) {
 func TestRunBadLogPath(t *testing.T) {
 	c := base("URL")
 	c.logPath = "/nonexistent-dir/x.log"
-	if err := run(c); err == nil {
+	if err := run(context.Background(), c); err == nil {
 		t.Fatal("unwritable log path accepted")
 	}
 }
@@ -68,7 +79,7 @@ func TestRunBadLogPath(t *testing.T) {
 func TestRunWritesCSV(t *testing.T) {
 	c := base("URL")
 	c.csvPath = filepath.Join(t.TempDir(), "url.csv")
-	if err := run(c); err != nil {
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(c.csvPath)
@@ -87,7 +98,7 @@ func TestRunWritesCSV(t *testing.T) {
 func TestRunPersistsSimulationCache(t *testing.T) {
 	c := base("URL")
 	c.cachePath = filepath.Join(t.TempDir(), "url.simcache")
-	if err := run(c); err != nil {
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(c.cachePath); err != nil {
@@ -95,7 +106,7 @@ func TestRunPersistsSimulationCache(t *testing.T) {
 	}
 	// A second run must reload the cache and produce the same artifacts.
 	c.logPath = filepath.Join(t.TempDir(), "url.log")
-	if err := run(c); err != nil {
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(c.logPath)
@@ -115,7 +126,7 @@ func TestRunPersistsSimulationCache(t *testing.T) {
 func TestRunReplayCachePersistsStreams(t *testing.T) {
 	c := base("URL")
 	c.replayCache = filepath.Join(t.TempDir(), "url.replay")
-	if err := run(c); err != nil {
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	replayInfo, err := os.Stat(c.replayCache)
@@ -126,7 +137,7 @@ func TestRunReplayCachePersistsStreams(t *testing.T) {
 	// stream-bearing one.
 	lean := base("URL")
 	lean.cachePath = filepath.Join(t.TempDir(), "url.simcache")
-	if err := run(lean); err != nil {
+	if err := run(context.Background(), lean); err != nil {
 		t.Fatal(err)
 	}
 	leanInfo, err := os.Stat(lean.cachePath)
@@ -138,7 +149,7 @@ func TestRunReplayCachePersistsStreams(t *testing.T) {
 			replayInfo.Size(), leanInfo.Size())
 	}
 	// Reloading the replay cache must work.
-	if err := run(c); err != nil {
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -147,7 +158,7 @@ func TestRunCacheFlagsExclusive(t *testing.T) {
 	c := base("URL")
 	c.cachePath = filepath.Join(t.TempDir(), "a")
 	c.replayCache = filepath.Join(t.TempDir(), "b")
-	if err := run(c); err == nil {
+	if err := run(context.Background(), c); err == nil {
 		t.Fatal("-cache together with -replay-cache accepted")
 	}
 }
@@ -155,15 +166,15 @@ func TestRunCacheFlagsExclusive(t *testing.T) {
 func TestRunEvaluatesPlatforms(t *testing.T) {
 	c := base("URL")
 	c.platforms = "all"
-	if err := run(c); err != nil {
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	c.platforms = "tiny-4K-64K, midrange-32K-512K"
-	if err := run(c); err != nil {
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	c.platforms = "no-such-platform"
-	if err := run(c); err == nil {
+	if err := run(context.Background(), c); err == nil {
 		t.Fatal("unknown platform name accepted")
 	}
 }
@@ -172,7 +183,7 @@ func TestRunWritesProfiles(t *testing.T) {
 	c := base("URL")
 	c.cpuProfile = filepath.Join(t.TempDir(), "cpu.pprof")
 	c.memProfile = filepath.Join(t.TempDir(), "mem.pprof")
-	if err := run(c); err != nil {
+	if err := run(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	// CPU profile is finalized by StopCPUProfile when run returns; the

@@ -502,6 +502,7 @@ func (e *Engine) step1BranchBound(ctx context.Context, reference Config, s1 *Ste
 		}
 		cancel()
 	}
+	sc := ckptScope{step: 1, front: guard.points}
 	land := func(o Outcome) {
 		combo := comboIndex(o.Job.Assign, dominant)
 		mat = append(mat, materialized{combo: combo, res: o.Result})
@@ -509,6 +510,7 @@ func (e *Engine) step1BranchBound(ctx context.Context, reference Config, s1 *Ste
 			guard.add(o.Result.Point(combo))
 		}
 		done++
+		e.noteSettled(1, sc)
 		if e.opts.Progress != nil {
 			e.opts.Progress(done, total)
 		}
@@ -536,6 +538,7 @@ func (e *Engine) step1BranchBound(ctx context.Context, reference Config, s1 *Ste
 		return firstErr
 	}
 	if err := ctx.Err(); err != nil {
+		e.fireCheckpoint(sc, false) // cancelled mid-seed: snapshot for resume
 		return err
 	}
 
@@ -612,6 +615,10 @@ func (e *Engine) step1BranchBound(ctx context.Context, reference Config, s1 *Ste
 			e.bbCuts.Add(1)
 			s1.Pruned += w
 			done += w
+			// A subtree cut settles its whole leaf width in one step:
+			// the watermark composes with bulk tombstones by width, so
+			// materialized + cut counts still sum to the space.
+			e.noteSettled(int64(w), sc)
 			if e.opts.Progress != nil {
 				e.opts.Progress(done, total)
 			}
@@ -621,6 +628,7 @@ func (e *Engine) step1BranchBound(ctx context.Context, reference Config, s1 *Ste
 		return firstErr
 	}
 	if err := ctx.Err(); err != nil {
+		e.fireCheckpoint(sc, false) // cancelled mid-search: snapshot for resume
 		return err
 	}
 

@@ -1,8 +1,6 @@
 package explore
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"io"
 	"sync"
@@ -110,6 +108,13 @@ type Cache struct {
 
 	pm       sync.Mutex
 	profiles map[string]*profiler.Set
+
+	// Campaign checkpoint (own mutex): the latest engine snapshot —
+	// settled-job watermark, survivor front, stats — persisted as its
+	// own section so an interrupted run resumes with its reporting
+	// state, not just its memoized results.
+	ckMu sync.Mutex
+	ckpt *Checkpoint
 
 	hits, misses             atomic.Uint64
 	streamHits, streamMisses atomic.Uint64
@@ -644,10 +649,11 @@ func (c *Cache) storeProfile(key string, p *profiler.Set) {
 	c.pm.Unlock()
 }
 
-// cacheFile is the persistent form of a Cache. Streams, lane
-// sub-streams, schedules and reuse profiles are optional
-// (SaveWithStreams); dominance profiles are runtime-only. Files written
-// before a field existed decode it as empty.
+// cacheFile is the persistent form of a pre-v4 (single gob struct)
+// cache file, kept for legacy decoding. Streams, lane sub-streams,
+// schedules and reuse profiles are optional (SaveWithStreams);
+// dominance profiles are runtime-only. Files written before a field
+// existed decode it as empty.
 type cacheFile struct {
 	Entries   map[string]cacheEntry
 	Streams   map[string]streamEntry
@@ -672,129 +678,9 @@ func (c *Cache) SaveWithStreams(w io.Writer) error {
 	return c.save(w, true)
 }
 
-func (c *Cache) save(w io.Writer, withStreams bool) error {
-	var f cacheFile
-	c.mu.RLock()
-	f.Entries = make(map[string]cacheEntry, len(c.m))
-	for k, v := range c.m {
-		f.Entries[k] = v
-	}
-	c.mu.RUnlock()
-	if withStreams {
-		c.sm.RLock()
-		f.Streams = make(map[string]streamEntry, len(c.streams))
-		for k, v := range c.streams {
-			f.Streams[k] = v
-		}
-		f.Lanes = make(map[string]*astream.SubStream, len(c.lanes))
-		for k, v := range c.lanes {
-			f.Lanes[k] = v
-		}
-		f.Scheds = make(map[string]schedEntry, len(c.scheds))
-		for k, v := range c.scheds {
-			f.Scheds[k] = v
-		}
-		f.RProfiles = make(map[string]*memsim.ReuseProfile, len(c.rprofiles))
-		for k, v := range c.rprofiles {
-			f.RProfiles[k] = v
-		}
-		f.LProfiles = make(map[string]*memsim.ReuseProfile, len(c.lprofiles))
-		for k, v := range c.lprofiles {
-			f.LProfiles[k] = v
-		}
-		c.sm.RUnlock()
-	}
-	return gob.NewEncoder(w).Encode(f)
-}
-
-// Load merges previously saved cache contents from r, overwriting
-// entries with equal keys (except that a loaded partial stream never
-// replaces a complete one, mirroring storeStream). It is how repeated
-// CLI runs skip simulations earlier runs already paid for. Cache files
-// written before the access-stream format (a bare entry map) still load.
-func (c *Cache) Load(r io.Reader) error {
-	raw, err := io.ReadAll(r)
-	if err != nil {
-		return fmt.Errorf("explore: loading simulation cache: %w", err)
-	}
-	var f cacheFile
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&f); err != nil {
-		// Pre-stream format: the file is the entry map itself.
-		f = cacheFile{}
-		if legacyErr := gob.NewDecoder(bytes.NewReader(raw)).Decode(&f.Entries); legacyErr != nil {
-			return fmt.Errorf("explore: loading simulation cache: %w", err)
-		}
-	}
-	c.mu.Lock()
-	for k, v := range f.Entries {
-		c.m[k] = v
-	}
-	c.mu.Unlock()
-	c.sm.Lock()
-	for k, v := range f.Streams {
-		if old, ok := c.streams[k]; !ok {
-			c.streamOrder = append(c.streamOrder, k)
-		} else {
-			if v.Stream.Partial && !old.Stream.Partial {
-				continue
-			}
-			c.streamBytes -= int64(old.Stream.SizeBytes())
-		}
-		c.streams[k] = v
-		c.streamBytes += int64(v.Stream.SizeBytes())
-	}
-	for k, v := range f.Lanes {
-		if v == nil || v.Partial {
-			continue
-		}
-		if old, ok := c.lanes[k]; ok {
-			c.streamBytes -= int64(old.SizeBytes())
-		} else {
-			c.laneOrder = append(c.laneOrder, k)
-		}
-		c.lanes[k] = v
-		c.streamBytes += int64(v.SizeBytes())
-	}
-	for k, v := range f.Scheds {
-		if v.Sched == nil || v.Ambient == nil || v.Ambient.Partial {
-			continue
-		}
-		if _, ok := c.scheds[k]; ok {
-			continue
-		}
-		c.scheds[k] = v
-		c.streamBytes += v.sizeBytes()
-	}
-	for k, v := range f.RProfiles {
-		if v == nil {
-			continue
-		}
-		if old, ok := c.rprofiles[k]; ok {
-			c.streamBytes -= int64(old.SizeBytes())
-			v = v.Merge(old) // loading can only grow coverage, as storeReuseProfile
-		} else {
-			c.rprofOrder = append(c.rprofOrder, k)
-		}
-		c.rprofiles[k] = v
-		c.streamBytes += int64(v.SizeBytes())
-	}
-	for k, v := range f.LProfiles {
-		if v == nil {
-			continue
-		}
-		if old, ok := c.lprofiles[k]; ok {
-			c.streamBytes -= int64(old.SizeBytes())
-			v = v.Merge(old)
-		} else {
-			c.lprofOrder = append(c.lprofOrder, k)
-		}
-		c.lprofiles[k] = v
-		c.streamBytes += int64(v.SizeBytes())
-	}
-	c.evictLocked()
-	c.sm.Unlock()
-	return nil
-}
+// save and Load live in cache_io.go: the sectioned v4 format with
+// per-section CRC32C framing, the legacy decoders, and the atomic
+// SaveFile path.
 
 // cacheKey renders the complete identity of one simulation: the
 // platform-invariant part (streamKey) plus the platform configuration.

@@ -1,0 +1,156 @@
+package explore
+
+import (
+	"repro/internal/pareto"
+)
+
+// Checkpoint is one durable campaign snapshot: enough state for an
+// interrupted exploration to resume — and prove it resumed — without
+// re-executing anything the crashed run already settled. The heavy
+// state (finished results, dominance and subtree-cut tombstones,
+// lanes, profiles) lives in the cache's ordinary sections and is what
+// actually makes resumption cheap; the checkpoint carries the campaign
+// bookkeeping on top: the settled-job watermark, the survivor front at
+// the snapshot, and the engine's work counters.
+//
+// Resumption is a warm re-run: job spaces are deterministic, finished
+// results and tombstones answer every settled job from the cache, and
+// the survivor front rebuilds bit-identical in membership (a
+// tombstone's dominator is always a finished, cached, never-evicted
+// result, so dominance transitivity carries every discard proof across
+// the restart). The checkpoint's Ctx pins the exploration semantics
+// the snapshot was taken under — a resume under different pruning
+// rules is a cold run by design, exactly as tombstone reuse is gated.
+type Checkpoint struct {
+	// App and Ctx identify the campaign: the application name and the
+	// engine's exploration context (prune mode, dominant-k, abort
+	// margin, bound pruning). A checkpoint only describes resumption
+	// for an engine with the identical context.
+	App string
+	Ctx string
+	// Step is the methodology step the snapshot was taken in (1 or 2;
+	// 0 for a terminal snapshot).
+	Step int
+	// Settled is the watermark: jobs settled so far across the
+	// campaign — every delivered outcome (simulated, replayed,
+	// composed, cache-hit, aborted, individually pruned) plus the full
+	// leaf width of every branch-and-bound subtree cut.
+	Settled int64
+	// Front is the survivor front at the snapshot (step 1's online
+	// front; step-2 snapshots keep the step-1 survivor front, since
+	// step-2 fronts are per-configuration and rebuild from cache).
+	Front []pareto.Point
+	// Stats are the engine work counters at the snapshot.
+	Stats EngineStats
+	// Done marks a terminal checkpoint: the campaign ran to
+	// completion, so a warm rerun reports full coverage instead of
+	// resuming.
+	Done bool
+}
+
+// SetCheckpoint stores a defensive copy of ck as the cache's campaign
+// checkpoint; SaveFile persists it as its own section.
+func (c *Cache) SetCheckpoint(ck Checkpoint) {
+	ck.Front = append([]pareto.Point(nil), ck.Front...)
+	c.ckMu.Lock()
+	c.ckpt = &ck
+	c.ckMu.Unlock()
+}
+
+// Checkpoint returns a copy of the cache's campaign checkpoint, if one
+// has been recorded (or loaded).
+func (c *Cache) Checkpoint() (Checkpoint, bool) {
+	c.ckMu.Lock()
+	defer c.ckMu.Unlock()
+	if c.ckpt == nil {
+		return Checkpoint{}, false
+	}
+	ck := *c.ckpt
+	ck.Front = append([]pareto.Point(nil), ck.Front...)
+	return ck, true
+}
+
+// ckptScope is the step-local context a collector threads into settled
+// accounting: which methodology step is running and how to snapshot
+// its survivor front. Checkpoints fire on the step's collector
+// goroutine, so front() needs no synchronization beyond the guard's.
+type ckptScope struct {
+	step  int
+	front func() []pareto.Point
+}
+
+// Settled returns the engine's settled-job watermark: delivered
+// outcomes plus bulk subtree-cut widths, across all steps so far.
+func (e *Engine) Settled() int64 { return e.settled.Load() }
+
+// ExploreContext returns the engine's exploration-semantics tag — the
+// string checkpoints and dominance tombstones are pinned to.
+func (e *Engine) ExploreContext() string { return e.exploreCtx }
+
+// LastCheckpoint returns the most recent checkpoint this engine fired.
+func (e *Engine) LastCheckpoint() (Checkpoint, bool) {
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+	if e.lastCkpt == nil {
+		return Checkpoint{}, false
+	}
+	ck := *e.lastCkpt
+	ck.Front = append([]pareto.Point(nil), ck.Front...)
+	return ck, true
+}
+
+// noteSettled advances the watermark by n settled jobs and fires a
+// checkpoint when the total crosses a multiple of
+// Options.CheckpointEvery. Called from collector goroutines only (one
+// per running step), so checkpoint assembly never races a guard
+// mutation from its own step.
+func (e *Engine) noteSettled(n int64, sc ckptScope) {
+	total := e.settled.Add(n)
+	every := int64(e.opts.CheckpointEvery)
+	if every <= 0 {
+		return
+	}
+	if total/every != (total-n)/every {
+		e.fireCheckpoint(sc, false)
+	}
+}
+
+// fireCheckpoint assembles a snapshot, records it in the cache and the
+// engine, and invokes the Options.Checkpoint callback (which typically
+// persists the cache file). A scope without a front snapshot keeps the
+// previous checkpoint's front, so step-2 checkpoints preserve the
+// step-1 survivor front.
+func (e *Engine) fireCheckpoint(sc ckptScope, done bool) {
+	ck := Checkpoint{
+		App:     e.app.Name(),
+		Ctx:     e.exploreCtx,
+		Step:    sc.step,
+		Settled: e.settled.Load(),
+		Stats:   e.Stats(),
+		Done:    done,
+	}
+	if sc.front != nil {
+		ck.Front = sc.front()
+	} else if prev, ok := e.LastCheckpoint(); ok {
+		ck.Front = prev.Front
+	}
+	e.ckptMu.Lock()
+	cp := ck
+	e.lastCkpt = &cp
+	e.ckptMu.Unlock()
+	if e.cache != nil {
+		e.cache.SetCheckpoint(ck)
+	}
+	if e.opts.Checkpoint != nil {
+		e.opts.Checkpoint(ck)
+	}
+}
+
+// FinishCampaign records the terminal checkpoint after a campaign ran
+// to completion: Done set, the final stats, and the last step's front
+// carried over. Callers persist the cache afterwards, so an
+// interrupted FOLLOWING run can tell a finished campaign from one
+// still mid-flight.
+func (e *Engine) FinishCampaign() {
+	e.fireCheckpoint(ckptScope{}, true)
+}

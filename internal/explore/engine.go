@@ -131,6 +131,13 @@ type Engine struct {
 	screenProbes  atomic.Uint64 // exact probe count over screening replays
 	screenSampled atomic.Uint64 // hash-kept probes over screening replays
 
+	// Checkpoint state: settled is the campaign watermark (delivered
+	// outcomes plus bulk subtree-cut widths); lastCkpt remembers the
+	// most recent snapshot for terminal saves.
+	settled  atomic.Int64
+	ckptMu   sync.Mutex
+	lastCkpt *Checkpoint
+
 	simulated    atomic.Int64
 	replayed     atomic.Int64
 	composed     atomic.Int64
@@ -1192,8 +1199,9 @@ func (e *Engine) captureStream(cfg Config, assign apps.Assignment) (*astream.Str
 // each live result to sink (when non-nil) as it lands. It returns the
 // lowest-index error, if any; on error it cancels the stream's context
 // so unstarted jobs are dropped while in-flight ones drain. total is
-// only used for progress reporting.
-func (e *Engine) collect(cancel context.CancelFunc, outcomes <-chan Outcome, results []Result, total int, sink func(Outcome)) error {
+// only used for progress reporting. Every delivered outcome advances
+// the settled watermark under sc, which fires periodic checkpoints.
+func (e *Engine) collect(cancel context.CancelFunc, outcomes <-chan Outcome, results []Result, total int, sc ckptScope, sink func(Outcome)) error {
 	var firstErr error
 	firstErrIdx := len(results) + 1
 	done := 0
@@ -1210,6 +1218,7 @@ func (e *Engine) collect(cancel context.CancelFunc, outcomes <-chan Outcome, res
 			sink(o)
 		}
 		done++
+		e.noteSettled(1, sc)
 		if e.opts.Progress != nil {
 			e.opts.Progress(done, total)
 		}
@@ -1281,14 +1290,16 @@ func (e *Engine) Step1(ctx context.Context, reference Config) (*Step1Result, err
 		guardFor = func(Job) *frontGuard { return guard }
 	}
 
+	sc := ckptScope{step: 1, front: guard.points}
 	results := make([]Result, total)
-	err = e.collect(cancel, e.stream(runCtx, jobs, guardFor), results, total, func(o Outcome) {
+	err = e.collect(cancel, e.stream(runCtx, jobs, guardFor), results, total, sc, func(o Outcome) {
 		guard.add(o.Result.Point(o.Index))
 	})
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		e.fireCheckpoint(sc, false) // cancelled mid-step: snapshot for resume
 		return nil, err
 	}
 
@@ -1358,8 +1369,12 @@ func (e *Engine) Step2(ctx context.Context, s1 *Step1Result, configs []Config) (
 		guardFor = func(jb Job) *frontGuard { return guards[jb.Cfg.String()] }
 	}
 
+	// Step-2 fronts are per-configuration and rebuild from cache, so the
+	// scope snapshots no front of its own: checkpoints keep carrying the
+	// step-1 survivor front (see fireCheckpoint).
+	sc := ckptScope{step: 2}
 	results := make([]Result, total)
-	err := e.collect(cancel, e.stream(runCtx, jobs, guardFor), results, total, func(o Outcome) {
+	err := e.collect(cancel, e.stream(runCtx, jobs, guardFor), results, total, sc, func(o Outcome) {
 		if g := guards[o.Job.Cfg.String()]; g != nil {
 			g.add(o.Result.Point(o.Index))
 		}
@@ -1368,6 +1383,7 @@ func (e *Engine) Step2(ctx context.Context, s1 *Step1Result, configs []Config) (
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		e.fireCheckpoint(sc, false) // cancelled mid-step: snapshot for resume
 		return nil, err
 	}
 

@@ -208,6 +208,21 @@ type Options struct {
 	// streaming step with the number done and the step's total. It runs
 	// on the collecting goroutine (the one inside Step1/Step2).
 	Progress func(done, total int)
+	// CheckpointEvery, when positive, snapshots the campaign every time
+	// another CheckpointEvery jobs settle — every delivered outcome plus
+	// the full leaf width of every branch-and-bound subtree cut — and on
+	// context cancellation of a streaming step. Each snapshot (the
+	// settled watermark, the survivor front, the engine stats) is
+	// recorded in the cache, ready for Cache.SaveFile to persist; see
+	// Checkpoint. Zero disables periodic checkpoints (the watermark
+	// still counts).
+	CheckpointEvery int
+	// Checkpoint, when set, receives every campaign snapshot the engine
+	// records — periodic, cancellation and terminal ones. It runs on the
+	// firing step's collector goroutine, so a slow callback (persisting
+	// the cache file is the typical one) back-pressures collection, not
+	// the simulation workers.
+	Checkpoint func(Checkpoint)
 }
 
 // DefaultTracePackets is the simulation trace length used when Options

@@ -97,9 +97,14 @@ func (e *Engine) screenJob(idx int, jb Job, guard *frontGuard) (Outcome, bool) {
 		// phase two verifies it LAST, against the fully formed exact
 		// front, where a zero-replay bound cut or a completion-bound
 		// abort almost always disposes of it. Deferral is scheduling,
-		// not a discard — nothing is cached, the bound never enters the
-		// front (collect skips aborted results), and phase two settles
-		// the combination with exact evidence either way.
+		// not a discard — the bound never enters the front (collect
+		// skips aborted results), and phase two settles the combination
+		// with exact evidence either way. The marker IS cached (as a
+		// context-gated tombstone under the screen key) so a warm rerun
+		// replays this scheduling decision instead of re-deriving it
+		// from its own front — whose build-up lags the workers when
+		// every other job is an instant cache hit, which would send the
+		// combination to a fresh sampled replay the cold run never paid.
 		if bound, sum, ok, dominated := e.jobBound(jb, guard.dominatesExact); ok && dominated {
 			o.Result = Result{
 				App:     e.app.Name(),
@@ -110,6 +115,7 @@ func (e *Engine) screenJob(idx int, jb Job, guard *frontGuard) (Outcome, bool) {
 				Aborted: true,
 			}
 			o.Aborted = true
+			e.cache.store(key, o.Result, e.screenCtx)
 			return o, true
 		}
 	}
@@ -197,14 +203,16 @@ func (e *Engine) step1Screened(ctx context.Context, reference Config, probes *pr
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	guardFor := func(Job) *frontGuard { return guard }
+	sc := ckptScope{step: 1, front: guard.points}
 	results := make([]Result, total)
-	err := e.collect(cancel, e.streamMode(runCtx, jobs, guardFor, true), results, total, func(o Outcome) {
+	err := e.collect(cancel, e.streamMode(runCtx, jobs, guardFor, true), results, total, sc, func(o Outcome) {
 		guard.add(o.Result.Point(o.Index))
 	})
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		e.fireCheckpoint(sc, false) // cancelled mid-screening: snapshot for resume
 		return nil, err
 	}
 
@@ -287,14 +295,16 @@ func (e *Engine) step1Screened(ctx context.Context, reference Config, probes *pr
 	// OnlineFront.Add). Margin zero maximizes both cut and abort rates
 	// while keeping the survivor membership bit-identical.
 	vguard := newFrontGuard(0)
+	vsc := ckptScope{step: 1, front: vguard.points}
 	vres := make([]Result, len(cands))
-	err = e.collect(vCancel, e.stream(vCtx, verifyJobs, func(Job) *frontGuard { return vguard }), vres, len(cands), func(o Outcome) {
+	err = e.collect(vCancel, e.stream(vCtx, verifyJobs, func(Job) *frontGuard { return vguard }), vres, len(cands), vsc, func(o Outcome) {
 		vguard.add(o.Result.Point(o.Index))
 	})
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		e.fireCheckpoint(vsc, false) // cancelled mid-verification: snapshot for resume
 		return nil, err
 	}
 	for j, i := range cands {

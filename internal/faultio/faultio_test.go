@@ -1,0 +1,168 @@
+package faultio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTornWriterKeepsPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	tw := &TornWriter{W: &buf, Limit: 5}
+	n, err := tw.Write([]byte("hello world"))
+	if n != 5 || !errors.Is(err, ErrCrash) {
+		t.Fatalf("straddling write: n=%d err=%v, want 5, ErrCrash", n, err)
+	}
+	if got := buf.String(); got != "hello" {
+		t.Fatalf("prefix = %q, want %q", got, "hello")
+	}
+	if n, err := tw.Write([]byte("x")); n != 0 || !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-tear write: n=%d err=%v, want 0, ErrCrash", n, err)
+	}
+	if tw.Written() != 5 {
+		t.Fatalf("Written = %d, want 5", tw.Written())
+	}
+}
+
+func TestTornWriterCustomErr(t *testing.T) {
+	sentinel := errors.New("enospc")
+	tw := &TornWriter{W: &bytes.Buffer{}, Limit: 0, Err: sentinel}
+	if _, err := tw.Write([]byte("a")); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestFlakyWriterRecovers(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &FlakyWriter{W: &buf, Failures: 2}
+	if _, err := fw.Write([]byte("a")); err == nil {
+		t.Fatal("first write should fail")
+	}
+	if _, err := fw.Write([]byte("b")); err == nil {
+		t.Fatal("second write should fail")
+	}
+	if n, err := fw.Write([]byte("c")); n != 1 || err != nil {
+		t.Fatalf("third write: n=%d err=%v, want success", n, err)
+	}
+	if buf.String() != "c" {
+		t.Fatalf("buffer = %q, want %q", buf.String(), "c")
+	}
+}
+
+func TestInjectFSTearAfter(t *testing.T) {
+	dir := t.TempDir()
+	ifs := NewInjectFS(OS{}).TearAfter(4, nil)
+	f, err := ifs.CreateTemp(dir, "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if n != 4 || !errors.Is(err, ErrCrash) {
+		t.Fatalf("write: n=%d err=%v, want 4, ErrCrash", n, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "abcd" {
+		t.Fatalf("on-disk prefix = %q, want %q", raw, "abcd")
+	}
+	if ifs.Injected() != 1 {
+		t.Fatalf("Injected = %d, want 1", ifs.Injected())
+	}
+}
+
+func TestInjectFSTearSpansFiles(t *testing.T) {
+	dir := t.TempDir()
+	ifs := NewInjectFS(OS{}).TearAfter(3, nil)
+	f1, err := ifs.CreateTemp(dir, "a*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f1.Write([]byte("xy")); n != 2 || err != nil {
+		t.Fatalf("first file write: n=%d err=%v", n, err)
+	}
+	f1.Close()
+	f2, err := ifs.CreateTemp(dir, "b*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget has 1 byte left: the tear is global across files.
+	if n, err := f2.Write([]byte("zw")); n != 1 || !errors.Is(err, ErrCrash) {
+		t.Fatalf("second file write: n=%d err=%v, want 1, ErrCrash", n, err)
+	}
+	f2.Close()
+}
+
+func TestInjectFSFailN(t *testing.T) {
+	dir := t.TempDir()
+	sentinel := errors.New("eio")
+	ifs := NewInjectFS(OS{}).FailN(OpSync, 1, sentinel)
+	f, err := ifs.CreateTemp(dir, "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, sentinel) {
+		t.Fatalf("first sync err = %v, want sentinel", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second sync err = %v, want nil", err)
+	}
+	f.Close()
+}
+
+func TestInjectFSFailRename(t *testing.T) {
+	dir := t.TempDir()
+	ifs := NewInjectFS(OS{}).FailN(OpRename, 1, nil)
+	src := filepath.Join(dir, "src")
+	dst := filepath.Join(dir, "dst")
+	if err := os.WriteFile(src, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ifs.Rename(src, dst); !errors.Is(err, ErrCrash) {
+		t.Fatalf("first rename err = %v, want ErrCrash", err)
+	}
+	if err := ifs.Rename(src, dst); err != nil {
+		t.Fatalf("second rename err = %v, want nil", err)
+	}
+}
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fs OS
+	f, err := fs.CreateTemp(dir, "t*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dst := filepath.Join(dir, "final")
+	if err := fs.Rename(f.Name(), dst); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != "payload" {
+		t.Fatalf("round trip = %q", raw)
+	}
+}
