@@ -56,6 +56,44 @@ func TestRunSurvivesCorruptCache(t *testing.T) {
 	}
 }
 
+// TestRepeatedCorruptionNumbersAside pins the evidence-preservation
+// contract across repeated corruption: a second unusable cache must
+// move aside to <path>.corrupt.1 — never overwrite the first event's
+// <path>.corrupt — and so on for each further event.
+func TestRepeatedCorruptionNumbersAside(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "url.simcache")
+	c := base("URL")
+	c.cachePath = path
+
+	garbage := [][]byte{
+		[]byte("first corruption event, distinct bytes A"),
+		[]byte("second corruption event, distinct bytes BB"),
+		[]byte("third corruption event, distinct bytes CCC"),
+	}
+	asides := []string{path + ".corrupt", path + ".corrupt.1", path + ".corrupt.2"}
+	for i, g := range garbage {
+		if err := os.WriteFile(path, g, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(context.Background(), c); err != nil {
+			t.Fatalf("corruption event %d killed the run: %v", i, err)
+		}
+	}
+	for i, aside := range asides {
+		got, err := os.ReadFile(aside)
+		if err != nil {
+			t.Fatalf("event %d evidence missing at %s: %v", i, aside, err)
+		}
+		if !bytes.Equal(got, garbage[i]) {
+			t.Fatalf("%s holds %q, want event %d's bytes %q", aside, got, i, garbage[i])
+		}
+	}
+	if _, err := os.Lstat(path + ".corrupt.3"); !os.IsNotExist(err) {
+		t.Fatal("a fourth aside file appeared out of nowhere")
+	}
+}
+
 // TestRunSalvagesTruncatedCache pins the salvage path end to end: a
 // cache torn mid-write (as a crash during a checkpoint save would leave
 // behind on a filesystem without atomic rename) still loads everything

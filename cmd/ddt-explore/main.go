@@ -43,10 +43,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -54,6 +56,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/apps/netapps"
 	"repro/internal/core"
+	"repro/internal/distrib"
 	"repro/internal/explore"
 	"repro/internal/memsim"
 	"repro/internal/metrics"
@@ -78,6 +81,11 @@ type cliConfig struct {
 	sampleRate      float64 // two-phase screening: sampled estimates, exact re-check
 	platforms       string  // platform names to evaluate the recommendation on
 	checkpointEvery int     // persist a campaign checkpoint every N settled jobs
+	serve           string  // coordinate a distributed campaign on this address
+	join            string  // join a coordinator as a worker
+	workerID        string  // worker name in coordinator stats
+	shardSize       int     // jobs per distributed lease
+	leaseTTL        time.Duration
 	cpuProfile      string
 	memProfile      string
 	progress        bool
@@ -107,6 +115,11 @@ func parseFlags(args []string) (cliConfig, error) {
 	fs.Float64Var(&c.sampleRate, "sample-rate", 0, "screen the combination space with SHARDS-sampled replays at this spatial rate (e.g. 0.015625 = 1/64) before re-running the surviving near-front combinations exactly — the reported front is identical in membership to an exact run; implies -compose (0 disables; rates round down to a power of two)")
 	fs.StringVar(&c.platforms, "platforms", "", "comma-separated platform points (or 'all') to evaluate the best-energy recommendation on: points sharing a cache line size are costed by one all-geometry replay pass (a cached reuse profile makes the sweep pure arithmetic); names from the default sweep set")
 	fs.IntVar(&c.checkpointEvery, "checkpoint-every", 0, "with -cache or -replay-cache, persist a resumable campaign checkpoint every N settled jobs (0 disables periodic checkpoints; an interrupt always writes a final one)")
+	fs.StringVar(&c.serve, "serve", "", "coordinate a distributed campaign on this TCP address (e.g. :9777): lease shards of the combination space to joining workers, merge their results and cache entries, and print the usual report from the merged cache; implies -compose")
+	fs.StringVar(&c.join, "join", "", "join the coordinator at this TCP address as a worker: resolve leased shards through the local engine and cache and stream results back; retries with backoff across coordinator restarts; implies -compose")
+	fs.StringVar(&c.workerID, "worker-id", "", "worker name reported to the coordinator (default host-pid)")
+	fs.IntVar(&c.shardSize, "shard-size", 0, "with -serve, jobs per leased shard (0 = default)")
+	fs.DurationVar(&c.leaseTTL, "lease-ttl", 0, "with -serve, how long a worker holds a shard before it is reassigned (0 = default 30s)")
 	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile of the exploration to this file")
 	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile (taken after the exploration) to this file")
 	fs.BoolVar(&c.progress, "progress", false, "report streaming progress per step")
@@ -152,6 +165,18 @@ func run(ctx context.Context, c cliConfig) error {
 		// so it implies the compositional path (and, inside the engine,
 		// bound pruning and completion-bound aborts for the exact
 		// verification phase).
+		c.compose = true
+	}
+	if c.serve != "" && c.join != "" {
+		return fmt.Errorf("-serve and -join are mutually exclusive")
+	}
+	if (c.serve != "" || c.join != "") && c.sampleRate > 0 {
+		return fmt.Errorf("-sample-rate screening is not supported in distributed mode")
+	}
+	if c.serve != "" || c.join != "" {
+		// Distributed campaigns lease the compositional job space: both
+		// sides must resolve jobs under identical semantics, and the
+		// content-addressed lanes/schedules are what workers stream back.
 		c.compose = true
 	}
 	if c.cpuProfile != "" {
@@ -230,6 +255,21 @@ func run(ctx context.Context, c cliConfig) error {
 			}
 		}
 	}
+	if c.join != "" {
+		return runWorker(ctx, c, eng, cache, cachePath)
+	}
+	var dist *explore.DistState
+	if c.serve != "" {
+		d, err := runCoordinator(ctx, c, a, eng, cache, cachePath)
+		if err != nil || d == nil {
+			// nil DistState with a nil error: clean interrupt, state saved.
+			return err
+		}
+		dist = d
+		// Fall through: the campaign is settled in the cache, so the
+		// ordinary methodology run below is a warm rerun that assembles
+		// the standard report entirely from cache hits.
+	}
 	m := core.Methodology{App: a, Opts: opts, Engine: eng}
 
 	start := time.Now()
@@ -299,6 +339,9 @@ func run(ctx context.Context, c cliConfig) error {
 		fmt.Printf("branch-and-bound: expanded %d tree nodes, cut %d dominated subtrees in bulk\n",
 			st.Expanded, st.SubtreeCuts)
 	}
+	if dist != nil {
+		printWorkerStats(dist)
+	}
 	if s1 := r.Step1; s1.SampleRate > 0 {
 		fmt.Printf("screening: %d sampled estimates at achieved rate 1/%.0f; %d screened on intervals, %d bound-pruned, %d abort-stopped, %d verified exactly -> %d survivors (front identical to an exact run)\n",
 			st.Sampled, 1/s1.SampleRate, s1.Screened, s1.Pruned, s1.Aborted, s1.Verified, len(s1.Survivors))
@@ -367,6 +410,118 @@ func run(ctx context.Context, c cliConfig) error {
 		}
 	}
 	return saveCache(cachePath, cache, c.replayCache != "")
+}
+
+// runWorker joins a coordinator as a distributed worker: resolve
+// leased shards until the campaign completes, then persist the local
+// cache so the next join starts warm. An interrupt exits cleanly, like
+// an interrupted single-process campaign.
+func runWorker(ctx context.Context, c cliConfig, eng *explore.Engine, cache *explore.Cache, cachePath string) error {
+	id := c.workerID
+	if id == "" {
+		host, _ := os.Hostname()
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	fmt.Fprintf(os.Stderr, "worker %s joining %s (campaign %s)\n", id, c.join, eng.CampaignID())
+	err := distrib.RunWorker(ctx, eng, distrib.WorkerOptions{
+		ID: id,
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", c.join)
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	interrupted := err != nil && ctx.Err() != nil && errors.Is(err, context.Canceled)
+	if err == nil || interrupted {
+		if serr := saveCache(cachePath, cache, c.replayCache != ""); serr != nil {
+			return serr
+		}
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "interrupted: worker stopped; rerun the same command to rejoin")
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	st := eng.Stats()
+	fmt.Printf("worker %s finished: simulated %d, replayed %d, composed %d, cache hits %d, bound-pruned %d\n",
+		id, st.Simulated, st.Replayed, st.Composed, st.CacheHits, st.Pruned)
+	return nil
+}
+
+// runCoordinator serves a distributed campaign until every job of both
+// exploration steps is settled in the engine's cache. On success it
+// returns the per-worker stats and leaves the listener serving "done"
+// until the process exits, so stragglers drain cleanly; a clean
+// interrupt saves the campaign state for resumption and returns
+// (nil, nil), mirroring the single-process interrupt path.
+func runCoordinator(ctx context.Context, c cliConfig, a apps.App, eng *explore.Engine, cache *explore.Cache, cachePath string) (*explore.DistState, error) {
+	ln, err := net.Listen("tcp", c.serve)
+	if err != nil {
+		return nil, err
+	}
+	coord := distrib.NewCoordinator(a, eng, distrib.Options{
+		ShardSize: c.shardSize,
+		LeaseTTL:  c.leaseTTL,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	fmt.Fprintf(os.Stderr, "coordinating campaign %s on %s\n", eng.CampaignID(), ln.Addr())
+	if err := coord.Run(ctx, ln); err != nil {
+		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
+			if serr := saveCache(cachePath, cache, c.replayCache != ""); serr != nil {
+				return nil, serr
+			}
+			if cachePath != "" {
+				fmt.Fprintf(os.Stderr, "interrupted: campaign state saved to %s after %d settled jobs; rerun the same command to resume\n",
+					cachePath, eng.Settled())
+			} else {
+				fmt.Fprintln(os.Stderr, "interrupted: no -cache/-replay-cache configured, campaign state not persisted")
+			}
+			return nil, nil
+		}
+		ln.Close()
+		return nil, err
+	}
+	// Let polling workers pick up their "done" and leave before this
+	// process (and its listener) goes away — a worker that only sees
+	// the coordinator vanish cannot tell a finished campaign from a
+	// crashed one and would keep redialing.
+	drain := 5 * time.Second
+	if c.leaseTTL > drain {
+		drain = c.leaseTTL
+	}
+	coord.Drain(drain)
+	return coord.DistState(), nil
+}
+
+// printWorkerStats renders the per-worker lease and cache-entry
+// tallies of a distributed campaign.
+func printWorkerStats(dist *explore.DistState) {
+	ids := make([]string, 0, len(dist.Workers))
+	for id := range dist.Workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Println("\ndistributed campaign: per-worker stats:")
+	var rows [][]string
+	for _, id := range ids {
+		w := dist.Workers[id]
+		rows = append(rows, []string{
+			id,
+			fmt.Sprintf("%d", w.Leased),
+			fmt.Sprintf("%d", w.Completed),
+			fmt.Sprintf("%d", w.Expired),
+			fmt.Sprintf("%d", w.Reassigned),
+			fmt.Sprintf("%d", w.EntriesReceived),
+			fmt.Sprintf("%d", w.EntriesDeduped),
+		})
+	}
+	fmt.Println(report.Table([]string{"worker", "leased", "completed", "expired", "reassigned", "entries", "deduped"}, rows))
 }
 
 // evaluatePlatforms answers the co-design question for the run's
@@ -473,7 +628,7 @@ func loadCache(path string) *explore.Cache {
 	rep, lerr := cache.LoadReported(f)
 	f.Close()
 	if lerr != nil {
-		aside := path + ".corrupt"
+		aside := corruptAside(path)
 		fmt.Fprintf(os.Stderr, "ddt-explore: cache %s is unusable (%v); moving it aside and continuing cold\n", path, lerr)
 		if rerr := os.Rename(path, aside); rerr != nil {
 			fmt.Fprintf(os.Stderr, "ddt-explore: could not move the unusable cache aside: %v\n", rerr)
@@ -492,6 +647,20 @@ func loadCache(path string) *explore.Cache {
 	fmt.Fprintf(os.Stderr, "loaded %d cached simulations (%d access streams, %d role lanes, %d reuse profiles, %d lane profiles) from %s\n",
 		stats.Entries, stats.Streams, stats.Lanes, stats.ReuseProfiles, stats.LaneProfiles, path)
 	return cache
+}
+
+// corruptAside picks the path an unusable cache is preserved at:
+// <path>.corrupt, or the first free numbered suffix (.corrupt.1, …)
+// when earlier corruption evidence already occupies it — a second
+// event must never overwrite the first's evidence.
+func corruptAside(path string) string {
+	aside := path + ".corrupt"
+	for n := 1; ; n++ {
+		if _, err := os.Lstat(aside); os.IsNotExist(err) {
+			return aside
+		}
+		aside = fmt.Sprintf("%s.corrupt.%d", path, n)
+	}
 }
 
 // saveCache persists the cache for the next run; withStreams additionally

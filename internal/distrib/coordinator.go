@@ -1,0 +1,602 @@
+package distrib
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/explore"
+	"repro/internal/pareto"
+)
+
+// Options tunes a coordinator. The zero value selects the defaults.
+type Options struct {
+	// ShardSize is how many jobs one lease carries (default 16).
+	ShardSize int
+	// LeaseTTL is how long a worker holds a shard before the
+	// coordinator reaps and re-leases it (default 30s).
+	LeaseTTL time.Duration
+	// WaitHint is the retry delay handed to workers when nothing is
+	// leasable (default 50ms).
+	WaitHint time.Duration
+	// Logf receives progress lines (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) shardSize() int {
+	if o.ShardSize <= 0 {
+		return 16
+	}
+	return o.ShardSize
+}
+
+func (o Options) leaseTTL() time.Duration {
+	if o.LeaseTTL <= 0 {
+		return 30 * time.Second
+	}
+	return o.LeaseTTL
+}
+
+func (o Options) waitHint() time.Duration {
+	if o.WaitHint <= 0 {
+		return 50 * time.Millisecond
+	}
+	return o.WaitHint
+}
+
+// shard is one leasable unit of work: job indexes into the
+// coordinator's spec table. reassigned marks a shard a previous lease
+// lost.
+type shard struct {
+	jobs       []int
+	reassigned bool
+}
+
+// leaseState is one outstanding lease.
+type leaseState struct {
+	id     uint64
+	worker string
+	step   int
+	shard  shard
+	expiry time.Time
+}
+
+// Coordinator owns a distributed campaign: the deterministic job
+// space, the shard queue, outstanding leases, the exact survivor
+// front, and the merge of everything workers send back. All durable
+// state lives in the engine's cache; the coordinator itself is soft
+// state that a restart rebuilds.
+type Coordinator struct {
+	app  apps.App
+	eng  *explore.Engine
+	opts Options
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	step      int
+	total1    int
+	specs     map[int]explore.JobSpec
+	settled   map[int]bool
+	remaining int // unsettled jobs of the current step
+	queue     []shard
+	leases    map[uint64]*leaseState
+	nextLease uint64
+	front     *pareto.OnlineFront
+	res1      map[int]explore.Result
+	workers   map[string]*explore.DistWorkerStats
+	conns     map[net.Conn]bool
+	failure   error
+	doneAll   bool
+	stop      chan struct{}
+}
+
+// NewCoordinator builds a coordinator for the app's campaign as
+// configured by eng. The engine must have a cache (it is the durable
+// state) and is the same engine the caller later reports from.
+func NewCoordinator(app apps.App, eng *explore.Engine, opts Options) *Coordinator {
+	c := &Coordinator{
+		app:     app,
+		eng:     eng,
+		opts:    opts,
+		specs:   make(map[int]explore.JobSpec),
+		settled: make(map[int]bool),
+		leases:  make(map[uint64]*leaseState),
+		front:   pareto.NewOnlineFront(),
+		res1:    make(map[int]explore.Result),
+		workers: make(map[string]*explore.DistWorkerStats),
+		conns:   make(map[net.Conn]bool),
+		stop:    make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// DistState snapshots the per-worker bookkeeping (for checkpoints and
+// the CLI stats table).
+func (c *Coordinator) DistState() *explore.DistState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.distLocked()
+}
+
+func (c *Coordinator) distLocked() *explore.DistState {
+	d := &explore.DistState{Workers: make(map[string]explore.DistWorkerStats, len(c.workers))}
+	for id, w := range c.workers {
+		d.Workers[id] = *w
+	}
+	return d
+}
+
+// Drain blocks until every worker connection has closed or the timeout
+// elapses. After a successful Run, polling workers each receive done
+// on their next lease request and leave; draining before exiting lets
+// them finish cleanly instead of observing the coordinator vanish and
+// redialing into the void. Workers that already died simply have no
+// connection; the timeout bounds waiting for hung ones.
+func (c *Coordinator) Drain(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		n := len(c.conns)
+		c.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// frontSnapshot copies the current exact survivor front.
+func (c *Coordinator) frontSnapshot() []pareto.Point {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.front.Points()
+}
+
+// Run drives the campaign over ln until every job of both exploration
+// steps is settled in the engine's cache, then returns nil with the
+// listener still serving — late workers keep receiving done until the
+// caller closes ln. On context cancellation or a worker-reported
+// simulation failure it snapshots a checkpoint, closes the listener
+// and every connection (workers fall back to retry/backoff — the
+// resume path), and returns the error.
+//
+// A restarted coordinator resumes from its cache automatically: the
+// warm pre-pass settles every job the previous campaign proved before
+// any shard is leased.
+func (c *Coordinator) Run(ctx context.Context, ln net.Listener) error {
+	defer context.AfterFunc(ctx, c.cond.Broadcast)()
+	go c.acceptLoop(ln)
+	go c.reaper()
+
+	err := c.campaign(ctx)
+	c.mu.Lock()
+	if err == nil {
+		c.doneAll = true
+	} else if c.failure == nil {
+		c.failure = err
+	}
+	conns := make([]net.Conn, 0, len(c.conns))
+	for cn := range c.conns {
+		conns = append(conns, cn)
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+	close(c.stop)
+	if err != nil {
+		c.eng.CheckpointExternal(c.stepNow(), c.frontSnapshot, c.DistState)
+		ln.Close()
+		for _, cn := range conns {
+			cn.Close()
+		}
+	}
+	return err
+}
+
+func (c *Coordinator) stepNow() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.step
+}
+
+// campaign lays out and waits out both exploration steps.
+func (c *Coordinator) campaign(ctx context.Context) error {
+	configs := explore.Configs(c.app)
+	if len(configs) == 0 {
+		return fmt.Errorf("distrib: %s has no network configurations", c.app.Name())
+	}
+	ref := configs[0]
+	dominant, total1, err := c.eng.PlanStep1(ctx, ref)
+	if err != nil {
+		return err
+	}
+
+	// Step 1: the full combination space against the reference
+	// configuration, guarded — workers prune against the broadcast
+	// front exactly as a flat single-process scan would.
+	step1 := make([]explore.JobSpec, total1)
+	for combo := 0; combo < total1; combo++ {
+		step1[combo] = explore.JobSpec{
+			Index:   combo,
+			Cfg:     ref,
+			Assign:  c.eng.AssignForCombo(dominant, combo),
+			Guarded: true,
+		}
+	}
+	if err := c.runStep(ctx, 1, total1, step1); err != nil {
+		return err
+	}
+
+	// Survivors: the exact front over step-1 results, by combination
+	// index for a deterministic step-2 layout.
+	c.mu.Lock()
+	pts := c.front.Points()
+	survivors := make([]explore.Result, 0, len(pts))
+	tags := make([]int, 0, len(pts))
+	for _, p := range pts {
+		tags = append(tags, p.Tag)
+	}
+	sort.Ints(tags)
+	for _, tag := range tags {
+		survivors = append(survivors, c.res1[tag])
+	}
+	c.mu.Unlock()
+	c.logf("distrib: step 1 settled, %d survivors", len(survivors))
+
+	// Step 2: survivors crossed with every non-reference
+	// configuration, exact — per-configuration fronts live only in the
+	// final report, so remote guards have nothing sound to prune with
+	// and full coverage keeps the cross-configuration charts complete.
+	var step2 []explore.JobSpec
+	idx := total1
+	for _, cfg := range configs {
+		if cfg.String() == ref.String() {
+			continue
+		}
+		for _, sv := range survivors {
+			step2 = append(step2, explore.JobSpec{Index: idx, Cfg: cfg, Assign: sv.Assign})
+			idx++
+		}
+	}
+	if err := c.runStep(ctx, 2, len(step2), step2); err != nil {
+		return err
+	}
+	c.logf("distrib: step 2 settled")
+	return nil
+}
+
+// runStep installs one step's job space — settling everything the
+// cache already proves in a warm pre-pass — and blocks until workers
+// settle the rest.
+func (c *Coordinator) runStep(ctx context.Context, step, total int, jobs []explore.JobSpec) error {
+	var cold []int
+	warm := 0
+	c.mu.Lock()
+	c.step = step
+	if step == 1 {
+		c.total1 = total
+	}
+	for _, spec := range jobs {
+		c.specs[spec.Index] = spec
+		if out, ok := c.eng.CachedOutcome(spec); ok {
+			c.settleLocked(out)
+			warm++
+			continue
+		}
+		cold = append(cold, spec.Index)
+	}
+	c.remaining = len(cold)
+	size := c.opts.shardSize()
+	for len(cold) > 0 {
+		n := min(size, len(cold))
+		c.queue = append(c.queue, shard{jobs: cold[:n]})
+		cold = cold[n:]
+	}
+	c.mu.Unlock()
+	if warm > 0 {
+		c.eng.SettleExternal(int64(warm), step, c.frontSnapshot, c.DistState)
+		c.logf("distrib: step %d: %d of %d jobs already settled in cache", step, warm, total)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.remaining > 0 && c.failure == nil && ctx.Err() == nil {
+		c.cond.Wait()
+	}
+	if c.failure != nil {
+		return c.failure
+	}
+	return ctx.Err()
+}
+
+// settleLocked marks one outcome settled, feeding exact step-1 results
+// into the survivor front. Call with c.mu held and the outcome fresh
+// (not a duplicate).
+func (c *Coordinator) settleLocked(out explore.JobOutcome) {
+	c.settled[out.Index] = true
+	if out.Index < c.total1 && out.Err == "" && !out.Result.Aborted {
+		c.front.Add(out.Result.Point(out.Index))
+		c.res1[out.Index] = out.Result
+	}
+}
+
+// reaper re-queues expired leases until the campaign stops.
+func (c *Coordinator) reaper() {
+	tick := max(c.opts.leaseTTL()/4, 5*time.Millisecond)
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-t.C:
+			c.mu.Lock()
+			for id, ls := range c.leases {
+				if now.Before(ls.expiry) {
+					continue
+				}
+				delete(c.leases, id)
+				c.workerLocked(ls.worker).Expired++
+				live := ls.shard.jobs[:0:0]
+				for _, j := range ls.shard.jobs {
+					if !c.settled[j] {
+						live = append(live, j)
+					}
+				}
+				if len(live) > 0 {
+					c.queue = append(c.queue, shard{jobs: live, reassigned: true})
+				}
+				c.logf("distrib: lease %d (%s) expired, %d jobs re-queued", id, ls.worker, len(live))
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+func (c *Coordinator) workerLocked(id string) *explore.DistWorkerStats {
+	w := c.workers[id]
+	if w == nil {
+		w = &explore.DistWorkerStats{}
+		c.workers[id] = w
+	}
+	return w
+}
+
+// acceptLoop serves worker connections until the listener closes.
+func (c *Coordinator) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go c.handle(conn)
+	}
+}
+
+// handle speaks the request/response protocol with one worker
+// connection until it errors, the worker leaves, or the campaign is
+// torn down. Any transport or framing error just drops the
+// connection: the worker reconnects with backoff, and whatever lease
+// it held expires into the queue.
+func (c *Coordinator) handle(conn net.Conn) {
+	c.mu.Lock()
+	c.conns[conn] = true
+	c.mu.Unlock()
+	defer func() {
+		conn.Close()
+		c.mu.Lock()
+		delete(c.conns, conn)
+		c.mu.Unlock()
+	}()
+
+	readTimeout := max(4*c.opts.leaseTTL(), time.Minute)
+	br := bufio.NewReader(conn)
+	next := func(want byte) ([]byte, error) {
+		conn.SetReadDeadline(time.Now().Add(readTimeout))
+		id, payload, err := readFrame(br)
+		if err != nil {
+			return nil, err
+		}
+		if id != want {
+			return nil, fmt.Errorf("distrib: expected %s, got %s", msgName(want), msgName(id))
+		}
+		return payload, nil
+	}
+
+	payload, err := next(msgHello)
+	if err != nil {
+		return
+	}
+	var h hello
+	if err := decodeMsg(msgHello, payload, &h); err != nil {
+		return
+	}
+	campaign := c.eng.CampaignID()
+	if h.Proto != ProtoVersion {
+		writeMsg(conn, msgReject, reject{Reason: fmt.Sprintf("protocol %d, want %d", h.Proto, ProtoVersion)})
+		return
+	}
+	if h.Campaign != campaign {
+		writeMsg(conn, msgReject, reject{Reason: fmt.Sprintf("campaign mismatch: worker %q, coordinator %q", h.Campaign, campaign)})
+		return
+	}
+	c.mu.Lock()
+	c.workerLocked(h.Worker)
+	c.mu.Unlock()
+	if err := writeMsg(conn, msgWelcome, welcome{Campaign: campaign, Front: c.frontSnapshot()}); err != nil {
+		return
+	}
+	c.logf("distrib: worker %s joined", h.Worker)
+
+	for {
+		conn.SetReadDeadline(time.Now().Add(readTimeout))
+		id, payload, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		switch id {
+		case msgLeaseReq:
+			if !c.grantLease(conn, h.Worker) {
+				return
+			}
+		case msgResults:
+			var rm resultsMsg
+			if err := decodeMsg(id, payload, &rm); err != nil {
+				return
+			}
+			if !c.mergeResults(conn, rm) {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// grantLease answers one lease request: a shard, a wait hint, done, or
+// (failed campaign) a reject. Returns false when the connection should
+// drop.
+func (c *Coordinator) grantLease(conn net.Conn, worker string) bool {
+	c.mu.Lock()
+	if c.failure != nil {
+		reason := c.failure.Error()
+		c.mu.Unlock()
+		writeMsg(conn, msgReject, reject{Reason: reason})
+		return false
+	}
+	if c.doneAll {
+		c.mu.Unlock()
+		return writeMsg(conn, msgDone, done{}) == nil
+	}
+	var ls *leaseState
+	for len(c.queue) > 0 && ls == nil {
+		sh := c.queue[0]
+		c.queue = c.queue[1:]
+		live := sh.jobs[:0:0]
+		for _, j := range sh.jobs {
+			if !c.settled[j] {
+				live = append(live, j)
+			}
+		}
+		if len(live) == 0 {
+			continue // every job settled while the shard waited
+		}
+		sh.jobs = live
+		c.nextLease++
+		ls = &leaseState{
+			id:     c.nextLease,
+			worker: worker,
+			step:   c.step,
+			shard:  sh,
+			expiry: time.Now().Add(c.opts.leaseTTL()),
+		}
+		c.leases[ls.id] = ls
+		w := c.workerLocked(worker)
+		w.Leased++
+		if sh.reassigned {
+			w.Reassigned++
+		}
+	}
+	if ls == nil {
+		hint := c.opts.waitHint()
+		c.mu.Unlock()
+		return writeMsg(conn, msgWait, wait{Millis: hint.Milliseconds()}) == nil
+	}
+	jobs := make([]explore.JobSpec, len(ls.shard.jobs))
+	for i, j := range ls.shard.jobs {
+		jobs[i] = c.specs[j]
+	}
+	msg := lease{
+		ID:         ls.id,
+		Step:       ls.step,
+		Jobs:       jobs,
+		TTLMillis:  c.opts.leaseTTL().Milliseconds(),
+		Front:      c.front.Points(),
+		Reassigned: ls.shard.reassigned,
+	}
+	c.mu.Unlock()
+	return writeMsg(conn, msgLease, msg) == nil
+}
+
+// mergeResults merges one shard report: fresh outcomes settle (first-
+// settled wins; duplicates from an expired-and-reassigned lease are
+// no-ops), the compositional delta dedupes into the cache, and the
+// worker gets an ack carrying the refreshed front. Returns false when
+// the connection should drop.
+func (c *Coordinator) mergeResults(conn net.Conn, rm resultsMsg) bool {
+	var fresh int64
+	c.mu.Lock()
+	w := c.workerLocked(rm.Worker)
+	for _, out := range rm.Outcomes {
+		if out.Err != "" {
+			if c.failure == nil {
+				c.failure = fmt.Errorf("distrib: worker %s: job %d: %s", rm.Worker, out.Index, out.Err)
+			}
+			continue
+		}
+		if c.settled[out.Index] {
+			continue // duplicate from an expired, reassigned lease
+		}
+		// A fresh settle always belongs to the running step: earlier
+		// steps completed before this one was laid out, and later
+		// steps' specs do not exist yet, so no lease carries them.
+		c.settleLocked(out)
+		c.eng.AdmitOutcome(out)
+		fresh++
+		c.remaining--
+	}
+	if ls, ok := c.leases[rm.LeaseID]; ok {
+		delete(c.leases, rm.LeaseID)
+		c.workerLocked(ls.worker).Completed++
+		// A report may be partial — a worker dying gracefully flushes
+		// what it finished before disconnecting. Whatever the lease
+		// covered and the report left unsettled goes back in the queue;
+		// only expiry would reclaim it otherwise, and only while the
+		// lease still exists.
+		var leftover []int
+		for _, idx := range ls.shard.jobs {
+			if !c.settled[idx] {
+				leftover = append(leftover, idx)
+			}
+		}
+		if len(leftover) > 0 {
+			c.queue = append(c.queue, shard{jobs: leftover, reassigned: true})
+			c.workerLocked(ls.worker).Reassigned++
+		}
+	}
+	if rm.Delta.Len() > 0 {
+		added, dup := c.eng.Cache().MergeDelta(rm.Delta)
+		w.EntriesReceived += int64(added + dup)
+		w.EntriesDeduped += int64(dup)
+	}
+	failed := c.failure
+	step := c.step
+	progressed := c.remaining == 0 || failed != nil
+	c.mu.Unlock()
+	if progressed {
+		c.cond.Broadcast()
+	}
+	if fresh > 0 {
+		c.eng.SettleExternal(fresh, step, c.frontSnapshot, c.DistState)
+	}
+	if failed != nil {
+		writeMsg(conn, msgReject, reject{Reason: failed.Error()})
+		return false
+	}
+	return writeMsg(conn, msgAck, ack{Front: c.frontSnapshot()}) == nil
+}
+
+// errRejected marks a permanent refusal from the coordinator.
+var errRejected = errors.New("distrib: rejected by coordinator")

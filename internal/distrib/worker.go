@@ -1,0 +1,263 @@
+package distrib
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"repro/internal/explore"
+)
+
+// WorkerOptions tunes a worker. Dial is required; everything else has
+// defaults.
+type WorkerOptions struct {
+	// ID names this worker in coordinator stats and logs.
+	ID string
+	// Dial opens a connection to the coordinator. Tests wrap the
+	// returned conn with faultio.Conn scripts; the CLI dials TCP.
+	Dial func(ctx context.Context) (net.Conn, error)
+	// Logf receives progress lines (nil: silent).
+	Logf func(format string, args ...any)
+	// BackoffMin / BackoffMax bound the jittered exponential reconnect
+	// backoff (defaults 50ms / 5s).
+	BackoffMin, BackoffMax time.Duration
+	// ReadTimeout bounds each wait for a coordinator response
+	// (default 30s): a hung coordinator parts the session and the
+	// worker reconnects with backoff.
+	ReadTimeout time.Duration
+	// JobDelay inserts a pause after each resolved job — test pacing,
+	// so fault scripts land mid-shard deterministically.
+	JobDelay time.Duration
+}
+
+func (o WorkerOptions) backoffMin() time.Duration {
+	if o.BackoffMin <= 0 {
+		return 50 * time.Millisecond
+	}
+	return o.BackoffMin
+}
+
+func (o WorkerOptions) backoffMax() time.Duration {
+	if o.BackoffMax <= 0 {
+		return 5 * time.Second
+	}
+	return o.BackoffMax
+}
+
+func (o WorkerOptions) readTimeout() time.Duration {
+	if o.ReadTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return o.ReadTimeout
+}
+
+// RunWorker joins a coordinator's campaign and resolves leased shards
+// through eng until the campaign completes (nil), the context dies, or
+// the coordinator permanently rejects this worker (campaign mismatch
+// or failed campaign). Transport faults — refused or torn connections,
+// timeouts, mid-frame corruption — are never fatal: the session drops
+// and the worker redials with jittered exponential backoff, resuming
+// mid-campaign. The backoff resets whenever a session makes progress,
+// so a transient fault costs one short pause, not an accumulated
+// penalty.
+func RunWorker(ctx context.Context, eng *explore.Engine, o WorkerOptions) error {
+	if o.Dial == nil {
+		return fmt.Errorf("distrib: worker %q has no dialer", o.ID)
+	}
+	logf := func(format string, args ...any) {
+		if o.Logf != nil {
+			o.Logf(format, args...)
+		}
+	}
+	cursor := explore.NewDeltaCursor()
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := o.Dial(ctx)
+		if err != nil {
+			logf("worker %s: dial: %v", o.ID, err)
+			attempt++
+			if err := backoff(ctx, o, attempt); err != nil {
+				return err
+			}
+			continue
+		}
+		finished, progressed, permanent, err := session(ctx, eng, o, conn, cursor)
+		conn.Close()
+		if permanent != nil {
+			return permanent
+		}
+		if finished {
+			logf("worker %s: campaign complete", o.ID)
+			return nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err != nil {
+			logf("worker %s: session: %v", o.ID, err)
+		}
+		if progressed {
+			attempt = 0
+		} else {
+			attempt++
+		}
+		if err := backoff(ctx, o, attempt); err != nil {
+			return err
+		}
+	}
+}
+
+// backoff sleeps the jittered exponential delay for the given attempt
+// (attempt 0: no sleep), or returns early when ctx dies.
+func backoff(ctx context.Context, o WorkerOptions, attempt int) error {
+	if attempt <= 0 {
+		return ctx.Err()
+	}
+	d := o.backoffMin() << (attempt - 1)
+	if maxd := o.backoffMax(); d <= 0 || d > maxd {
+		d = maxd
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// session speaks one connection's worth of protocol: join, then lease/
+// resolve/report until something breaks. Returns finished when the
+// campaign completed, progressed when at least one response landed
+// (resets backoff), permanent for refusals that must not be retried,
+// and err for the transport fault that ended the session.
+func session(ctx context.Context, eng *explore.Engine, o WorkerOptions, conn net.Conn, cursor *explore.DeltaCursor) (finished, progressed bool, permanent, err error) {
+	br := bufio.NewReader(conn)
+	read := func() (byte, []byte, error) {
+		conn.SetReadDeadline(time.Now().Add(o.readTimeout()))
+		return readFrame(br)
+	}
+
+	if err := writeMsg(conn, msgHello, hello{Worker: o.ID, Proto: ProtoVersion, Campaign: eng.CampaignID()}); err != nil {
+		return false, false, nil, err
+	}
+	id, payload, err := read()
+	if err != nil {
+		return false, false, nil, err
+	}
+	switch id {
+	case msgWelcome:
+		var w welcome
+		if err := decodeMsg(id, payload, &w); err != nil {
+			return false, false, nil, err
+		}
+		progressed = true
+	case msgReject:
+		var rj reject
+		if err := decodeMsg(id, payload, &rj); err != nil {
+			return false, false, nil, err
+		}
+		return false, false, fmt.Errorf("%w: %s", errRejected, rj.Reason), nil
+	case msgDone:
+		return true, true, nil, nil
+	default:
+		return false, false, nil, fmt.Errorf("distrib: unexpected %s to hello", msgName(id))
+	}
+
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return false, progressed, nil, cerr
+		}
+		if err := writeMsg(conn, msgLeaseReq, leaseReq{Worker: o.ID}); err != nil {
+			return false, progressed, nil, err
+		}
+		id, payload, err := read()
+		if err != nil {
+			return false, progressed, nil, err
+		}
+		switch id {
+		case msgLease:
+			var l lease
+			if err := decodeMsg(id, payload, &l); err != nil {
+				return false, progressed, nil, err
+			}
+			rm := resolveShard(ctx, eng, o, l, cursor)
+			if err := writeMsg(conn, msgResults, rm); err != nil {
+				return false, progressed, nil, err
+			}
+			id, payload, err = read()
+			if err != nil {
+				return false, progressed, nil, err
+			}
+			switch id {
+			case msgAck:
+				var a ack
+				if err := decodeMsg(id, payload, &a); err != nil {
+					return false, progressed, nil, err
+				}
+				progressed = true
+			case msgReject:
+				var rj reject
+				if err := decodeMsg(id, payload, &rj); err != nil {
+					return false, progressed, nil, err
+				}
+				return false, progressed, fmt.Errorf("%w: %s", errRejected, rj.Reason), nil
+			default:
+				return false, progressed, nil, fmt.Errorf("distrib: unexpected %s to results", msgName(id))
+			}
+		case msgWait:
+			var wt wait
+			if err := decodeMsg(id, payload, &wt); err != nil {
+				return false, progressed, nil, err
+			}
+			progressed = true
+			t := time.NewTimer(time.Duration(wt.Millis) * time.Millisecond)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return false, progressed, nil, ctx.Err()
+			case <-t.C:
+			}
+		case msgDone:
+			return true, true, nil, nil
+		case msgReject:
+			var rj reject
+			if err := decodeMsg(id, payload, &rj); err != nil {
+				return false, progressed, nil, err
+			}
+			return false, progressed, fmt.Errorf("%w: %s", errRejected, rj.Reason), nil
+		default:
+			return false, progressed, nil, fmt.Errorf("distrib: unexpected %s to leasereq", msgName(id))
+		}
+	}
+}
+
+// resolveShard resolves every job of a lease through the worker's
+// engine — cache hits, bound prunes against the broadcast front,
+// compositions, replays, live simulations — and packages the outcomes
+// plus the compositional cache entries captured since the last export.
+func resolveShard(ctx context.Context, eng *explore.Engine, o WorkerOptions, l lease, cursor *explore.DeltaCursor) resultsMsg {
+	rg := eng.NewRemoteGuard(l.Front)
+	rm := resultsMsg{Worker: o.ID, LeaseID: l.ID}
+	for _, spec := range l.Jobs {
+		if ctx.Err() != nil {
+			break // report what settled; the rest re-leases
+		}
+		rm.Outcomes = append(rm.Outcomes, eng.ResolveJob(spec, rg))
+		if o.JobDelay > 0 {
+			time.Sleep(o.JobDelay)
+		}
+	}
+	if c := eng.Cache(); c != nil {
+		rm.Delta = c.ExportDelta(cursor)
+	}
+	return rm
+}

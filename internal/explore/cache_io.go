@@ -224,6 +224,26 @@ func (c *Cache) Load(r io.Reader) error {
 	return err
 }
 
+// LoadFile loads a cache file from path, reporting salvage. A missing
+// file is an error here (callers that treat absence as a cold start
+// check os.IsNotExist themselves).
+func (c *Cache) LoadFile(path string) (LoadReport, error) {
+	return c.LoadFileFS(faultio.OS{}, path)
+}
+
+// LoadFileFS is LoadFile over an injectable filesystem — the read-side
+// seam the salvage tests drive torn reads and transient EIO through.
+// Mirroring loadSectioned's contract, a read fault mid-file degrades to
+// a prefix load reported as Truncated, never a hard error.
+func (c *Cache) LoadFileFS(fs faultio.ReadFS, path string) (LoadReport, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return LoadReport{}, err
+	}
+	defer f.Close()
+	return c.LoadReported(f)
+}
+
 // legacyProbeBytes bounds the prefix the format probe may examine:
 // past the start of the gob type-descriptor region (the top-level
 // type's descriptor begins within the first handful of bytes) while

@@ -42,16 +42,57 @@ type Checkpoint struct {
 	Front []pareto.Point
 	// Stats are the engine work counters at the snapshot.
 	Stats EngineStats
+	// Dist carries distributed-campaign bookkeeping when the snapshot
+	// was taken by a coordinator: per-worker lease and cache-entry
+	// tallies. Nil for single-process campaigns; resumption never
+	// depends on it — the cache's results and tombstones are the
+	// durable state, Dist is accounting that survives the restart.
+	Dist *DistState
 	// Done marks a terminal checkpoint: the campaign ran to
 	// completion, so a warm rerun reports full coverage instead of
 	// resuming.
 	Done bool
 }
 
+// DistState is the distributed-campaign slice of a checkpoint: which
+// workers have participated and what each contributed. The shard
+// queue itself is not persisted — the job space is deterministic, so a
+// restarted coordinator re-derives unsettled work from the cache.
+type DistState struct {
+	// Workers maps worker IDs to their cumulative tallies.
+	Workers map[string]DistWorkerStats
+}
+
+// DistWorkerStats tallies one worker's participation in a distributed
+// campaign.
+type DistWorkerStats struct {
+	// Leased / Completed / Expired count shard leases granted to,
+	// settled by, and reaped from this worker. Reassigned counts
+	// shards this worker received that a previous lease had lost.
+	Leased, Completed, Expired, Reassigned int64
+	// EntriesReceived / EntriesDeduped count compositional cache
+	// entries (lanes, schedules, lane profiles) the worker shipped,
+	// split by whether the coordinator already held the identity.
+	EntriesReceived, EntriesDeduped int64
+}
+
+// Clone returns a deep copy of the state (nil-safe).
+func (d *DistState) Clone() *DistState {
+	if d == nil {
+		return nil
+	}
+	c := &DistState{Workers: make(map[string]DistWorkerStats, len(d.Workers))}
+	for k, v := range d.Workers {
+		c.Workers[k] = v
+	}
+	return c
+}
+
 // SetCheckpoint stores a defensive copy of ck as the cache's campaign
 // checkpoint; SaveFile persists it as its own section.
 func (c *Cache) SetCheckpoint(ck Checkpoint) {
 	ck.Front = append([]pareto.Point(nil), ck.Front...)
+	ck.Dist = ck.Dist.Clone()
 	c.ckMu.Lock()
 	c.ckpt = &ck
 	c.ckMu.Unlock()
@@ -67,16 +108,19 @@ func (c *Cache) Checkpoint() (Checkpoint, bool) {
 	}
 	ck := *c.ckpt
 	ck.Front = append([]pareto.Point(nil), ck.Front...)
+	ck.Dist = ck.Dist.Clone()
 	return ck, true
 }
 
 // ckptScope is the step-local context a collector threads into settled
 // accounting: which methodology step is running and how to snapshot
-// its survivor front. Checkpoints fire on the step's collector
-// goroutine, so front() needs no synchronization beyond the guard's.
+// its survivor front (and, for distributed campaigns, the coordinator
+// bookkeeping). Checkpoints fire on the step's collector goroutine, so
+// front() needs no synchronization beyond the guard's.
 type ckptScope struct {
 	step  int
 	front func() []pareto.Point
+	dist  func() *DistState
 }
 
 // Settled returns the engine's settled-job watermark: delivered
@@ -96,6 +140,7 @@ func (e *Engine) LastCheckpoint() (Checkpoint, bool) {
 	}
 	ck := *e.lastCkpt
 	ck.Front = append([]pareto.Point(nil), ck.Front...)
+	ck.Dist = ck.Dist.Clone()
 	return ck, true
 }
 
@@ -129,10 +174,16 @@ func (e *Engine) fireCheckpoint(sc ckptScope, done bool) {
 		Stats:   e.Stats(),
 		Done:    done,
 	}
+	prev, hasPrev := e.LastCheckpoint()
 	if sc.front != nil {
 		ck.Front = sc.front()
-	} else if prev, ok := e.LastCheckpoint(); ok {
+	} else if hasPrev {
 		ck.Front = prev.Front
+	}
+	if sc.dist != nil {
+		ck.Dist = sc.dist()
+	} else if hasPrev {
+		ck.Dist = prev.Dist
 	}
 	e.ckptMu.Lock()
 	cp := ck

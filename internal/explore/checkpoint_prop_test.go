@@ -1,0 +1,100 @@
+package explore_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/apps/netapps"
+	"repro/internal/explore"
+)
+
+// TestCheckpointSettledMonotonic is the watermark property: across
+// every checkpoint a campaign fires — periodic ones, the snapshot a
+// cancellation forces mid-step, and the terminal one — Settled never
+// decreases, for a spread of firing periods. A resumed campaign (fresh
+// engine, same cache) obeys the same property over its own sequence
+// and its terminal watermark covers everything the killed run proved.
+func TestCheckpointSettledMonotonic(t *testing.T) {
+	a, err := netapps.ByName("IPchains")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, every := range []int{1, 2, 3, 7} {
+		every := every
+		t.Run(fmt.Sprintf("every=%d", every), func(t *testing.T) {
+			cache := explore.NewCache()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+
+			var mu sync.Mutex
+			var first []explore.Checkpoint
+			opts := explore.Options{
+				TracePackets: 100, BoundPrune: true,
+				Cache: cache, CheckpointEvery: every,
+				Checkpoint: func(ck explore.Checkpoint) {
+					mu.Lock()
+					first = append(first, ck)
+					n := len(first)
+					mu.Unlock()
+					if n == 4 {
+						cancel() // die mid-campaign, forcing a cancellation snapshot
+					}
+				},
+			}
+			eng := explore.NewEngine(a, opts)
+			if _, _, err := eng.Explore(ctx); err == nil {
+				t.Fatal("campaign survived the mid-flight cancellation")
+			}
+			assertMonotonic(t, "killed run", first)
+			if len(first) < 4 {
+				t.Fatalf("only %d checkpoints fired before the kill", len(first))
+			}
+			killedMax := first[len(first)-1].Settled
+			if killedMax == 0 {
+				t.Fatal("killed run checkpointed a zero watermark")
+			}
+
+			// Resume: fresh engine over the same cache, run to completion,
+			// terminal checkpoint included.
+			var second []explore.Checkpoint
+			opts2 := opts
+			opts2.Checkpoint = func(ck explore.Checkpoint) {
+				second = append(second, ck)
+			}
+			eng2 := explore.NewEngine(a, opts2)
+			if _, _, err := eng2.Explore(context.Background()); err != nil {
+				t.Fatalf("resumed campaign: %v", err)
+			}
+			eng2.FinishCampaign()
+			assertMonotonic(t, "resumed run", second)
+			if len(second) == 0 {
+				t.Fatal("resumed run fired no checkpoints")
+			}
+			last := second[len(second)-1]
+			if !last.Done {
+				t.Fatalf("final checkpoint not terminal: %+v", last)
+			}
+			if last.Settled < killedMax {
+				t.Fatalf("terminal watermark %d below the killed run's %d", last.Settled, killedMax)
+			}
+			for _, ck := range append(append([]explore.Checkpoint(nil), first...), second...) {
+				if ck.App != a.Name() || ck.Ctx != eng.ExploreContext() {
+					t.Fatalf("checkpoint identifies campaign (%q, %q), want (%q, %q)",
+						ck.App, ck.Ctx, a.Name(), eng.ExploreContext())
+				}
+			}
+		})
+	}
+}
+
+func assertMonotonic(t *testing.T, label string, cks []explore.Checkpoint) {
+	t.Helper()
+	for i := 1; i < len(cks); i++ {
+		if cks[i].Settled < cks[i-1].Settled {
+			t.Fatalf("%s: checkpoint %d regressed the watermark: %d after %d",
+				label, i, cks[i].Settled, cks[i-1].Settled)
+		}
+	}
+}

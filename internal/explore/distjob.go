@@ -1,0 +1,291 @@
+package explore
+
+// Serializable job units and cache-delta plumbing for distributed
+// campaigns (internal/distrib): a coordinator owns the deterministic
+// job space, workers resolve leased JobSpecs against their local caches
+// and a broadcast front, and everything flowing back — results and
+// content-addressed compositional entries — merges into the
+// coordinator's cache under the exact identities a single-process run
+// would have used. The distributed layer adds no new semantics: a
+// remote job goes through the same runJob resolution chain, a remote
+// prune is proven against exact front members only, and the
+// coordinator's final state is a warm cache any single-process rerun
+// reproduces the report from bit-identically.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/astream"
+	"repro/internal/ddt"
+	"repro/internal/memsim"
+	"repro/internal/pareto"
+)
+
+// JobSpec is one serializable unit of distributed work: a combination
+// index in the campaign's deterministic job space plus the full job
+// identity. Guarded marks jobs the worker may settle with a dominance
+// tombstone against the broadcast front (step-1 shards); unguarded
+// jobs always resolve to exact vectors (step-2 shards, whose fronts
+// are per-configuration and live only on the coordinator).
+type JobSpec struct {
+	Index   int
+	Cfg     Config
+	Assign  apps.Assignment
+	Guarded bool
+}
+
+// JobOutcome is the worker's answer to one JobSpec. Err carries a
+// simulation failure as text (error values do not cross the wire);
+// the Result of a failed job is meaningless.
+type JobOutcome struct {
+	Index  int
+	Result Result
+	Err    string
+}
+
+// CampaignID renders everything two engines must agree on before one
+// may resolve jobs for the other: the application, the exploration
+// semantics (prune mode, dominant-k, guard rules), the trace length,
+// the platform and the address model. The simulation is deterministic,
+// so matching IDs make remote results bit-identical to local ones.
+func (e *Engine) CampaignID() string {
+	return fmt.Sprintf("%s|%s|packets=%d|%+v|arenas=%v",
+		e.app.Name(), e.exploreCtx, e.opts.packets(), e.opts.platformConfig(), e.opts.Arenas)
+}
+
+// PlanStep1 profiles the reference configuration and lays out the
+// step-1 combination space: the dominant roles (in the order
+// AssignForCombo decodes) and the space's size. This is exactly the
+// planning prologue of Step1, so a distributed campaign leases the
+// identical job space a single-process run would enumerate.
+func (e *Engine) PlanStep1(ctx context.Context, ref Config) (dominant []string, total int, err error) {
+	probes, err := e.Profile(ctx, ref)
+	if err != nil {
+		return nil, 0, err
+	}
+	dominant = probes.Dominant(e.opts.dominantK())
+	total = 1
+	for range dominant {
+		total *= ddt.NumKinds
+	}
+	return dominant, total, nil
+}
+
+// AssignForCombo reconstructs the assignment of combination index
+// combo over the dominant roles, in CombinationSeq order — the
+// bijection that lets a coordinator re-derive any job of the step-1
+// space from its index alone.
+func (e *Engine) AssignForCombo(dominant []string, combo int) apps.Assignment {
+	return e.assignFromCombo(dominant, combo)
+}
+
+// RemoteGuard is the worker-side dominance guard for a leased shard:
+// seeded with the coordinator's broadcast front (exact members only)
+// and grown with the shard's own finished results, so remote bound
+// pruning fires exactly as a single-process guard would. Pruning
+// against any exact finished vector is sound regardless of staleness —
+// dominance is transitive, so a member later displaced from the global
+// front still proves its discards.
+type RemoteGuard struct {
+	g *frontGuard
+}
+
+// NewRemoteGuard builds a guard seeded with the broadcast front, or
+// nil when this engine runs unguarded (no early abort, no bound
+// pruning) and jobs resolve exactly anyway.
+func (e *Engine) NewRemoteGuard(front []pareto.Point) *RemoteGuard {
+	if !e.guarded() {
+		return nil
+	}
+	g := newFrontGuard(e.opts.abortMargin())
+	for _, p := range front {
+		g.add(p)
+	}
+	return &RemoteGuard{g: g}
+}
+
+// ResolveJob resolves one leased job through the ordinary runJob chain
+// — cache lookup, bound prune (guarded jobs), composition, replay,
+// live capture — and feeds finished results back into the shard guard
+// so later jobs of the same lease prune against them.
+func (e *Engine) ResolveJob(spec JobSpec, rg *RemoteGuard) JobOutcome {
+	var guard *frontGuard
+	if spec.Guarded && rg != nil {
+		guard = rg.g
+	}
+	o := e.runJob(spec.Index, Job{Cfg: spec.Cfg, Assign: spec.Assign}, guard)
+	jo := JobOutcome{Index: spec.Index, Result: o.Result}
+	if o.Err != nil {
+		jo.Err = o.Err.Error()
+		return jo
+	}
+	if guard != nil && !o.Result.Aborted {
+		rg.g.add(o.Result.Point(spec.Index))
+	}
+	return jo
+}
+
+// CachedOutcome answers a job from the cache without running anything:
+// the coordinator's warm pre-pass, which is what makes a killed
+// coordinator's restart cheap — every job the crashed campaign settled
+// (finished result or dominance tombstone under the identical
+// exploration context) is settled again before any shard is leased.
+func (e *Engine) CachedOutcome(spec JobSpec) (JobOutcome, bool) {
+	if e.cache == nil {
+		return JobOutcome{}, false
+	}
+	key := cacheKey(e.app.Name(), spec.Cfg, spec.Assign, e.opts.packets(), e.opts.platformConfig(), e.opts.Arenas)
+	r, ok := e.cache.lookup(key, spec.Guarded && e.guarded(), e.exploreCtx)
+	if !ok {
+		return JobOutcome{}, false
+	}
+	return JobOutcome{Index: spec.Index, Result: r}, true
+}
+
+// AdmitOutcome merges one remote outcome into the cache under the
+// job's identity key, tagged with this engine's exploration context —
+// valid because lease admission already proved the worker's CampaignID
+// identical. Admission is idempotent: the result of a job is
+// deterministic, so duplicate admissions (an expired lease completed
+// by two workers) overwrite an entry with an equal one.
+func (e *Engine) AdmitOutcome(o JobOutcome) {
+	if e.cache == nil || o.Err != "" {
+		return
+	}
+	key := cacheKey(e.app.Name(), o.Result.Config, o.Result.Assign, e.opts.packets(), e.opts.platformConfig(), e.opts.Arenas)
+	e.cache.store(key, o.Result, e.exploreCtx)
+}
+
+// SettleExternal advances the settled-job watermark for n jobs settled
+// by an external campaign driver (a distributed coordinator merging
+// remote results), firing periodic checkpoints exactly as the engine's
+// own collectors do. front snapshots the campaign's survivor front;
+// dist snapshots the distributed bookkeeping carried in the
+// checkpoint. Either may be nil.
+func (e *Engine) SettleExternal(n int64, step int, front func() []pareto.Point, dist func() *DistState) {
+	e.noteSettled(n, ckptScope{step: step, front: front, dist: dist})
+}
+
+// CheckpointExternal fires an immediate (non-terminal) checkpoint with
+// the given snapshots — the cancellation-path twin of SettleExternal,
+// mirroring what the streaming steps do when their context dies.
+func (e *Engine) CheckpointExternal(step int, front func() []pareto.Point, dist func() *DistState) {
+	e.fireCheckpoint(ckptScope{step: step, front: front, dist: dist}, false)
+}
+
+// DeltaCursor remembers which compositional cache entries have already
+// been exported, so a worker streams each lane, schedule and lane
+// profile to the coordinator exactly once per campaign.
+type DeltaCursor struct {
+	lanes, scheds, lprofiles map[string]bool
+}
+
+// NewDeltaCursor returns a cursor that has exported nothing.
+func NewDeltaCursor() *DeltaCursor {
+	return &DeltaCursor{
+		lanes:     make(map[string]bool),
+		scheds:    make(map[string]bool),
+		lprofiles: make(map[string]bool),
+	}
+}
+
+// CacheDelta is the content-addressed compositional payload a worker
+// ships alongside its results: per-(role, kind) lane sub-streams,
+// per-configuration schedules and isolated lane profiles, keyed by the
+// same platform-invariant identities the cache stores them under —
+// which is what lets the coordinator dedupe entries two workers
+// captured independently.
+type CacheDelta struct {
+	Lanes     map[string]*astream.SubStream
+	Scheds    map[string]schedEntry
+	LProfiles map[string]*memsim.ReuseProfile
+}
+
+// Len reports how many entries the delta carries.
+func (d *CacheDelta) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.Lanes) + len(d.Scheds) + len(d.LProfiles)
+}
+
+// ExportDelta snapshots every complete compositional entry not yet
+// exported through cur, advancing the cursor. Entries are shared, not
+// copied — lanes, schedules and profiles are immutable once stored.
+// Returns nil when nothing new accumulated.
+func (c *Cache) ExportDelta(cur *DeltaCursor) *CacheDelta {
+	d := &CacheDelta{
+		Lanes:     make(map[string]*astream.SubStream),
+		Scheds:    make(map[string]schedEntry),
+		LProfiles: make(map[string]*memsim.ReuseProfile),
+	}
+	c.sm.RLock()
+	for k, s := range c.lanes {
+		if !cur.lanes[k] && !s.Partial {
+			d.Lanes[k] = s
+		}
+	}
+	for k, e := range c.scheds {
+		if !cur.scheds[k] && !e.Ambient.Partial {
+			d.Scheds[k] = e
+		}
+	}
+	for k, p := range c.lprofiles {
+		if !cur.lprofiles[k] {
+			d.LProfiles[k] = p
+		}
+	}
+	c.sm.RUnlock()
+	if d.Len() == 0 {
+		return nil
+	}
+	for k := range d.Lanes {
+		cur.lanes[k] = true
+	}
+	for k := range d.Scheds {
+		cur.scheds[k] = true
+	}
+	for k := range d.LProfiles {
+		cur.lprofiles[k] = true
+	}
+	return d
+}
+
+// MergeDelta merges a worker's delta into the cache through the
+// ordinary stores (budget accounting, partial-drop and first-schedule-
+// wins semantics all apply) and reports how many entries were new
+// versus already present — the dedup the content-addressed keys buy.
+// Lane profiles count as duplicates when the key exists but are still
+// merged, since a later pass can only grow geometry coverage.
+func (c *Cache) MergeDelta(d *CacheDelta) (added, dup int) {
+	if d == nil {
+		return 0, 0
+	}
+	for k, s := range d.Lanes {
+		if _, ok := c.lookupLane(k); ok {
+			dup++
+			continue
+		}
+		c.storeLane(k, s)
+		added++
+	}
+	for k, e := range d.Scheds {
+		if _, _, _, ok := c.lookupSchedule(k); ok {
+			dup++
+			continue
+		}
+		c.storeSchedule(k, e)
+		added++
+	}
+	for k, p := range d.LProfiles {
+		if c.lookupLaneProfile(k) != nil {
+			dup++
+		} else {
+			added++
+		}
+		c.storeLaneProfile(k, p)
+	}
+	return added, dup
+}

@@ -1,0 +1,102 @@
+package explore_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/faultio"
+)
+
+// TestLoadFileSalvagesReadFaults drives the read-side fault seam: a
+// cache file whose medium develops faults mid-load must degrade to a
+// prefix load with truncation reported — the same salvage contract a
+// torn write gets — never a panic or a poisoned cache, while a file
+// that cannot even be opened or recognized stays a clean hard error.
+func TestLoadFileSalvagesReadFaults(t *testing.T) {
+	cache := crashTestCache(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.bin")
+	if err := cache.SaveFile(path, true); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := info.Size()
+
+	baseline := explore.NewCache()
+	rep, err := baseline.LoadFile(path)
+	if err != nil {
+		t.Fatalf("clean load: %v", err)
+	}
+	if rep.Truncated || len(rep.Dropped) != 0 {
+		t.Fatalf("clean load reported damage: %+v", rep)
+	}
+	sections := len(rep.Sections)
+	if sections == 0 {
+		t.Fatal("clean load found no sections")
+	}
+
+	eio := errors.New("injected EIO")
+
+	t.Run("torn-mid-file", func(t *testing.T) {
+		fs := faultio.NewInjectFS(faultio.OS{}).TearReadAfter(size/2, eio)
+		fresh := explore.NewCache()
+		rep, err := fresh.LoadFileFS(fs, path)
+		if err != nil {
+			t.Fatalf("torn read must salvage, got hard error %v", err)
+		}
+		if !rep.Truncated {
+			t.Fatal("torn read not reported as truncation")
+		}
+		if len(rep.Sections) >= sections {
+			t.Fatalf("half-file read loaded %d sections, full file has %d", len(rep.Sections), sections)
+		}
+		if len(rep.Dropped) != 0 {
+			t.Fatalf("torn read dropped sections %v: a tear is truncation, not corruption", rep.Dropped)
+		}
+		if fs.Injected() == 0 {
+			t.Fatal("tear never fired")
+		}
+	})
+
+	t.Run("transient-eio-mid-file", func(t *testing.T) {
+		// The second 64KiB buffered chunk fails; everything the first
+		// chunk held loads, the rest is truncation. Guard: the file must
+		// actually be larger than one chunk for the fault to land.
+		if size <= 64<<10 {
+			t.Skipf("cache file only %d bytes, needs >64KiB", size)
+		}
+		fs := faultio.NewInjectFS(faultio.OS{}).FailN(faultio.OpRead, 2, eio)
+		fresh := explore.NewCache()
+		rep, err := fresh.LoadFileFS(fs, path)
+		if err != nil {
+			t.Fatalf("mid-file EIO must salvage, got hard error %v", err)
+		}
+		if !rep.Truncated {
+			t.Fatal("mid-file EIO not reported as truncation")
+		}
+	})
+
+	t.Run("open-fails", func(t *testing.T) {
+		fs := faultio.NewInjectFS(faultio.OS{}).FailN(faultio.OpOpen, 1, eio)
+		fresh := explore.NewCache()
+		if _, err := fresh.LoadFileFS(fs, path); !errors.Is(err, eio) {
+			t.Fatalf("open fault: err=%v, want the injected error", err)
+		}
+	})
+
+	t.Run("first-read-fails", func(t *testing.T) {
+		// Nothing readable at all: not recognizably a cache, which is a
+		// clean error, never a panic.
+		fs := faultio.NewInjectFS(faultio.OS{}).FailN(faultio.OpRead, 1, eio)
+		fresh := explore.NewCache()
+		if _, err := fresh.LoadFileFS(fs, path); err == nil {
+			t.Fatal("unreadable file loaded without error")
+		}
+	})
+}

@@ -49,6 +49,21 @@ type FS interface {
 	SyncDir(dir string) error
 }
 
+// ReadFile is the subset of *os.File load code needs: sequential
+// reads, close, and the name for error messages.
+type ReadFile interface {
+	io.Reader
+	Close() error
+	Name() string
+}
+
+// ReadFS is the optional read side of an FS: implementations that can
+// open files for loading. OS and InjectFS implement it; load paths
+// that accept an FS type-assert for it.
+type ReadFS interface {
+	Open(name string) (ReadFile, error)
+}
+
 // OS is the real filesystem.
 type OS struct{}
 
@@ -65,6 +80,11 @@ func (OS) Rename(oldpath, newpath string) error {
 // Remove implements FS via os.Remove.
 func (OS) Remove(name string) error {
 	return os.Remove(name)
+}
+
+// Open implements ReadFS via os.Open.
+func (OS) Open(name string) (ReadFile, error) {
+	return os.Open(name)
 }
 
 // SyncDir fsyncs a directory so a completed rename survives power loss.
@@ -156,6 +176,8 @@ const (
 	OpRename
 	OpRemove
 	OpSyncDir
+	OpOpen
+	OpRead
 )
 
 // String returns the operation name for error messages.
@@ -175,6 +197,10 @@ func (o Op) String() string {
 		return "remove"
 	case OpSyncDir:
 		return "syncdir"
+	case OpOpen:
+		return "open"
+	case OpRead:
+		return "read"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -190,7 +216,10 @@ type InjectFS struct {
 	mu       sync.Mutex
 	tearAt   int64 // <0: no tear
 	tearErr  error
-	written  int64      // bytes accepted across all files
+	written  int64 // bytes accepted across all files
+	rTearAt  int64 // <0: no read tear
+	rTearErr error
+	rRead    int64      // bytes served across all opened files
 	failAt   map[Op]int // fail when the op's 1-based call counter equals this
 	failErr  map[Op]error
 	calls    map[Op]int
@@ -199,7 +228,7 @@ type InjectFS struct {
 
 // NewInjectFS wraps fs with no faults armed.
 func NewInjectFS(fs FS) *InjectFS {
-	return &InjectFS{FS: fs, tearAt: -1}
+	return &InjectFS{FS: fs, tearAt: -1, rTearAt: -1}
 }
 
 // TearAfter arms a torn write: across all files created through this
@@ -211,6 +240,21 @@ func (ifs *InjectFS) TearAfter(n int64, err error) *InjectFS {
 	ifs.tearAt = n
 	ifs.tearErr = err
 	ifs.written = 0
+	return ifs
+}
+
+// TearReadAfter arms a torn read: across all files opened through this
+// FS, the first n bytes are served and every read after that fails
+// with err (ErrCrash if nil). A read straddling the budget returns the
+// in-budget prefix as a short read alongside the failure — the shape a
+// disk developing a bad sector mid-file presents. Returns the receiver
+// for chaining.
+func (ifs *InjectFS) TearReadAfter(n int64, err error) *InjectFS {
+	ifs.mu.Lock()
+	defer ifs.mu.Unlock()
+	ifs.rTearAt = n
+	ifs.rTearErr = err
+	ifs.rRead = 0
 	return ifs
 }
 
@@ -279,6 +323,50 @@ func (ifs *InjectFS) tearConsume(n int64, tore bool) error {
 		return ifs.tearErr
 	}
 	return ErrCrash
+}
+
+// readTearBudget returns how many more bytes may be served before the
+// armed read tear fires, or a negative value when none is armed.
+func (ifs *InjectFS) readTearBudget() int64 {
+	ifs.mu.Lock()
+	defer ifs.mu.Unlock()
+	if ifs.rTearAt < 0 {
+		return -1
+	}
+	return ifs.rTearAt - ifs.rRead
+}
+
+// readTearConsume records n bytes served and returns the tear error to
+// report, if the tear fires within this read.
+func (ifs *InjectFS) readTearConsume(n int64, tore bool) error {
+	ifs.mu.Lock()
+	defer ifs.mu.Unlock()
+	ifs.rRead += n
+	if !tore {
+		return nil
+	}
+	ifs.injected++
+	if ifs.rTearErr != nil {
+		return ifs.rTearErr
+	}
+	return ErrCrash
+}
+
+// Open implements ReadFS, wrapping the opened file with the armed
+// read faults. The wrapped FS must itself implement ReadFS (OS does).
+func (ifs *InjectFS) Open(name string) (ReadFile, error) {
+	if err := ifs.check(OpOpen); err != nil {
+		return nil, err
+	}
+	rfs, ok := ifs.FS.(ReadFS)
+	if !ok {
+		return nil, fmt.Errorf("faultio: wrapped FS %T cannot open files", ifs.FS)
+	}
+	f, err := rfs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectReadFile{f: f, ifs: ifs}, nil
 }
 
 // CreateTemp implements FS, wrapping the created file with the armed
@@ -366,3 +454,45 @@ func (jf *injectFile) Close() error {
 }
 
 func (jf *injectFile) Name() string { return jf.f.Name() }
+
+// injectReadFile routes a ReadFile's reads through its InjectFS's
+// armed read faults.
+type injectReadFile struct {
+	f   ReadFile
+	ifs *InjectFS
+}
+
+func (jf *injectReadFile) Read(p []byte) (int, error) {
+	if err := jf.ifs.check(OpRead); err != nil {
+		return 0, err
+	}
+	budget := jf.ifs.readTearBudget()
+	if budget < 0 {
+		return jf.f.Read(p)
+	}
+	if budget == 0 {
+		return 0, jf.ifs.readTearConsume(0, true)
+	}
+	if int64(len(p)) <= budget {
+		n, err := jf.f.Read(p)
+		if terr := jf.ifs.readTearConsume(int64(n), false); terr != nil && err == nil {
+			err = terr
+		}
+		return n, err
+	}
+	n, err := jf.f.Read(p[:budget])
+	terr := jf.ifs.readTearConsume(int64(n), err == nil)
+	if err == nil {
+		err = terr
+	}
+	return n, err
+}
+
+func (jf *injectReadFile) Close() error {
+	if err := jf.ifs.check(OpClose); err != nil {
+		return err
+	}
+	return jf.f.Close()
+}
+
+func (jf *injectReadFile) Name() string { return jf.f.Name() }
