@@ -40,6 +40,7 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"flag"
 	"fmt"
@@ -86,6 +87,14 @@ type cliConfig struct {
 	workerID        string  // worker name in coordinator stats
 	shardSize       int     // jobs per distributed lease
 	leaseTTL        time.Duration
+	verifyRate      float64       // fraction of remote results re-executed locally
+	token           string        // shared worker-authentication secret
+	tlsCert         string        // coordinator certificate (serve) / pinned certificate (join)
+	tlsKey          string        // coordinator private key (serve)
+	tlsGen          bool          // generate a self-signed pair at -tls-cert/-tls-key and exit
+	maxBackoff      time.Duration // cap on the worker reconnect backoff
+	hedgeAfter      time.Duration // straggler threshold for speculative re-leases
+	chaosLie        bool          // test hook: corrupt every exact result this worker reports
 	cpuProfile      string
 	memProfile      string
 	progress        bool
@@ -120,6 +129,14 @@ func parseFlags(args []string) (cliConfig, error) {
 	fs.StringVar(&c.workerID, "worker-id", "", "worker name reported to the coordinator (default host-pid)")
 	fs.IntVar(&c.shardSize, "shard-size", 0, "with -serve, jobs per leased shard (0 = default)")
 	fs.DurationVar(&c.leaseTTL, "lease-ttl", 0, "with -serve, how long a worker holds a shard before it is reassigned (0 = default 30s)")
+	fs.Float64Var(&c.verifyRate, "verify-rate", 0, "with -serve, re-execute this seeded deterministic fraction of accepted remote results locally and cross-check exact equality; any result that would join a survivor front is always verified; a mismatch quarantines the worker and invalidates its unverified results (0 = trusted fleet)")
+	fs.StringVar(&c.token, "token", "", "shared secret authenticating workers to the coordinator: required from every worker when set on -serve, presented in the hello when set on -join")
+	fs.StringVar(&c.tlsCert, "tls-cert", "", "with -serve, the PEM certificate to serve TLS with (needs -tls-key); with -join, the coordinator certificate to pin — the connection is refused unless the coordinator presents exactly this certificate")
+	fs.StringVar(&c.tlsKey, "tls-key", "", "with -serve, the PEM private key matching -tls-cert")
+	fs.BoolVar(&c.tlsGen, "tls-gen", false, "generate a self-signed certificate/key pair at -tls-cert/-tls-key and exit: run once on the coordinator host, copy the certificate (never the key) to each worker")
+	fs.DurationVar(&c.maxBackoff, "max-backoff", 0, "with -join, cap the jittered exponential reconnect backoff (0 = default 5s)")
+	fs.DurationVar(&c.hedgeAfter, "hedge-after", 0, "with -serve, speculatively re-lease a shard outstanding longer than this to a second worker (first settled wins; 0 = adapt to twice the p95 of observed shard latencies; negative disables hedging)")
+	fs.BoolVar(&c.chaosLie, "chaos-lie", false, "with -join, corrupt the objective vector of every exact result before reporting it — a lying-worker chaos hook for exercising -verify-rate quarantine end to end; never use on a campaign whose results you care about")
 	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile of the exploration to this file")
 	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile (taken after the exploration) to this file")
 	fs.BoolVar(&c.progress, "progress", false, "report streaming progress per step")
@@ -150,6 +167,16 @@ func main() {
 }
 
 func run(ctx context.Context, c cliConfig) error {
+	if c.tlsGen {
+		if c.tlsCert == "" || c.tlsKey == "" {
+			return fmt.Errorf("-tls-gen needs -tls-cert and -tls-key paths to write")
+		}
+		if err := distrib.GenerateCert(c.tlsCert, c.tlsKey, nil); err != nil {
+			return err
+		}
+		fmt.Printf("self-signed pair written: certificate %s (copy to workers), key %s (keep on the coordinator)\n", c.tlsCert, c.tlsKey)
+		return nil
+	}
 	a, err := netapps.ByName(c.app)
 	if err != nil {
 		return err
@@ -172,6 +199,21 @@ func run(ctx context.Context, c cliConfig) error {
 	}
 	if (c.serve != "" || c.join != "") && c.sampleRate > 0 {
 		return fmt.Errorf("-sample-rate screening is not supported in distributed mode")
+	}
+	if c.serve == "" && c.join == "" && (c.tlsCert != "" || c.tlsKey != "" || c.token != "" || c.chaosLie) {
+		return fmt.Errorf("-tls-cert, -tls-key, -token and -chaos-lie apply only to -serve or -join campaigns")
+	}
+	if c.serve != "" && (c.tlsCert == "") != (c.tlsKey == "") {
+		return fmt.Errorf("-serve needs -tls-cert and -tls-key together")
+	}
+	if c.join != "" && c.tlsKey != "" {
+		return fmt.Errorf("-tls-key is the coordinator's secret; workers pin the coordinator with -tls-cert alone")
+	}
+	if c.chaosLie && c.join == "" {
+		return fmt.Errorf("-chaos-lie is a worker-side chaos hook; it needs -join")
+	}
+	if c.verifyRate < 0 || c.verifyRate > 1 {
+		return fmt.Errorf("-verify-rate must be in [0, 1], got %v", c.verifyRate)
 	}
 	if c.serve != "" || c.join != "" {
 		// Distributed campaigns lease the compositional job space: both
@@ -423,16 +465,51 @@ func runWorker(ctx context.Context, c cliConfig, eng *explore.Engine, cache *exp
 		id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 	fmt.Fprintf(os.Stderr, "worker %s joining %s (campaign %s)\n", id, c.join, eng.CampaignID())
-	err := distrib.RunWorker(ctx, eng, distrib.WorkerOptions{
-		ID: id,
-		Dial: func(ctx context.Context) (net.Conn, error) {
-			var d net.Dialer
-			return d.DialContext(ctx, "tcp", c.join)
-		},
+	dial := func(ctx context.Context) (net.Conn, error) {
+		var d net.Dialer
+		return d.DialContext(ctx, "tcp", c.join)
+	}
+	if c.tlsCert != "" {
+		cfg, err := distrib.ClientTLS(c.tlsCert)
+		if err != nil {
+			return err
+		}
+		plain := dial
+		dial = func(ctx context.Context) (net.Conn, error) {
+			conn, err := plain(ctx)
+			if err != nil {
+				return nil, err
+			}
+			tc := tls.Client(conn, cfg)
+			if err := tc.HandshakeContext(ctx); err != nil {
+				conn.Close()
+				return nil, err
+			}
+			return tc, nil
+		}
+	}
+	wopts := distrib.WorkerOptions{
+		ID:         id,
+		Dial:       dial,
+		Token:      c.token,
+		BackoffMax: c.maxBackoff,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
-	})
+	}
+	if c.chaosLie {
+		fmt.Fprintf(os.Stderr, "worker %s: -chaos-lie armed: every exact result will be reported wrong\n", id)
+		wopts.MutateOutcome = func(o *explore.JobOutcome) {
+			if o.Err != "" || o.Result.Aborted {
+				return
+			}
+			// A dominating near-zero vector: the strongest possible lie,
+			// guaranteed to be a front candidate and so always verified by
+			// the coordinator at any -verify-rate > 0.
+			o.Result.Vec = metrics.Vector{Energy: 1e-9, Time: 1e-9, Accesses: 1, Footprint: 1}
+		}
+	}
+	err := distrib.RunWorker(ctx, eng, wopts)
 	interrupted := err != nil && ctx.Err() != nil && errors.Is(err, context.Canceled)
 	if err == nil || interrupted {
 		if serr := saveCache(cachePath, cache, c.replayCache != ""); serr != nil {
@@ -463,14 +540,38 @@ func runCoordinator(ctx context.Context, c cliConfig, a apps.App, eng *explore.E
 	if err != nil {
 		return nil, err
 	}
+	if c.tlsCert != "" {
+		cfg, terr := distrib.ServerTLS(c.tlsCert, c.tlsKey)
+		if terr != nil {
+			ln.Close()
+			return nil, terr
+		}
+		ln = tls.NewListener(ln, cfg)
+	}
 	coord := distrib.NewCoordinator(a, eng, distrib.Options{
-		ShardSize: c.shardSize,
-		LeaseTTL:  c.leaseTTL,
+		ShardSize:  c.shardSize,
+		LeaseTTL:   c.leaseTTL,
+		VerifyRate: c.verifyRate,
+		Token:      c.token,
+		HedgeAfter: c.hedgeAfter,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
 	})
 	fmt.Fprintf(os.Stderr, "coordinating campaign %s on %s\n", eng.CampaignID(), ln.Addr())
+	var guards []string
+	if c.tlsCert != "" {
+		guards = append(guards, "TLS")
+	}
+	if c.token != "" {
+		guards = append(guards, "token auth")
+	}
+	if c.verifyRate > 0 {
+		guards = append(guards, fmt.Sprintf("spot-check verification of %.3g of results", c.verifyRate))
+	}
+	if len(guards) > 0 {
+		fmt.Fprintf(os.Stderr, "campaign guards: %s\n", strings.Join(guards, ", "))
+	}
 	if err := coord.Run(ctx, ln); err != nil {
 		if ctx.Err() != nil && errors.Is(err, context.Canceled) {
 			if serr := saveCache(cachePath, cache, c.replayCache != ""); serr != nil {
@@ -499,8 +600,9 @@ func runCoordinator(ctx context.Context, c cliConfig, a apps.App, eng *explore.E
 	return coord.DistState(), nil
 }
 
-// printWorkerStats renders the per-worker lease and cache-entry
-// tallies of a distributed campaign.
+// printWorkerStats renders the per-worker lease, trust and cache-entry
+// tallies of a distributed campaign, plus the quarantine repair totals
+// when the campaign caught a liar.
 func printWorkerStats(dist *explore.DistState) {
 	ids := make([]string, 0, len(dist.Workers))
 	for id := range dist.Workers {
@@ -511,17 +613,33 @@ func printWorkerStats(dist *explore.DistState) {
 	var rows [][]string
 	for _, id := range ids {
 		w := dist.Workers[id]
+		name := id
+		if w.Quarantined {
+			name += " (QUARANTINED)"
+		}
 		rows = append(rows, []string{
-			id,
+			name,
 			fmt.Sprintf("%d", w.Leased),
 			fmt.Sprintf("%d", w.Completed),
 			fmt.Sprintf("%d", w.Expired),
 			fmt.Sprintf("%d", w.Reassigned),
+			fmt.Sprintf("%d", w.JobsSettled),
+			fmt.Sprintf("%d", w.JobsRequeued),
+			fmt.Sprintf("%d", w.Verified),
+			fmt.Sprintf("%d", w.Mismatched),
+			fmt.Sprintf("%d/%d", w.HedgesFired, w.HedgesWon),
 			fmt.Sprintf("%d", w.EntriesReceived),
 			fmt.Sprintf("%d", w.EntriesDeduped),
 		})
 	}
-	fmt.Println(report.Table([]string{"worker", "leased", "completed", "expired", "reassigned", "entries", "deduped"}, rows))
+	fmt.Println(report.Table([]string{"worker", "leased", "completed", "expired", "reassigned", "jobs", "requeued", "verified", "mismatch", "hedges f/w", "entries", "deduped"}, rows))
+	if dist.Invalidated > 0 || dist.Recovered > 0 {
+		fmt.Printf("quarantine repairs: %d unverified results invalidated and re-queued, %d jobs settled from the coordinator's own verification runs\n",
+			dist.Invalidated, dist.Recovered)
+	}
+	if n := len(dist.Unverified); n > 0 {
+		fmt.Printf("%d settled results remain spot-check-unverified; their provenance rides in the campaign checkpoint\n", n)
+	}
 }
 
 // evaluatePlatforms answers the co-design question for the run's

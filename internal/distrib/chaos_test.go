@@ -1,0 +1,114 @@
+package distrib
+
+// The composed chaos soak: a seeded faultio.Plan layers every failure
+// mode this package defends against into one campaign — a lying
+// worker (mantissa-flipped objectives: finite, close, wrong), a
+// straggler on a slow and occasionally tearing link, and a worker
+// killed mid-campaign — and the final front must still be
+// bit-identical in membership to a single-process run, with the liar
+// quarantined.
+
+import (
+	"context"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/faultio"
+)
+
+func chaosSoak(t *testing.T, appName string, opts explore.Options, copts Options, seed int64, killAfter time.Duration) {
+	t.Helper()
+	a := app(t, appName)
+
+	ref, _, err := explore.NewEngine(a, opts).Explore(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := survivorLabels(ref.Survivors)
+
+	plan := faultio.NewPlan(seed)
+	flip := plan.Mantissa("liar")
+	var mu sync.Mutex
+	errs := make(map[int]error)
+	h := campaignHarness{
+		app: a, opts: opts, copts: copts,
+		workers: 4,
+		// w0 honest; w1 lies about every exact objective vector; w2
+		// straggles on an injected-latency link that sometimes tears;
+		// w3 is killed mid-campaign.
+		mutate: map[int]func(*explore.JobOutcome){
+			1: func(o *explore.JobOutcome) {
+				if o.Err != "" || o.Result.Aborted {
+					return
+				}
+				o.Result.Vec.Energy = flip(o.Result.Vec.Energy)
+				o.Result.Vec.Time = flip(o.Result.Vec.Time)
+			},
+		},
+		connWrap: map[int]func(net.Conn) net.Conn{},
+		killTime: map[int]time.Duration{3: killAfter},
+		onExit: func(i int, err error) {
+			mu.Lock()
+			errs[i] = err
+			mu.Unlock()
+		},
+	}
+	h.connWrap[2] = plan.WrapConn("straggler", faultio.ConnScript{
+		Latency:  2 * time.Millisecond,
+		TearProb: 0.3,
+		TearMin:  512,
+		TearMax:  8192,
+	})
+	coord, ceng := h.run(t)
+
+	dist := coord.DistState()
+	liar := dist.Workers["w1"]
+	if !liar.Quarantined {
+		t.Fatal("lying worker survived the soak unquarantined")
+	}
+	if liar.Mismatched == 0 {
+		t.Error("quarantined liar has no recorded mismatch")
+	}
+	for key, who := range dist.Unverified {
+		if who == "w1" {
+			t.Errorf("unverified provenance for %s still names the quarantined liar", key)
+		}
+	}
+
+	gotLive := make([]string, 0)
+	for _, p := range coord.frontSnapshot() {
+		gotLive = append(gotLive, p.Label)
+	}
+	sort.Strings(gotLive)
+	if !equalStrings(gotLive, want) {
+		t.Errorf("soak live front %v, want %v", gotLive, want)
+	}
+	s1, _, err := ceng.Explore(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := survivorLabels(s1.Survivors); !equalStrings(got, want) {
+		t.Errorf("soak warm-rerun survivors %v, want %v", got, want)
+	}
+}
+
+func TestChaosSoakDRRK3(t *testing.T) {
+	chaosSoak(t, "DRR",
+		explore.Options{TracePackets: 200, DominantK: 3, BoundPrune: true},
+		Options{ShardSize: 16, LeaseTTL: 300 * time.Millisecond, VerifyRate: 1.0},
+		1, 100*time.Millisecond)
+}
+
+func TestChaosSoakFlowMonK5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10^5-combination soak skipped in -short")
+	}
+	chaosSoak(t, "FlowMon",
+		explore.Options{TracePackets: 50, DominantK: 5, BoundPrune: true},
+		Options{ShardSize: 1024, LeaseTTL: 5 * time.Second, VerifyRate: 1.0},
+		2, 800*time.Millisecond)
+}

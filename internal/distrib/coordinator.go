@@ -3,8 +3,11 @@ package distrib
 import (
 	"bufio"
 	"context"
+	"crypto/subtle"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net"
 	"sort"
 	"sync"
@@ -25,6 +28,27 @@ type Options struct {
 	// WaitHint is the retry delay handed to workers when nothing is
 	// leasable (default 50ms).
 	WaitHint time.Duration
+	// VerifyRate is the fraction of exact remote results the
+	// coordinator re-executes locally (pure live simulation, nothing
+	// shared with the reporting worker) and cross-checks for exact
+	// objective equality before admission. Selection is a seeded,
+	// deterministic hash of the job identity, stable across restarts.
+	// Independent of the rate, any exact result that would join a
+	// survivor front is always verified — a lie there would poison the
+	// broadcast pruning proofs and the report itself, so the spot-check
+	// budget is spent where it cannot be skipped. 0 disables
+	// verification entirely (trusted-fleet mode, the PR-9 behavior).
+	VerifyRate float64
+	// Token, when non-empty, is the shared secret every worker's hello
+	// must present (constant-time compare). Combine with TLS on the
+	// listener for campaigns that leave localhost.
+	Token string
+	// HedgeAfter fixes the straggler threshold: a lease outstanding
+	// longer than this is speculatively re-leased to a second worker
+	// (first-settled-wins makes the duplicate safe). 0 selects the
+	// adaptive threshold — twice the p95 of observed shard completion
+	// latencies — and a negative value disables hedging.
+	HedgeAfter time.Duration
 	// Logf receives progress lines (nil: silent).
 	Logf func(format string, args ...any)
 }
@@ -52,68 +76,134 @@ func (o Options) waitHint() time.Duration {
 
 // shard is one leasable unit of work: job indexes into the
 // coordinator's spec table. reassigned marks a shard a previous lease
-// lost.
+// lost; hedge marks a speculative duplicate of a straggling lease,
+// with hedgeBy naming the straggler (who must not be handed its own
+// hedge).
 type shard struct {
 	jobs       []int
 	reassigned bool
+	hedge      bool
+	hedgeBy    string
 }
 
 // leaseState is one outstanding lease.
 type leaseState struct {
-	id     uint64
-	worker string
-	step   int
-	shard  shard
-	expiry time.Time
+	id      uint64
+	worker  string
+	step    int
+	shard   shard
+	granted time.Time
+	expiry  time.Time
+	hedged  bool // a hedge for this lease has been queued
 }
 
 // Coordinator owns a distributed campaign: the deterministic job
 // space, the shard queue, outstanding leases, the exact survivor
-// front, and the merge of everything workers send back. All durable
-// state lives in the engine's cache; the coordinator itself is soft
-// state that a restart rebuilds.
+// front, the trust state of every worker, and the merge of everything
+// workers send back. All durable state lives in the engine's cache;
+// the coordinator itself is soft state that a restart rebuilds —
+// except the per-worker trust bookkeeping, which rides in the cache's
+// checkpoint so a quarantine survives the restart too.
+//
+// The trust model: CRC32C guards the wire, not the computation. Every
+// exact result that would join a survivor front — plus a seeded
+// deterministic VerifyRate fraction of the rest — is re-executed on
+// the coordinator's own engine by pure live simulation (no cache, no
+// worker-shipped lanes) and compared for exact objective equality
+// before admission. A mismatch quarantines the worker: outstanding
+// leases are reaped, every unverified result it ever reported is
+// invalidated back into the queue, and it is refused further
+// participation. Coverage counting (one count per live queue or lease
+// copy of a job) makes requeues exact under hedging: a job is
+// re-queued only when its last copy dies.
 type Coordinator struct {
-	app  apps.App
-	eng  *explore.Engine
-	opts Options
+	app        apps.App
+	eng        *explore.Engine
+	opts       Options
+	campaignID string
 
-	mu        sync.Mutex
-	cond      *sync.Cond
-	step      int
-	total1    int
-	specs     map[int]explore.JobSpec
-	settled   map[int]bool
-	remaining int // unsettled jobs of the current step
-	queue     []shard
-	leases    map[uint64]*leaseState
-	nextLease uint64
-	front     *pareto.OnlineFront
-	res1      map[int]explore.Result
-	workers   map[string]*explore.DistWorkerStats
-	conns     map[net.Conn]bool
-	failure   error
-	doneAll   bool
-	stop      chan struct{}
+	mu          sync.Mutex
+	cond        *sync.Cond
+	step        int
+	total1      int
+	specs       map[int]explore.JobSpec
+	keys        map[int]string // job index -> cache identity key
+	keyIdx      map[string]int // cache identity key -> job index
+	settled     map[int]bool
+	cover       map[int]int // live queue+lease copies per unsettled job
+	remaining   int         // unsettled jobs of the current step
+	queue       []shard
+	leases      map[uint64]*leaseState
+	nextLease   uint64
+	staleBefore uint64 // reports from leases below this id are dropped
+	restart     bool   // a quarantine wiped completed-step work: re-lay out
+	front       *pareto.OnlineFront
+	fronts2     map[string]*pareto.OnlineFront // per-config step-2 fronts (admission candidacy)
+	res1        map[int]explore.Result
+	res2        map[int]explore.Result
+	unverified  map[string]string // cache identity key -> reporting worker
+	invalidated int64
+	recovered   int64
+	durs        []time.Duration // recent shard completion latencies (hedging)
+	workers     map[string]*explore.DistWorkerStats
+	conns       map[net.Conn]bool
+	failure     error
+	doneAll     bool
+	stop        chan struct{}
 }
 
 // NewCoordinator builds a coordinator for the app's campaign as
 // configured by eng. The engine must have a cache (it is the durable
-// state) and is the same engine the caller later reports from.
+// state) and is the same engine the caller later reports from. If the
+// cache carries a checkpoint of this campaign, the per-worker trust
+// state is re-admitted from it: quarantines survive the restart, and
+// any results a quarantined worker reported that the dead coordinator
+// had not yet wiped are invalidated before the warm pre-pass can
+// settle them.
 func NewCoordinator(app apps.App, eng *explore.Engine, opts Options) *Coordinator {
 	c := &Coordinator{
-		app:     app,
-		eng:     eng,
-		opts:    opts,
-		specs:   make(map[int]explore.JobSpec),
-		settled: make(map[int]bool),
-		leases:  make(map[uint64]*leaseState),
-		front:   pareto.NewOnlineFront(),
-		res1:    make(map[int]explore.Result),
-		workers: make(map[string]*explore.DistWorkerStats),
-		conns:   make(map[net.Conn]bool),
-		stop:    make(chan struct{}),
+		app:        app,
+		eng:        eng,
+		opts:       opts,
+		campaignID: eng.CampaignID(),
+		specs:      make(map[int]explore.JobSpec),
+		keys:       make(map[int]string),
+		keyIdx:     make(map[string]int),
+		settled:    make(map[int]bool),
+		cover:      make(map[int]int),
+		leases:     make(map[uint64]*leaseState),
+		front:      pareto.NewOnlineFront(),
+		fronts2:    make(map[string]*pareto.OnlineFront),
+		res1:       make(map[int]explore.Result),
+		res2:       make(map[int]explore.Result),
+		unverified: make(map[string]string),
+		workers:    make(map[string]*explore.DistWorkerStats),
+		conns:      make(map[net.Conn]bool),
+		stop:       make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	if cache := eng.Cache(); cache != nil {
+		if ck, ok := cache.Checkpoint(); ok && ck.App == app.Name() && ck.Ctx == eng.ExploreContext() && ck.Dist != nil {
+			for id, w := range ck.Dist.Workers {
+				cw := w
+				c.workers[id] = &cw
+			}
+			c.invalidated = ck.Dist.Invalidated
+			c.recovered = ck.Dist.Recovered
+			for key, worker := range ck.Dist.Unverified {
+				if w := c.workers[worker]; w != nil && w.Quarantined {
+					// The dead coordinator quarantined this worker but
+					// crashed before wiping everything; finish the wipe
+					// (invalidation is idempotent).
+					if eng.InvalidateCached(key) {
+						c.invalidated++
+					}
+					continue
+				}
+				c.unverified[key] = worker
+			}
+		}
+	}
 	return c
 }
 
@@ -123,8 +213,8 @@ func (c *Coordinator) logf(format string, args ...any) {
 	}
 }
 
-// DistState snapshots the per-worker bookkeeping (for checkpoints and
-// the CLI stats table).
+// DistState snapshots the per-worker bookkeeping and trust state (for
+// checkpoints and the CLI stats table).
 func (c *Coordinator) DistState() *explore.DistState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -132,9 +222,17 @@ func (c *Coordinator) DistState() *explore.DistState {
 }
 
 func (c *Coordinator) distLocked() *explore.DistState {
-	d := &explore.DistState{Workers: make(map[string]explore.DistWorkerStats, len(c.workers))}
+	d := &explore.DistState{
+		Workers:     make(map[string]explore.DistWorkerStats, len(c.workers)),
+		Unverified:  make(map[string]string, len(c.unverified)),
+		Invalidated: c.invalidated,
+		Recovered:   c.recovered,
+	}
 	for id, w := range c.workers {
 		d.Workers[id] = *w
+	}
+	for k, v := range c.unverified {
+		d.Unverified[k] = v
 	}
 	return d
 }
@@ -211,16 +309,38 @@ func (c *Coordinator) stepNow() int {
 	return c.step
 }
 
-// campaign lays out and waits out both exploration steps.
+// campaign runs layout passes until one completes without a restart. A
+// pass restarts when a quarantine wipes settled work that a completed
+// step had already derived from (step-2 survivors descend from the
+// step-1 front); the re-layout is cheap — everything honestly settled
+// answers from the cache in the warm pre-pass, and only the
+// invalidated jobs actually re-resolve.
 func (c *Coordinator) campaign(ctx context.Context) error {
+	for {
+		restart, err := c.campaignPass(ctx)
+		if err != nil {
+			return err
+		}
+		if !restart {
+			return nil
+		}
+		c.mu.Lock()
+		c.resetLayoutLocked()
+		c.mu.Unlock()
+		c.logf("distrib: re-laying out the campaign: a quarantine wiped settled work a completed step derived from")
+	}
+}
+
+// campaignPass lays out and waits out both exploration steps once.
+func (c *Coordinator) campaignPass(ctx context.Context) (bool, error) {
 	configs := explore.Configs(c.app)
 	if len(configs) == 0 {
-		return fmt.Errorf("distrib: %s has no network configurations", c.app.Name())
+		return false, fmt.Errorf("distrib: %s has no network configurations", c.app.Name())
 	}
 	ref := configs[0]
 	dominant, total1, err := c.eng.PlanStep1(ctx, ref)
 	if err != nil {
-		return err
+		return false, err
 	}
 
 	// Step 1: the full combination space against the reference
@@ -235,13 +355,21 @@ func (c *Coordinator) campaign(ctx context.Context) error {
 			Guarded: true,
 		}
 	}
-	if err := c.runStep(ctx, 1, total1, step1); err != nil {
-		return err
+	if restart, err := c.runStep(ctx, 1, total1, step1); err != nil || restart {
+		return restart, err
 	}
 
 	// Survivors: the exact front over step-1 results, by combination
-	// index for a deterministic step-2 layout.
+	// index for a deterministic step-2 layout. A quarantine may fire
+	// between the step-1 wait loop returning and this derivation, so
+	// the completeness of the layout is re-checked under the same lock
+	// that reads the front.
 	c.mu.Lock()
+	if c.restart || c.layoutIncompleteLocked() {
+		c.restart = true
+		c.mu.Unlock()
+		return true, nil
+	}
 	pts := c.front.Points()
 	survivors := make([]explore.Result, 0, len(pts))
 	tags := make([]int, 0, len(pts))
@@ -270,17 +398,68 @@ func (c *Coordinator) campaign(ctx context.Context) error {
 			idx++
 		}
 	}
-	if err := c.runStep(ctx, 2, len(step2), step2); err != nil {
-		return err
+	if restart, err := c.runStep(ctx, 2, len(step2), step2); err != nil || restart {
+		return restart, err
+	}
+	c.mu.Lock()
+	incomplete := c.restart || c.layoutIncompleteLocked()
+	if incomplete {
+		c.restart = true
+	}
+	c.mu.Unlock()
+	if incomplete {
+		return true, nil
 	}
 	c.logf("distrib: step 2 settled")
-	return nil
+	return false, nil
+}
+
+// layoutIncompleteLocked reports whether any job of the current layout
+// is unsettled — a quarantine can wipe settled work after a step's
+// wait loop has already returned.
+func (c *Coordinator) layoutIncompleteLocked() bool {
+	for idx := range c.specs {
+		if !c.settled[idx] {
+			return true
+		}
+	}
+	return false
+}
+
+// resetLayoutLocked drops every piece of soft layout state for a fresh
+// campaign pass while keeping the trust state (worker stats,
+// quarantines, unverified provenance) and the latency history.
+// Outstanding leases are forgotten; reports from them are recognized
+// by id and dropped (their deltas still merge — compositional entries
+// are layout-independent).
+func (c *Coordinator) resetLayoutLocked() {
+	c.step = 0
+	c.total1 = 0
+	c.specs = make(map[int]explore.JobSpec)
+	c.keys = make(map[int]string)
+	c.keyIdx = make(map[string]int)
+	c.settled = make(map[int]bool)
+	c.cover = make(map[int]int)
+	c.remaining = 0
+	c.queue = nil
+	c.leases = make(map[uint64]*leaseState)
+	c.staleBefore = c.nextLease + 1
+	c.front = pareto.NewOnlineFront()
+	c.fronts2 = make(map[string]*pareto.OnlineFront)
+	c.res1 = make(map[int]explore.Result)
+	c.res2 = make(map[int]explore.Result)
+	c.restart = false
 }
 
 // runStep installs one step's job space — settling everything the
 // cache already proves in a warm pre-pass — and blocks until workers
-// settle the rest.
-func (c *Coordinator) runStep(ctx context.Context, step, total int, jobs []explore.JobSpec) error {
+// settle the rest. Before returning cleanly it audits any front member
+// that is still unverified: the next step derives its job space from
+// the front, so a dominated-at-admission lie that later surfaced onto
+// the front (after invalidations reshaped it) must not survive the
+// step boundary. Returns restart=true when a quarantine wiped settled
+// work from a completed step and the campaign must re-lay out.
+func (c *Coordinator) runStep(ctx context.Context, step, total int, jobs []explore.JobSpec) (bool, error) {
 	var cold []int
 	warm := 0
 	c.mu.Lock()
@@ -290,8 +469,11 @@ func (c *Coordinator) runStep(ctx context.Context, step, total int, jobs []explo
 	}
 	for _, spec := range jobs {
 		c.specs[spec.Index] = spec
+		key := c.eng.JobKey(spec)
+		c.keys[spec.Index] = key
+		c.keyIdx[key] = spec.Index
 		if out, ok := c.eng.CachedOutcome(spec); ok {
-			c.settleLocked(out)
+			c.settleLocked(out, "", false)
 			warm++
 			continue
 		}
@@ -301,7 +483,7 @@ func (c *Coordinator) runStep(ctx context.Context, step, total int, jobs []explo
 	size := c.opts.shardSize()
 	for len(cold) > 0 {
 		n := min(size, len(cold))
-		c.queue = append(c.queue, shard{jobs: cold[:n]})
+		c.enqueueLocked(shard{jobs: cold[:n]})
 		cold = cold[n:]
 	}
 	c.mu.Unlock()
@@ -311,30 +493,403 @@ func (c *Coordinator) runStep(ctx context.Context, step, total int, jobs []explo
 	}
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for c.remaining > 0 && c.failure == nil && ctx.Err() == nil {
-		c.cond.Wait()
+	for {
+		for c.remaining > 0 && !c.restart && c.failure == nil && ctx.Err() == nil {
+			c.cond.Wait()
+		}
+		if c.failure != nil {
+			err := c.failure
+			c.mu.Unlock()
+			return false, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			c.mu.Unlock()
+			return false, cerr
+		}
+		if c.restart {
+			c.mu.Unlock()
+			return true, nil
+		}
+		checks := c.unverifiedFrontLocked()
+		if len(checks) == 0 {
+			c.mu.Unlock()
+			return false, nil
+		}
+		c.mu.Unlock()
+		c.auditFront(step, checks)
+		c.mu.Lock()
 	}
-	if c.failure != nil {
-		return c.failure
-	}
-	return ctx.Err()
 }
 
-// settleLocked marks one outcome settled, feeding exact step-1 results
-// into the survivor front. Call with c.mu held and the outcome fresh
-// (not a duplicate).
-func (c *Coordinator) settleLocked(out explore.JobOutcome) {
+// enqueueLocked appends a shard to the queue, counting one live copy
+// for each of its unsettled jobs.
+func (c *Coordinator) enqueueLocked(sh shard) {
+	for _, j := range sh.jobs {
+		if !c.settled[j] {
+			c.cover[j]++
+		}
+	}
+	c.queue = append(c.queue, sh)
+}
+
+// releaseLocked retires one holder of the given jobs — a closed or
+// reaped lease — and returns the unsettled jobs no other lease or
+// queued shard still covers: the ones that must requeue. Hedging is
+// what makes the count necessary: a hedged job has two live copies,
+// and losing one of them must not put a third in the queue.
+func (c *Coordinator) releaseLocked(jobs []int) []int {
+	var orphans []int
+	for _, j := range jobs {
+		if c.settled[j] {
+			continue
+		}
+		if c.cover[j] > 0 {
+			c.cover[j]--
+		}
+		if c.cover[j] == 0 {
+			orphans = append(orphans, j)
+		}
+	}
+	return orphans
+}
+
+// recountCoverLocked recomputes a job's live-copy count from scratch —
+// needed when a quarantine un-settles a job whose cover entry was
+// dropped at settle time, while stale copies of it may still sit in
+// queued shards or outstanding leases.
+func (c *Coordinator) recountCoverLocked(j int) int {
+	n := 0
+	for _, sh := range c.queue {
+		for _, x := range sh.jobs {
+			if x == j {
+				n++
+			}
+		}
+	}
+	for _, ls := range c.leases {
+		for _, x := range ls.shard.jobs {
+			if x == j {
+				n++
+			}
+		}
+	}
+	c.cover[j] = n
+	return n
+}
+
+// settleLocked marks one outcome settled, feeding exact results into
+// the survivor fronts. from names the reporting worker ("" for the
+// coordinator's own warm pre-pass and verification re-executions);
+// verified reports whether the result is trusted — locally computed or
+// cross-checked bit-exact. Unverified remote settles record their
+// provenance so a later quarantine can find and wipe them; a warm
+// re-settle (from "", unverified) keeps whatever provenance an earlier
+// incarnation recorded. Call with c.mu held and the outcome fresh.
+func (c *Coordinator) settleLocked(out explore.JobOutcome, from string, verified bool) {
 	c.settled[out.Index] = true
-	if out.Index < c.total1 && out.Err == "" && !out.Result.Aborted {
+	delete(c.cover, out.Index)
+	if key, ok := c.keys[out.Index]; ok {
+		if verified {
+			delete(c.unverified, key)
+		} else if from != "" {
+			c.unverified[key] = from
+		}
+	}
+	if out.Err != "" || out.Result.Aborted {
+		return
+	}
+	if out.Index < c.total1 {
 		c.front.Add(out.Result.Point(out.Index))
 		c.res1[out.Index] = out.Result
+	} else {
+		c.res2[out.Index] = out.Result
+		c.front2Locked(c.specs[out.Index].Cfg).Add(out.Result.Point(out.Index))
 	}
 }
 
-// reaper re-queues expired leases until the campaign stops.
+// front2Locked returns (creating on demand) the per-configuration
+// step-2 front used for verification candidacy: step-2 jobs have no
+// global front, but a lie that would lead a configuration's chart must
+// be verified exactly like a step-1 front candidate.
+func (c *Coordinator) front2Locked(cfg explore.Config) *pareto.OnlineFront {
+	key := cfg.String()
+	f := c.fronts2[key]
+	if f == nil {
+		f = pareto.NewOnlineFront()
+		c.fronts2[key] = f
+	}
+	return f
+}
+
+// rebuildFrontsLocked reconstructs every front from the surviving
+// settled results — the repair after a quarantine wipes members.
+func (c *Coordinator) rebuildFrontsLocked() {
+	c.front = pareto.NewOnlineFront()
+	for idx, r := range c.res1 {
+		c.front.Add(r.Point(idx))
+	}
+	c.fronts2 = make(map[string]*pareto.OnlineFront)
+	for idx, r := range c.res2 {
+		if spec, ok := c.specs[idx]; ok {
+			c.front2Locked(spec.Cfg).Add(r.Point(idx))
+		}
+	}
+}
+
+// spotSelected deterministically selects a VerifyRate fraction of job
+// identity keys: a seeded hash of (campaign, key), so the choice is
+// uniform over the space, stable across coordinator restarts and
+// re-layouts, and independent of which worker resolves the job or in
+// what order reports arrive.
+func (c *Coordinator) spotSelected(key string) bool {
+	rate := c.opts.VerifyRate
+	if rate <= 0 {
+		return false
+	}
+	if rate >= 1 {
+		return true
+	}
+	h := fnv.New64a()
+	io.WriteString(h, c.campaignID)
+	io.WriteString(h, "\x00")
+	io.WriteString(h, key)
+	return float64(h.Sum64()>>11)/float64(1<<53) < rate
+}
+
+// verifySelectedLocked decides whether an exact remote outcome must be
+// re-executed locally before admission: always when it would join a
+// survivor front (a lie there would poison broadcast pruning proofs,
+// survivor derivation and the report itself), plus the seeded
+// VerifyRate fraction of everything else. Aborted outcomes (dominance
+// tombstones, early aborts) are never verified — their vectors are
+// front-dependent partial bounds, not deterministic ground truth; they
+// also never enter a front, and a quarantine wipes a liar's tombstones
+// through the same unverified-provenance path as everything else.
+func (c *Coordinator) verifySelectedLocked(spec explore.JobSpec, out explore.JobOutcome) bool {
+	if c.opts.VerifyRate <= 0 || out.Result.Aborted {
+		return false
+	}
+	f := c.front
+	if spec.Index >= c.total1 {
+		f = c.front2Locked(spec.Cfg)
+	}
+	if !f.DominatedBeyond(out.Result.Vec, 0) {
+		return true // front candidate: always verify
+	}
+	return c.spotSelected(c.keys[spec.Index])
+}
+
+// quarantineLocked ejects a worker caught reporting a wrong result:
+// marks it (refused at hello, lease and results from now on), reaps
+// its outstanding leases, invalidates every unverified result it ever
+// reported — wiping the cache entries and un-settling the jobs — and
+// rebuilds the fronts those results may have polluted. Reclaimed work
+// requeues; if a wiped result belonged to a completed step, the
+// campaign re-lays itself out, because later-step work derived from
+// it. Idempotent past the Mismatched tally.
+func (c *Coordinator) quarantineLocked(worker, reason string) {
+	w := c.workerLocked(worker)
+	w.Mismatched++
+	if w.Quarantined {
+		return
+	}
+	w.Quarantined = true
+	c.logf("distrib: worker %s QUARANTINED: %s", worker, reason)
+
+	reaped := 0
+	var orphans []int
+	for id, ls := range c.leases {
+		if ls.worker != worker {
+			continue
+		}
+		delete(c.leases, id)
+		reaped++
+		orphans = append(orphans, c.releaseLocked(ls.shard.jobs)...)
+	}
+
+	invalidated, wiped := 0, 0
+	for key, from := range c.unverified {
+		if from != worker {
+			continue
+		}
+		delete(c.unverified, key)
+		if c.eng.InvalidateCached(key) {
+			invalidated++
+			c.invalidated++
+		}
+		idx, ok := c.keyIdx[key]
+		if !ok || !c.settled[idx] {
+			continue
+		}
+		delete(c.settled, idx)
+		delete(c.res1, idx)
+		delete(c.res2, idx)
+		wiped++
+		stepOf := 2
+		if idx < c.total1 {
+			stepOf = 1
+		}
+		if stepOf == c.step {
+			c.remaining++
+			if c.recountCoverLocked(idx) == 0 {
+				orphans = append(orphans, idx)
+			}
+		} else {
+			c.restart = true
+		}
+	}
+	c.rebuildFrontsLocked()
+	if len(orphans) > 0 {
+		c.enqueueLocked(shard{jobs: orphans, reassigned: true})
+		w.JobsRequeued += int64(len(orphans))
+	}
+	note := ""
+	if c.restart {
+		note = "; campaign will re-lay out (a completed step lost settled work)"
+	}
+	c.logf("distrib: quarantine %s: %d leases reaped, %d unverified results invalidated, %d settled jobs wiped, %d re-queued%s",
+		worker, reaped, invalidated, wiped, len(orphans), note)
+}
+
+// auditCheck is one unverified front member queued for step-boundary
+// verification.
+type auditCheck struct {
+	spec explore.JobSpec
+	key  string
+	from string
+	res  explore.Result
+}
+
+// unverifiedFrontLocked collects every member of the step-1 front and
+// the per-configuration step-2 fronts whose result was remotely
+// settled and never verified.
+func (c *Coordinator) unverifiedFrontLocked() []auditCheck {
+	var out []auditCheck
+	seen := make(map[int]bool)
+	add := func(idx int) {
+		if seen[idx] {
+			return
+		}
+		seen[idx] = true
+		key, ok := c.keys[idx]
+		if !ok {
+			return
+		}
+		from, ok := c.unverified[key]
+		if !ok {
+			return
+		}
+		res, ok := c.res1[idx]
+		if !ok {
+			res, ok = c.res2[idx]
+		}
+		if !ok {
+			return
+		}
+		out = append(out, auditCheck{spec: c.specs[idx], key: key, from: from, res: res})
+	}
+	for _, p := range c.front.Points() {
+		add(p.Tag)
+	}
+	for _, f := range c.fronts2 {
+		for _, p := range f.Points() {
+			add(p.Tag)
+		}
+	}
+	return out
+}
+
+// auditFront re-executes unverified front members and either blesses
+// them or quarantines their reporters, settling the locally computed
+// truth in their place.
+func (c *Coordinator) auditFront(step int, checks []auditCheck) {
+	var fresh int64
+	for _, ac := range checks {
+		truth := c.eng.ResolveJobLive(ac.spec)
+		c.mu.Lock()
+		if key, ok := c.keys[ac.spec.Index]; !ok || key != ac.key {
+			c.mu.Unlock()
+			continue // the layout changed under us (concurrent restart)
+		}
+		if _, still := c.unverified[ac.key]; !still {
+			c.mu.Unlock()
+			continue // verified or invalidated meanwhile
+		}
+		if truth.Err != "" {
+			if c.failure == nil {
+				c.failure = fmt.Errorf("distrib: auditing job %d: %s", ac.spec.Index, truth.Err)
+			}
+			c.mu.Unlock()
+			continue
+		}
+		if !truth.Result.Aborted && truth.Result.Vec == ac.res.Vec {
+			delete(c.unverified, ac.key)
+			c.workerLocked(ac.from).Verified++
+			c.mu.Unlock()
+			continue
+		}
+		c.quarantineLocked(ac.from, fmt.Sprintf("front audit: job %d reported %+v, verified %+v", ac.spec.Index, ac.res.Vec, truth.Result.Vec))
+		if !c.settled[ac.spec.Index] {
+			// The quarantine wiped it; settle the audited truth straight
+			// back — the coordinator's own computation is trusted.
+			c.settleLocked(truth, "", true)
+			c.eng.AdmitOutcome(truth)
+			c.recovered++
+			fresh++
+			c.remaining--
+		}
+		c.mu.Unlock()
+	}
+	c.cond.Broadcast()
+	if fresh > 0 {
+		c.eng.SettleExternal(fresh, step, c.frontSnapshot, c.DistState)
+	}
+}
+
+const (
+	hedgeMinSamples = 8
+	hedgeDurWindow  = 64
+)
+
+// noteShardDurLocked records one completed shard's lease-to-report
+// latency for the adaptive hedge threshold.
+func (c *Coordinator) noteShardDurLocked(d time.Duration) {
+	c.durs = append(c.durs, d)
+	if len(c.durs) > hedgeDurWindow {
+		c.durs = c.durs[len(c.durs)-hedgeDurWindow:]
+	}
+}
+
+// hedgeThresholdLocked returns how long a lease may stay outstanding
+// before a hedge fires. A fixed positive Options.HedgeAfter wins;
+// otherwise the threshold adapts to the fleet — twice the p95 of
+// recently observed shard completion latencies, once enough samples
+// exist for the percentile to mean anything. Negative disables.
+func (c *Coordinator) hedgeThresholdLocked() (time.Duration, bool) {
+	if c.opts.HedgeAfter > 0 {
+		return c.opts.HedgeAfter, true
+	}
+	if c.opts.HedgeAfter < 0 || len(c.durs) < hedgeMinSamples {
+		return 0, false
+	}
+	ds := append([]time.Duration(nil), c.durs...)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	th := 2 * ds[len(ds)*95/100]
+	if minTh := 10 * time.Millisecond; th < minTh {
+		th = minTh
+	}
+	return th, true
+}
+
+// reaper re-queues expired leases and hedges straggling ones until the
+// campaign stops. Hedging only fires when the queue is dry — while
+// undone primary work exists, speculation would just steal a worker
+// from it — and never hands a straggler its own hedge.
 func (c *Coordinator) reaper() {
 	tick := max(c.opts.leaseTTL()/4, 5*time.Millisecond)
+	if ha := c.opts.HedgeAfter; ha > 0 {
+		tick = min(tick, max(ha/2, time.Millisecond))
+	}
 	t := time.NewTicker(tick)
 	defer t.Stop()
 	for {
@@ -349,16 +904,36 @@ func (c *Coordinator) reaper() {
 				}
 				delete(c.leases, id)
 				c.workerLocked(ls.worker).Expired++
-				live := ls.shard.jobs[:0:0]
-				for _, j := range ls.shard.jobs {
-					if !c.settled[j] {
-						live = append(live, j)
+				orphans := c.releaseLocked(ls.shard.jobs)
+				if len(orphans) > 0 {
+					c.enqueueLocked(shard{jobs: orphans, reassigned: true})
+					c.workerLocked(ls.worker).JobsRequeued += int64(len(orphans))
+				}
+				c.logf("distrib: lease %d (%s) expired, %d jobs re-queued", id, ls.worker, len(orphans))
+			}
+			if threshold, ok := c.hedgeThresholdLocked(); ok && len(c.queue) == 0 {
+				for id, ls := range c.leases {
+					if ls.hedged || ls.shard.hedge {
+						continue // one hedge per lease; hedges are not re-hedged
 					}
+					if now.Sub(ls.granted) < threshold {
+						continue
+					}
+					live := ls.shard.jobs[:0:0]
+					for _, j := range ls.shard.jobs {
+						if !c.settled[j] {
+							live = append(live, j)
+						}
+					}
+					if len(live) == 0 {
+						continue
+					}
+					ls.hedged = true
+					c.enqueueLocked(shard{jobs: live, reassigned: true, hedge: true, hedgeBy: ls.worker})
+					c.workerLocked(ls.worker).HedgesFired++
+					c.logf("distrib: lease %d (%s) outstanding %v past the %v hedge threshold, %d jobs hedged",
+						id, ls.worker, now.Sub(ls.granted).Round(time.Millisecond), threshold.Round(time.Millisecond), len(live))
 				}
-				if len(live) > 0 {
-					c.queue = append(c.queue, shard{jobs: live, reassigned: true})
-				}
-				c.logf("distrib: lease %d (%s) expired, %d jobs re-queued", id, ls.worker, len(live))
 			}
 			c.mu.Unlock()
 		}
@@ -389,7 +964,9 @@ func (c *Coordinator) acceptLoop(ln net.Listener) {
 // connection until it errors, the worker leaves, or the campaign is
 // torn down. Any transport or framing error just drops the
 // connection: the worker reconnects with backoff, and whatever lease
-// it held expires into the queue.
+// it held expires into the queue. The first frame is untrusted — size-
+// capped and checked for protocol, token and campaign before anything
+// else is read.
 func (c *Coordinator) handle(conn net.Conn) {
 	c.mu.Lock()
 	c.conns[conn] = true
@@ -403,38 +980,37 @@ func (c *Coordinator) handle(conn net.Conn) {
 
 	readTimeout := max(4*c.opts.leaseTTL(), time.Minute)
 	br := bufio.NewReader(conn)
-	next := func(want byte) ([]byte, error) {
-		conn.SetReadDeadline(time.Now().Add(readTimeout))
-		id, payload, err := readFrame(br)
-		if err != nil {
-			return nil, err
-		}
-		if id != want {
-			return nil, fmt.Errorf("distrib: expected %s, got %s", msgName(want), msgName(id))
-		}
-		return payload, nil
-	}
 
-	payload, err := next(msgHello)
-	if err != nil {
+	conn.SetReadDeadline(time.Now().Add(readTimeout))
+	id, payload, err := readFrameN(br, maxHelloBytes)
+	if err != nil || id != msgHello {
 		return
 	}
 	var h hello
 	if err := decodeMsg(msgHello, payload, &h); err != nil {
 		return
 	}
-	campaign := c.eng.CampaignID()
 	if h.Proto != ProtoVersion {
 		writeMsg(conn, msgReject, reject{Reason: fmt.Sprintf("protocol %d, want %d", h.Proto, ProtoVersion)})
 		return
 	}
+	if c.opts.Token != "" && subtle.ConstantTimeCompare([]byte(h.Token), []byte(c.opts.Token)) != 1 {
+		writeMsg(conn, msgReject, reject{Reason: "bad or missing token"})
+		c.logf("distrib: worker %s rejected: bad or missing token", h.Worker)
+		return
+	}
+	campaign := c.eng.CampaignID()
 	if h.Campaign != campaign {
 		writeMsg(conn, msgReject, reject{Reason: fmt.Sprintf("campaign mismatch: worker %q, coordinator %q", h.Campaign, campaign)})
 		return
 	}
 	c.mu.Lock()
-	c.workerLocked(h.Worker)
+	quarantined := c.workerLocked(h.Worker).Quarantined
 	c.mu.Unlock()
+	if quarantined {
+		writeMsg(conn, msgReject, reject{Reason: "worker is quarantined: a reported result failed verification"})
+		return
+	}
 	if err := writeMsg(conn, msgWelcome, welcome{Campaign: campaign, Front: c.frontSnapshot()}); err != nil {
 		return
 	}
@@ -466,8 +1042,8 @@ func (c *Coordinator) handle(conn net.Conn) {
 }
 
 // grantLease answers one lease request: a shard, a wait hint, done, or
-// (failed campaign) a reject. Returns false when the connection should
-// drop.
+// (failed campaign, quarantined worker) a reject. Returns false when
+// the connection should drop.
 func (c *Coordinator) grantLease(conn net.Conn, worker string) bool {
 	c.mu.Lock()
 	if c.failure != nil {
@@ -476,14 +1052,18 @@ func (c *Coordinator) grantLease(conn net.Conn, worker string) bool {
 		writeMsg(conn, msgReject, reject{Reason: reason})
 		return false
 	}
+	if w := c.workers[worker]; w != nil && w.Quarantined {
+		c.mu.Unlock()
+		writeMsg(conn, msgReject, reject{Reason: "worker is quarantined: a reported result failed verification"})
+		return false
+	}
 	if c.doneAll {
 		c.mu.Unlock()
 		return writeMsg(conn, msgDone, done{}) == nil
 	}
 	var ls *leaseState
-	for len(c.queue) > 0 && ls == nil {
-		sh := c.queue[0]
-		c.queue = c.queue[1:]
+	for i := 0; i < len(c.queue) && ls == nil; {
+		sh := c.queue[i]
 		live := sh.jobs[:0:0]
 		for _, j := range sh.jobs {
 			if !c.settled[j] {
@@ -491,16 +1071,24 @@ func (c *Coordinator) grantLease(conn net.Conn, worker string) bool {
 			}
 		}
 		if len(live) == 0 {
+			c.queue = append(c.queue[:i], c.queue[i+1:]...)
 			continue // every job settled while the shard waited
 		}
+		if sh.hedge && sh.hedgeBy == worker {
+			i++ // a straggler must not be handed its own hedge
+			continue
+		}
+		c.queue = append(c.queue[:i], c.queue[i+1:]...)
 		sh.jobs = live
 		c.nextLease++
+		now := time.Now()
 		ls = &leaseState{
-			id:     c.nextLease,
-			worker: worker,
-			step:   c.step,
-			shard:  sh,
-			expiry: time.Now().Add(c.opts.leaseTTL()),
+			id:      c.nextLease,
+			worker:  worker,
+			step:    c.step,
+			shard:   sh,
+			granted: now,
+			expiry:  now.Add(c.opts.leaseTTL()),
 		}
 		c.leases[ls.id] = ls
 		w := c.workerLocked(worker)
@@ -530,50 +1118,116 @@ func (c *Coordinator) grantLease(conn net.Conn, worker string) bool {
 	return writeMsg(conn, msgLease, msg) == nil
 }
 
-// mergeResults merges one shard report: fresh outcomes settle (first-
-// settled wins; duplicates from an expired-and-reassigned lease are
-// no-ops), the compositional delta dedupes into the cache, and the
-// worker gets an ack carrying the refreshed front. Returns false when
-// the connection should drop.
+// pendingCheck is one fresh outcome held back for pre-admission
+// verification.
+type pendingCheck struct {
+	spec explore.JobSpec
+	key  string
+	out  explore.JobOutcome
+}
+
+// mergeResults merges one shard report. Fresh outcomes are screened in
+// three phases: (1) under the lock, identity-check every outcome
+// against its leased spec (a mismatch is a provable lie — immediate
+// quarantine), settle the ones verification does not select, and close
+// out the lease; (2) with the lock released, re-execute the selected
+// outcomes on the coordinator's own engine by pure live simulation;
+// (3) under the lock again, settle the matches as verified and
+// quarantine the reporter of any mismatch, settling the locally
+// computed truth in its place. Verification runs BEFORE admission —
+// after AdmitOutcome the engine would answer the re-execution from the
+// cache and happily echo the lie back. First-settled-wins still holds:
+// duplicates from expired or hedged leases settle nothing. Returns
+// false when the connection should drop.
 func (c *Coordinator) mergeResults(conn net.Conn, rm resultsMsg) bool {
-	var fresh int64
+	var (
+		verify  []pendingCheck
+		fresh   int64
+		lied    bool
+		lieWhy  string
+		settany bool
+	)
 	c.mu.Lock()
 	w := c.workerLocked(rm.Worker)
-	for _, out := range rm.Outcomes {
-		if out.Err != "" {
-			if c.failure == nil {
-				c.failure = fmt.Errorf("distrib: worker %s: job %d: %s", rm.Worker, out.Index, out.Err)
+	if w.Quarantined {
+		c.mu.Unlock()
+		writeMsg(conn, msgReject, reject{Reason: "worker is quarantined: results refused"})
+		return false
+	}
+	stale := rm.LeaseID != 0 && rm.LeaseID < c.staleBefore
+	if !stale {
+		for _, out := range rm.Outcomes {
+			if out.Err != "" {
+				if c.failure == nil {
+					c.failure = fmt.Errorf("distrib: worker %s: job %d: %s", rm.Worker, out.Index, out.Err)
+				}
+				continue
 			}
-			continue
+			if c.settled[out.Index] {
+				continue // duplicate from an expired or hedged lease
+			}
+			spec, ok := c.specs[out.Index]
+			if !ok {
+				continue
+			}
+			if !explore.OutcomeMatchesSpec(spec, out) {
+				lied = true
+				lieWhy = fmt.Sprintf("job %d report claims another job's identity", out.Index)
+				break
+			}
+			if c.verifySelectedLocked(spec, out) {
+				verify = append(verify, pendingCheck{spec: spec, key: c.keys[out.Index], out: out})
+				continue
+			}
+			c.settleLocked(out, rm.Worker, false)
+			c.eng.AdmitOutcome(out)
+			w.JobsSettled++
+			fresh++
+			c.remaining--
+			settany = true
 		}
-		if c.settled[out.Index] {
-			continue // duplicate from an expired, reassigned lease
+	}
+	if lied {
+		// Drop everything else in the report, the delta included, and
+		// let the quarantine wipe whatever this loop already settled —
+		// those settles carry this worker's unverified provenance.
+		c.quarantineLocked(rm.Worker, lieWhy)
+		failed := c.failure
+		c.mu.Unlock()
+		c.cond.Broadcast()
+		if failed != nil {
+			writeMsg(conn, msgReject, reject{Reason: failed.Error()})
+			return false
 		}
-		// A fresh settle always belongs to the running step: earlier
-		// steps completed before this one was laid out, and later
-		// steps' specs do not exist yet, so no lease carries them.
-		c.settleLocked(out)
-		c.eng.AdmitOutcome(out)
-		fresh++
-		c.remaining--
+		writeMsg(conn, msgReject, reject{Reason: "quarantined: " + lieWhy})
+		return false
 	}
 	if ls, ok := c.leases[rm.LeaseID]; ok {
 		delete(c.leases, rm.LeaseID)
-		c.workerLocked(ls.worker).Completed++
+		lw := c.workerLocked(ls.worker)
+		lw.Completed++
+		c.noteShardDurLocked(time.Since(ls.granted))
+		if ls.shard.hedge && (settany || len(verify) > 0) {
+			c.workerLocked(rm.Worker).HedgesWon++
+		}
 		// A report may be partial — a worker dying gracefully flushes
 		// what it finished before disconnecting. Whatever the lease
-		// covered and the report left unsettled goes back in the queue;
-		// only expiry would reclaim it otherwise, and only while the
-		// lease still exists.
-		var leftover []int
-		for _, idx := range ls.shard.jobs {
-			if !c.settled[idx] {
-				leftover = append(leftover, idx)
+		// covered that is neither settled, still covered elsewhere
+		// (hedges), nor held for verification goes back in the queue,
+		// counted against the worker that lost it.
+		held := make(map[int]bool, len(verify))
+		for _, v := range verify {
+			held[v.spec.Index] = true
+		}
+		var requeue []int
+		for _, j := range c.releaseLocked(ls.shard.jobs) {
+			if !held[j] {
+				requeue = append(requeue, j)
 			}
 		}
-		if len(leftover) > 0 {
-			c.queue = append(c.queue, shard{jobs: leftover, reassigned: true})
-			c.workerLocked(ls.worker).Reassigned++
+		if len(requeue) > 0 {
+			c.enqueueLocked(shard{jobs: requeue, reassigned: true})
+			lw.JobsRequeued += int64(len(requeue))
 		}
 	}
 	if rm.Delta.Len() > 0 {
@@ -583,7 +1237,7 @@ func (c *Coordinator) mergeResults(conn net.Conn, rm resultsMsg) bool {
 	}
 	failed := c.failure
 	step := c.step
-	progressed := c.remaining == 0 || failed != nil
+	progressed := c.remaining == 0 || failed != nil || c.restart
 	c.mu.Unlock()
 	if progressed {
 		c.cond.Broadcast()
@@ -595,7 +1249,75 @@ func (c *Coordinator) mergeResults(conn net.Conn, rm resultsMsg) bool {
 		writeMsg(conn, msgReject, reject{Reason: failed.Error()})
 		return false
 	}
+
+	if len(verify) > 0 {
+		truths := make([]explore.JobOutcome, len(verify))
+		for i, v := range verify {
+			truths[i] = c.eng.ResolveJobLive(v.spec)
+		}
+		fresh2, quarantined := c.adjudicate(rm.Worker, step, verify, truths)
+		if fresh2 > 0 {
+			c.eng.SettleExternal(fresh2, step, c.frontSnapshot, c.DistState)
+		}
+		if quarantined {
+			writeMsg(conn, msgReject, reject{Reason: "quarantined: a reported result failed verification"})
+			return false
+		}
+	}
 	return writeMsg(conn, msgAck, ack{Front: c.frontSnapshot()}) == nil
+}
+
+// adjudicate applies verification verdicts: matches settle as
+// verified, the first mismatch quarantines the worker, and every
+// mismatched job settles with the locally computed truth — the
+// coordinator paid for the re-execution, and its own result is
+// trusted. Returns how many jobs it settled and whether the worker was
+// quarantined.
+func (c *Coordinator) adjudicate(worker string, step int, verify []pendingCheck, truths []explore.JobOutcome) (fresh int64, quarantined bool) {
+	c.mu.Lock()
+	w := c.workerLocked(worker)
+	for i, v := range verify {
+		truth := truths[i]
+		if truth.Err != "" {
+			if c.failure == nil {
+				c.failure = fmt.Errorf("distrib: verifying job %d: %s", v.spec.Index, truth.Err)
+			}
+			continue
+		}
+		idx := v.spec.Index
+		current := c.keys[idx] == v.key // the layout may have moved under a restart
+		if !truth.Result.Aborted && truth.Result.Vec == v.out.Result.Vec {
+			w.Verified++
+			if current && !c.settled[idx] {
+				c.settleLocked(v.out, worker, true)
+				c.eng.AdmitOutcome(v.out)
+				w.JobsSettled++
+				fresh++
+				c.remaining--
+			} else if current && c.settled[idx] {
+				// A hedge duplicate settled it between the phases; this
+				// verification retroactively covers that settle.
+				delete(c.unverified, v.key)
+			}
+			continue
+		}
+		c.quarantineLocked(worker, fmt.Sprintf("job %d reported %+v, verified %+v", idx, v.out.Result.Vec, truth.Result.Vec))
+		quarantined = true
+		if current && !c.settled[idx] {
+			c.settleLocked(truth, "", true)
+			c.eng.AdmitOutcome(truth)
+			c.recovered++
+			fresh++
+			c.remaining--
+		}
+	}
+	failed := c.failure
+	progressed := c.remaining == 0 || failed != nil || c.restart
+	c.mu.Unlock()
+	if progressed || quarantined {
+		c.cond.Broadcast()
+	}
+	return fresh, quarantined
 }
 
 // errRejected marks a permanent refusal from the coordinator.

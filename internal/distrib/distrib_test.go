@@ -59,13 +59,19 @@ type faultScript func(c *faultio.Conn, attempt int) net.Conn
 // real localhost TCP, with optional per-worker fault scripts and
 // kill-after durations, and returns once the campaign completes.
 type campaignHarness struct {
-	app      apps.App
-	opts     explore.Options
-	copts    Options
-	workers  int
-	scripts  map[int]faultScript
-	killTime map[int]time.Duration // cancel the worker's context after this
-	jobDelay time.Duration
+	app       apps.App
+	opts      explore.Options
+	copts     Options
+	workers   int
+	scripts   map[int]faultScript
+	killTime  map[int]time.Duration // cancel the worker's context after this
+	jobDelay  time.Duration
+	jobDelays map[int]time.Duration             // per-worker override of jobDelay
+	tokens    map[int]string                    // per-worker hello token
+	mutate    map[int]func(*explore.JobOutcome) // per-worker result corruption (lying worker)
+	connWrap  map[int]func(net.Conn) net.Conn   // applied to dialed conns after scripts (TLS, chaos plans)
+	lnWrap    func(net.Listener) net.Listener   // wraps the coordinator listener (TLS)
+	onExit    func(worker int, err error)       // observes each worker's RunWorker result
 }
 
 func (h campaignHarness) run(t *testing.T) (*Coordinator, *explore.Engine) {
@@ -77,9 +83,13 @@ func (h campaignHarness) run(t *testing.T) (*Coordinator, *explore.Engine) {
 		t.Fatal(err)
 	}
 	addr := ln.Addr().String()
+	serveLn := net.Listener(ln)
+	if h.lnWrap != nil {
+		serveLn = h.lnWrap(serveLn)
+	}
 
 	runErr := make(chan error, 1)
-	go func() { runErr <- coord.Run(context.Background(), ln) }()
+	go func() { runErr <- coord.Run(context.Background(), serveLn) }()
 
 	var wg sync.WaitGroup
 	var releases []func()
@@ -107,21 +117,33 @@ func (h campaignHarness) run(t *testing.T) (*Coordinator, *explore.Engine) {
 				relMu.Lock()
 				releases = append(releases, fc.ReleaseHang)
 				relMu.Unlock()
-				return out, nil
+				c = out
+			}
+			if w := h.connWrap[i]; w != nil {
+				c = w(c)
 			}
 			return c, nil
+		}
+		delay := h.jobDelay
+		if d, ok := h.jobDelays[i]; ok {
+			delay = d
 		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			RunWorker(wctx, weng, WorkerOptions{
-				ID:          fmt.Sprintf("w%d", i),
-				Dial:        dial,
-				BackoffMin:  10 * time.Millisecond,
-				BackoffMax:  200 * time.Millisecond,
-				ReadTimeout: 5 * time.Second,
-				JobDelay:    h.jobDelay,
+			err := RunWorker(wctx, weng, WorkerOptions{
+				ID:            fmt.Sprintf("w%d", i),
+				Dial:          dial,
+				BackoffMin:    10 * time.Millisecond,
+				BackoffMax:    200 * time.Millisecond,
+				ReadTimeout:   5 * time.Second,
+				JobDelay:      delay,
+				Token:         h.tokens[i],
+				MutateOutcome: h.mutate[i],
 			})
+			if h.onExit != nil {
+				h.onExit(i, err)
+			}
 		}()
 	}
 

@@ -33,8 +33,10 @@ import (
 )
 
 // ProtoVersion gates hello/welcome: both sides must speak the same
-// frame and message vocabulary.
-const ProtoVersion = 1
+// frame and message vocabulary. Version 2 added the authenticated
+// hello (shared token) and the verification/quarantine admission
+// rules.
+const ProtoVersion = 2
 
 // crcTable is the Castagnoli (CRC32C) polynomial table — the same
 // checksum the sectioned cache format uses, for the same reason: a
@@ -50,6 +52,12 @@ const frameHeaderLen = 1 + 8 + 4
 // that passes the header CRC is astronomically unlikely, but the bound
 // keeps a hostile or broken peer from forcing a huge allocation.
 const maxFrameBytes = 1 << 31
+
+// maxHelloBytes bounds the first frame of a connection. Until the
+// hello is checked (protocol, campaign, token), the peer is untrusted
+// and must not be able to make the coordinator allocate gigabytes; a
+// legitimate hello is a few hundred bytes.
+const maxHelloBytes = 1 << 16
 
 // Message ids. The protocol is strict request/response per worker
 // connection: the worker speaks first (hello), then alternates
@@ -100,6 +108,11 @@ type hello struct {
 	Worker   string
 	Proto    int
 	Campaign string
+	// Token authenticates the worker when the coordinator requires a
+	// shared secret (Options.Token). Compared in constant time and
+	// never logged. Empty when the deployment runs unauthenticated
+	// (localhost, tests).
+	Token string
 }
 
 // welcome admits a worker and seeds its front.
@@ -185,6 +198,13 @@ func writeMsg(w io.Writer, id byte, v any) error {
 // has lost sync) and callers drop it, which is exactly the recovery
 // model: the sender's lease expires and the shard is re-leased.
 func readFrame(r *bufio.Reader) (byte, []byte, error) {
+	return readFrameN(r, maxFrameBytes)
+}
+
+// readFrameN is readFrame with a caller-chosen payload bound — the
+// coordinator caps the first, pre-authentication frame of a connection
+// at maxHelloBytes.
+func readFrameN(r *bufio.Reader, maxLen int64) (byte, []byte, error) {
 	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -194,7 +214,7 @@ func readFrame(r *bufio.Reader) (byte, []byte, error) {
 	}
 	id := hdr[0]
 	ln := int64(binary.LittleEndian.Uint64(hdr[1:9]))
-	if ln < 0 || ln > maxFrameBytes {
+	if ln < 0 || ln > maxLen {
 		return 0, nil, fmt.Errorf("distrib: frame length %d out of range", ln)
 	}
 	payload := make([]byte, ln)

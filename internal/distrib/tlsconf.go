@@ -1,0 +1,121 @@
+package distrib
+
+// TLS for campaigns that leave localhost. The trust model is a
+// two-command cluster, not a PKI: the coordinator serves a (typically
+// self-signed) certificate, and every worker pins exactly that
+// certificate — byte equality on the DER encoding — instead of
+// walking CA chains and hostname rules that a lab deployment has no
+// authority to issue. Pinning composes with the shared-token hello
+// check: TLS authenticates the coordinator to workers and encrypts
+// the stream, the token authenticates workers to the coordinator.
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"os"
+	"time"
+)
+
+// ServerTLS loads the coordinator's certificate/key pair for -serve.
+func ServerTLS(certFile, keyFile string) (*tls.Config, error) {
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: loading TLS key pair: %w", err)
+	}
+	return &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS13,
+	}, nil
+}
+
+// ClientTLS builds a worker config that accepts exactly the
+// certificate in certFile and nothing else. InsecureSkipVerify only
+// disables the chain/hostname verifier; VerifyPeerCertificate replaces
+// it with something strictly stronger for this deployment model —
+// a full-certificate pin.
+func ClientTLS(certFile string) (*tls.Config, error) {
+	pemBytes, err := os.ReadFile(certFile)
+	if err != nil {
+		return nil, fmt.Errorf("distrib: reading pinned certificate: %w", err)
+	}
+	block, _ := pem.Decode(pemBytes)
+	if block == nil || block.Type != "CERTIFICATE" {
+		return nil, fmt.Errorf("distrib: %s does not hold a PEM certificate", certFile)
+	}
+	if _, err := x509.ParseCertificate(block.Bytes); err != nil {
+		return nil, fmt.Errorf("distrib: parsing pinned certificate: %w", err)
+	}
+	pinned := block.Bytes
+	return &tls.Config{
+		InsecureSkipVerify: true, // replaced by the pin below, not absent
+		MinVersion:         tls.VersionTLS13,
+		VerifyPeerCertificate: func(rawCerts [][]byte, _ [][]*x509.Certificate) error {
+			if len(rawCerts) > 0 && bytes.Equal(rawCerts[0], pinned) {
+				return nil
+			}
+			return fmt.Errorf("distrib: coordinator certificate does not match the pinned certificate")
+		},
+	}, nil
+}
+
+// GenerateCert writes a fresh self-signed ECDSA P-256 certificate and
+// key to certFile and keyFile, valid for the given hosts (DNS names or
+// IP literals; nil defaults to localhost). The key file is written
+// 0600. This is the whole certificate authority a pinned deployment
+// needs: generate once on the coordinator host, copy the certificate
+// (not the key) to each worker.
+func GenerateCert(certFile, keyFile string, hosts []string) error {
+	if len(hosts) == 0 {
+		hosts = []string{"localhost", "127.0.0.1", "::1"}
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return fmt.Errorf("distrib: generating key: %w", err)
+	}
+	serial, err := rand.Int(rand.Reader, new(big.Int).Lsh(big.NewInt(1), 128))
+	if err != nil {
+		return fmt.Errorf("distrib: generating serial: %w", err)
+	}
+	tmpl := x509.Certificate{
+		SerialNumber:          serial,
+		Subject:               pkix.Name{CommonName: "ddt-explore coordinator"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:           []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+		BasicConstraintsValid: true,
+	}
+	for _, h := range hosts {
+		if ip := net.ParseIP(h); ip != nil {
+			tmpl.IPAddresses = append(tmpl.IPAddresses, ip)
+		} else {
+			tmpl.DNSNames = append(tmpl.DNSNames, h)
+		}
+	}
+	der, err := x509.CreateCertificate(rand.Reader, &tmpl, &tmpl, &key.PublicKey, key)
+	if err != nil {
+		return fmt.Errorf("distrib: creating certificate: %w", err)
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return fmt.Errorf("distrib: marshaling key: %w", err)
+	}
+	certPEM := pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyPEM := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	if err := os.WriteFile(certFile, certPEM, 0o644); err != nil {
+		return fmt.Errorf("distrib: writing certificate: %w", err)
+	}
+	if err := os.WriteFile(keyFile, keyPEM, 0o600); err != nil {
+		return fmt.Errorf("distrib: writing key: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,759 @@
+package distrib
+
+// Untrusted-worker resilience: token/TLS admission, spot-check
+// verification, quarantine with retroactive invalidation, hedged
+// leases. These tests drive real campaigns over localhost TCP plus, in
+// the surgical cases, the wire protocol by hand — full control over
+// who lies, when, and about what.
+
+import (
+	"bufio"
+	"context"
+	"crypto/tls"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/metrics"
+)
+
+// lieNearZero replaces an exact outcome's objective vector with a
+// near-zero one: the strongest lie — it dominates everything, so it
+// must become a front candidate and face verification.
+func lieNearZero(o *explore.JobOutcome) {
+	if o.Err != "" || o.Result.Aborted {
+		return
+	}
+	o.Result.Vec = metrics.Vector{Energy: 1e-9, Time: 1e-9, Accesses: 1, Footprint: 1}
+}
+
+// TestTokenAuth runs an authenticated campaign: the worker presenting
+// the shared token completes it, the worker presenting a wrong token
+// is permanently rejected without disturbing it.
+func TestTokenAuth(t *testing.T) {
+	a := app(t, "DRR")
+	opts := explore.Options{TracePackets: 200, DominantK: 2, BoundPrune: true}
+
+	ref, _, err := explore.NewEngine(a, opts).Explore(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := survivorLabels(ref.Survivors)
+
+	var mu sync.Mutex
+	errs := make(map[int]error)
+	h := campaignHarness{
+		app: a, opts: opts,
+		copts:   Options{ShardSize: 16, LeaseTTL: 2 * time.Second, Token: "s3cret"},
+		workers: 2,
+		tokens:  map[int]string{0: "s3cret", 1: "wrong"},
+		onExit: func(i int, err error) {
+			mu.Lock()
+			errs[i] = err
+			mu.Unlock()
+		},
+	}
+	coord, ceng := h.run(t)
+
+	mu.Lock()
+	goodErr, badErr := errs[0], errs[1]
+	mu.Unlock()
+	if goodErr != nil {
+		t.Errorf("authenticated worker exited with %v", goodErr)
+	}
+	if badErr == nil || !strings.Contains(badErr.Error(), "token") {
+		t.Errorf("bad-token worker exited with %v, want a token rejection", badErr)
+	}
+	if w := coord.DistState().Workers["w1"]; w.Leased != 0 {
+		t.Errorf("bad-token worker was granted %d leases", w.Leased)
+	}
+
+	s1, _, err := ceng.Explore(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := survivorLabels(s1.Survivors); !equalStrings(got, want) {
+		t.Errorf("authenticated campaign survivors %v, want %v", got, want)
+	}
+}
+
+// TestTLSCampaign runs a campaign over TLS with a pinned self-signed
+// certificate: authenticated workers interoperate and reproduce the
+// single-process front, while a plaintext peer and a peer pinning the
+// wrong certificate are rejected without disturbing anything.
+func TestTLSCampaign(t *testing.T) {
+	a := app(t, "DRR")
+	opts := explore.Options{TracePackets: 200, DominantK: 2, BoundPrune: true}
+	dir := t.TempDir()
+	certFile := filepath.Join(dir, "coord.crt")
+	keyFile := filepath.Join(dir, "coord.key")
+	if err := GenerateCert(certFile, keyFile, nil); err != nil {
+		t.Fatal(err)
+	}
+	srvCfg, err := ServerTLS(certFile, keyFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliCfg, err := ClientTLS(certFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref, _, err := explore.NewEngine(a, opts).Explore(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := survivorLabels(ref.Survivors)
+
+	ceng := explore.NewEngine(a, opts)
+	coord := NewCoordinator(a, ceng, Options{ShardSize: 16, LeaseTTL: 2 * time.Second, Token: "tls-token"})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	runErr := make(chan error, 1)
+	go func() { runErr <- coord.Run(context.Background(), tls.NewListener(ln, srvCfg)) }()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		weng := explore.NewEngine(a, opts)
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := RunWorker(context.Background(), weng, WorkerOptions{
+				ID: fmt.Sprintf("tls-w%d", i),
+				Dial: func(ctx context.Context) (net.Conn, error) {
+					var d net.Dialer
+					c, err := d.DialContext(ctx, "tcp", addr)
+					if err != nil {
+						return nil, err
+					}
+					return tls.Client(c, cliCfg), nil
+				},
+				Token:       "tls-token",
+				BackoffMin:  10 * time.Millisecond,
+				BackoffMax:  200 * time.Millisecond,
+				ReadTimeout: 5 * time.Second,
+			})
+			if err != nil {
+				t.Errorf("TLS worker %d: %v", i, err)
+			}
+		}()
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("coordinator: %v", err)
+		}
+	case <-time.After(3 * time.Minute):
+		t.Fatal("TLS campaign never completed")
+	}
+
+	// A plaintext peer: its hello is gibberish to the TLS server, the
+	// connection dies during or right after the handshake attempt.
+	if pc, err := net.Dial("tcp", addr); err == nil {
+		pc.SetDeadline(time.Now().Add(5 * time.Second))
+		writeMsg(pc, msgHello, hello{Worker: "plain", Proto: ProtoVersion, Campaign: ceng.CampaignID(), Token: "tls-token"})
+		if _, _, err := readFrame(bufio.NewReader(pc)); err == nil {
+			t.Error("plaintext peer read a well-formed frame from a TLS listener")
+		}
+		pc.Close()
+	}
+
+	// A peer pinning a different certificate: its own verifier must
+	// refuse the handshake.
+	otherCert := filepath.Join(dir, "other.crt")
+	otherKey := filepath.Join(dir, "other.key")
+	if err := GenerateCert(otherCert, otherKey, nil); err != nil {
+		t.Fatal(err)
+	}
+	wrongCfg, err := ClientTLS(otherCert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc, err := net.Dial("tcp", addr); err == nil {
+		tc := tls.Client(rc, wrongCfg)
+		tc.SetDeadline(time.Now().Add(5 * time.Second))
+		if err := tc.Handshake(); err == nil {
+			t.Error("handshake with a wrong pinned certificate succeeded")
+		}
+		tc.Close()
+	}
+
+	coord.Drain(20 * time.Second)
+	ln.Close()
+	wg.Wait()
+
+	s1, _, err := ceng.Explore(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := survivorLabels(s1.Survivors); !equalStrings(got, want) {
+		t.Errorf("TLS campaign survivors %v, want %v", got, want)
+	}
+}
+
+// TestLyingWorkerQuarantined runs a full campaign with one worker that
+// reports a dominating lie for every exact result: verification must
+// quarantine it, the campaign must complete on the honest worker, and
+// the final front must be bit-identical in membership to the
+// single-process reference.
+func TestLyingWorkerQuarantined(t *testing.T) {
+	a := app(t, "DRR")
+	opts := explore.Options{TracePackets: 200, DominantK: 3, BoundPrune: true}
+
+	ref, _, err := explore.NewEngine(a, opts).Explore(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := survivorLabels(ref.Survivors)
+
+	var mu sync.Mutex
+	errs := make(map[int]error)
+	h := campaignHarness{
+		app: a, opts: opts,
+		copts:     Options{ShardSize: 16, LeaseTTL: 2 * time.Second, VerifyRate: 1.0},
+		workers:   2,
+		jobDelays: map[int]time.Duration{0: 2 * time.Millisecond}, // let the liar win leases
+		mutate:    map[int]func(*explore.JobOutcome){1: lieNearZero},
+		onExit: func(i int, err error) {
+			mu.Lock()
+			errs[i] = err
+			mu.Unlock()
+		},
+	}
+	coord, ceng := h.run(t)
+
+	dist := coord.DistState()
+	liar := dist.Workers["w1"]
+	if liar == (explore.DistWorkerStats{}) {
+		t.Fatal("lying worker never recorded")
+	}
+	if !liar.Quarantined {
+		t.Fatal("lying worker was not quarantined")
+	}
+	if liar.Mismatched == 0 {
+		t.Error("quarantined worker has no recorded mismatch")
+	}
+	mu.Lock()
+	liarErr := errs[1]
+	mu.Unlock()
+	if liarErr == nil || !strings.Contains(liarErr.Error(), "quarantin") {
+		t.Errorf("lying worker exited with %v, want a quarantine rejection", liarErr)
+	}
+
+	gotLive := make([]string, 0)
+	for _, p := range coord.frontSnapshot() {
+		gotLive = append(gotLive, p.Label)
+	}
+	sort.Strings(gotLive)
+	if !equalStrings(gotLive, want) {
+		t.Errorf("live front with a liar %v, want %v", gotLive, want)
+	}
+	s1, _, err := ceng.Explore(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := survivorLabels(s1.Survivors); !equalStrings(got, want) {
+		t.Errorf("warm-rerun survivors with a liar %v, want %v", got, want)
+	}
+}
+
+// rawWorker drives the wire protocol by hand on one connection.
+type rawWorker struct {
+	t    *testing.T
+	conn net.Conn
+	br   *bufio.Reader
+	id   string
+}
+
+func dialRaw(t *testing.T, addr, id, campaign string) *rawWorker {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &rawWorker{t: t, conn: conn, br: bufio.NewReader(conn), id: id}
+	w.write(msgHello, hello{Worker: id, Proto: ProtoVersion, Campaign: campaign})
+	return w
+}
+
+func (w *rawWorker) write(id byte, v any) {
+	w.t.Helper()
+	if err := writeMsg(w.conn, id, v); err != nil {
+		w.t.Fatalf("%s: writing %s: %v", w.id, msgName(id), err)
+	}
+}
+
+func (w *rawWorker) read() (byte, []byte) {
+	w.t.Helper()
+	w.conn.SetReadDeadline(time.Now().Add(time.Minute))
+	id, payload, err := readFrame(w.br)
+	if err != nil {
+		w.t.Fatalf("%s: reading: %v", w.id, err)
+	}
+	return id, payload
+}
+
+func (w *rawWorker) expect(want byte) []byte {
+	w.t.Helper()
+	id, payload := w.read()
+	if id != want {
+		if id == msgReject {
+			var rj reject
+			decodeMsg(id, payload, &rj)
+			w.t.Fatalf("%s: got reject (%s), want %s", w.id, rj.Reason, msgName(want))
+		}
+		w.t.Fatalf("%s: got %s, want %s", w.id, msgName(id), msgName(want))
+	}
+	return payload
+}
+
+// leaseNow requests until a lease is granted (riding out wait hints).
+func (w *rawWorker) leaseNow() lease {
+	w.t.Helper()
+	for i := 0; i < 200; i++ {
+		w.write(msgLeaseReq, leaseReq{Worker: w.id})
+		id, payload := w.read()
+		switch id {
+		case msgLease:
+			var l lease
+			if err := decodeMsg(id, payload, &l); err != nil {
+				w.t.Fatal(err)
+			}
+			return l
+		case msgWait:
+			time.Sleep(10 * time.Millisecond)
+		default:
+			w.t.Fatalf("%s: got %s waiting for a lease", w.id, msgName(id))
+		}
+	}
+	w.t.Fatalf("%s: no lease after 200 requests", w.id)
+	return lease{}
+}
+
+// TestQuarantineInvalidatesPastResults is the surgical quarantine
+// transcript: a worker first reports a clean shard (its dominated
+// results settle unverified), then reports a dominating lie. The lie
+// faces front-candidate verification, the worker is quarantined, its
+// past unverified results are invalidated back into the queue, the
+// locally computed truth is settled in the lie's place, and an honest
+// worker completes the campaign to the reference front. The worker's
+// next hello is refused.
+func TestQuarantineInvalidatesPastResults(t *testing.T) {
+	a := app(t, "DRR")
+	opts := explore.Options{TracePackets: 200, DominantK: 2, BoundPrune: true}
+
+	ref, _, err := explore.NewEngine(a, opts).Explore(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := survivorLabels(ref.Survivors)
+
+	ceng := explore.NewEngine(a, opts)
+	// VerifyRate just above zero: spot-checking is (almost surely)
+	// never drawn, so admission rests entirely on the always-verify
+	// front-candidate rule — the path under test.
+	coord := NewCoordinator(a, ceng, Options{ShardSize: 16, LeaseTTL: 10 * time.Second, VerifyRate: 1e-12})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+	runErr := make(chan error, 1)
+	go func() { runErr <- coord.Run(context.Background(), ln) }()
+
+	liar := dialRaw(t, addr, "liar", ceng.CampaignID())
+	defer liar.conn.Close()
+	liar.expect(msgWelcome)
+
+	// Shard 1: resolved honestly. The exact dominated results settle
+	// unverified with this worker's provenance.
+	weng := explore.NewEngine(a, opts)
+	l1 := liar.leaseNow()
+	rm := resultsMsg{Worker: "liar", LeaseID: l1.ID}
+	rg := weng.NewRemoteGuard(l1.Front)
+	for _, spec := range l1.Jobs {
+		rm.Outcomes = append(rm.Outcomes, weng.ResolveJob(spec, rg))
+	}
+	liar.write(msgResults, rm)
+	liar.expect(msgAck)
+
+	unverifiedBefore := len(coord.DistState().Unverified)
+	if unverifiedBefore == 0 {
+		t.Fatal("clean shard left nothing unverified; the invalidation path is untestable at this shard size")
+	}
+
+	// Shard 2: one fabricated, dominating outcome. Identity fields
+	// match the spec (the lie is about the objectives, not the job), so
+	// only verification can catch it.
+	l2 := liar.leaseNow()
+	spec := l2.Jobs[0]
+	lie := explore.JobOutcome{Index: spec.Index}
+	lie.Result = explore.Result{
+		App:    a.Name(),
+		Config: spec.Cfg,
+		Assign: spec.Assign,
+		Vec:    metrics.Vector{Energy: 1e-9, Time: 1e-9, Accesses: 1, Footprint: 1},
+	}
+	liar.write(msgResults, resultsMsg{Worker: "liar", LeaseID: l2.ID, Outcomes: []explore.JobOutcome{lie}})
+	id, payload := liar.read()
+	if id != msgReject {
+		t.Fatalf("lying report answered with %s, want reject", msgName(id))
+	}
+	var rj reject
+	if err := decodeMsg(id, payload, &rj); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rj.Reason, "quarantin") {
+		t.Fatalf("reject reason %q does not mention quarantine", rj.Reason)
+	}
+
+	dist := coord.DistState()
+	lw := dist.Workers["liar"]
+	if !lw.Quarantined || lw.Mismatched == 0 {
+		t.Fatalf("liar stats after the lie: %+v, want quarantined with a mismatch", lw)
+	}
+	if dist.Invalidated == 0 {
+		t.Errorf("no past results were invalidated (had %d unverified before the lie)", unverifiedBefore)
+	}
+	if dist.Recovered == 0 {
+		t.Error("the lied-about job was not settled from the local re-execution")
+	}
+	for key, who := range dist.Unverified {
+		if who == "liar" {
+			t.Errorf("unverified provenance for %s still names the quarantined worker", key)
+		}
+	}
+
+	// The quarantined worker redials: refused at hello.
+	again, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeMsg(again, msgHello, hello{Worker: "liar", Proto: ProtoVersion, Campaign: ceng.CampaignID()})
+	again.SetReadDeadline(time.Now().Add(time.Minute))
+	id2, p2, err := readFrame(bufio.NewReader(again))
+	if err != nil {
+		t.Fatalf("reading hello response after quarantine: %v", err)
+	}
+	if id2 != msgReject {
+		t.Fatalf("quarantined worker's hello answered with %s, want reject", msgName(id2))
+	}
+	var rj2 reject
+	if err := decodeMsg(id2, p2, &rj2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rj2.Reason, "quarantin") {
+		t.Errorf("hello reject reason %q does not mention quarantine", rj2.Reason)
+	}
+	again.Close()
+
+	// An honest worker finishes the campaign, including the re-queued
+	// invalidated work.
+	hctx, hcancel := context.WithCancel(context.Background())
+	defer hcancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		heng := explore.NewEngine(a, opts)
+		RunWorker(hctx, heng, WorkerOptions{
+			ID: "honest",
+			Dial: func(ctx context.Context) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, "tcp", addr)
+			},
+			BackoffMin:  10 * time.Millisecond,
+			BackoffMax:  200 * time.Millisecond,
+			ReadTimeout: 5 * time.Second,
+		})
+	}()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("coordinator: %v", err)
+		}
+	case <-time.After(3 * time.Minute):
+		t.Fatal("campaign never completed after the quarantine")
+	}
+	coord.Drain(20 * time.Second)
+	ln.Close()
+	wg.Wait()
+
+	s1, _, err := ceng.Explore(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := survivorLabels(s1.Survivors); !equalStrings(got, want) {
+		t.Errorf("survivors after quarantine and recovery %v, want %v", got, want)
+	}
+}
+
+// TestHedgeExpiryNoDoubleRequeue pins coverage counting: a straggler's
+// shard is hedged to a second worker, then the straggler's lease
+// expires while the hedge still covers the jobs — the expiry must not
+// put a second copy in the queue. A probe lease request right after
+// the expiry must see an empty queue, and the per-worker settle counts
+// must sum exactly to the engine's settled watermark.
+func TestHedgeExpiryNoDoubleRequeue(t *testing.T) {
+	a := app(t, "DRR")
+	opts := explore.Options{TracePackets: 200, DominantK: 2, BoundPrune: true}
+
+	ref, _, err := explore.NewEngine(a, opts).Explore(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := survivorLabels(ref.Survivors)
+
+	ceng := explore.NewEngine(a, opts)
+	coord := NewCoordinator(a, ceng, Options{
+		ShardSize:  4096, // one shard holds the whole step
+		LeaseTTL:   800 * time.Millisecond,
+		HedgeAfter: 400 * time.Millisecond,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+	runErr := make(chan error, 1)
+	go func() { runErr <- coord.Run(context.Background(), ln) }()
+
+	// The straggler takes the whole step-1 shard and goes silent.
+	slow := dialRaw(t, addr, "slow", ceng.CampaignID())
+	defer slow.conn.Close()
+	slow.expect(msgWelcome)
+	l1 := slow.leaseNow()
+
+	// The healthy worker asks for work: nothing is leasable until the
+	// hedge fires, then it receives the straggler's jobs re-shardered
+	// as a hedge.
+	fast := dialRaw(t, addr, "fast", ceng.CampaignID())
+	defer fast.conn.Close()
+	fast.expect(msgWelcome)
+	l2 := fast.leaseNow()
+	if !l2.Reassigned {
+		t.Error("hedge lease not marked reassigned")
+	}
+	if len(l2.Jobs) != len(l1.Jobs) {
+		t.Errorf("hedge lease carries %d jobs, straggler held %d", len(l2.Jobs), len(l1.Jobs))
+	}
+
+	// Resolve the hedge honestly but do not report yet: the straggler's
+	// lease must expire first, with the hedge as the only live cover.
+	weng := explore.NewEngine(a, opts)
+	rm := resultsMsg{Worker: "fast", LeaseID: l2.ID}
+	rg := weng.NewRemoteGuard(l2.Front)
+	for _, spec := range l2.Jobs {
+		rm.Outcomes = append(rm.Outcomes, weng.ResolveJob(spec, rg))
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if w := coord.DistState().Workers["slow"]; w.Expired >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("straggler lease never expired")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The probe: with the jobs still covered by the outstanding hedge,
+	// the expiry must not have re-queued anything.
+	probe := dialRaw(t, addr, "probe", ceng.CampaignID())
+	defer probe.conn.Close()
+	probe.expect(msgWelcome)
+	probe.write(msgLeaseReq, leaseReq{Worker: "probe"})
+	if id, _ := probe.read(); id != msgWait {
+		t.Fatalf("probe after expiry got %s, want wait (double-requeued shard?)", msgName(id))
+	}
+
+	// Report the hedge; the campaign proceeds and the fast worker
+	// finishes it.
+	fast.write(msgResults, rm)
+	fast.expect(msgAck)
+	cursor := explore.NewDeltaCursor()
+	for done := false; !done; {
+		fast.write(msgLeaseReq, leaseReq{Worker: "fast"})
+		id, payload := fast.read()
+		switch id {
+		case msgDone:
+			done = true
+		case msgWait:
+			time.Sleep(10 * time.Millisecond)
+		case msgLease:
+			var l lease
+			if err := decodeMsg(id, payload, &l); err != nil {
+				t.Fatal(err)
+			}
+			rg := weng.NewRemoteGuard(l.Front)
+			rm := resultsMsg{Worker: "fast", LeaseID: l.ID}
+			for _, spec := range l.Jobs {
+				rm.Outcomes = append(rm.Outcomes, weng.ResolveJob(spec, rg))
+			}
+			rm.Delta = weng.Cache().ExportDelta(cursor)
+			fast.write(msgResults, rm)
+			fast.expect(msgAck)
+		default:
+			t.Fatalf("fast: unexpected %s", msgName(id))
+		}
+	}
+	if err := <-runErr; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	dist := coord.DistState()
+	sw, fw := dist.Workers["slow"], dist.Workers["fast"]
+	if sw.Expired == 0 {
+		t.Error("straggler lease never recorded as expired")
+	}
+	if sw.JobsRequeued != 0 {
+		t.Errorf("straggler expiry re-queued %d jobs despite live hedge cover", sw.JobsRequeued)
+	}
+	if sw.HedgesFired == 0 {
+		t.Error("no hedge recorded against the straggler")
+	}
+	if fw.HedgesWon == 0 {
+		t.Error("hedge holder settled the shard but won no hedge")
+	}
+
+	// Stats-sum: every settle event is attributed to exactly one
+	// worker (no warm pre-pass, no recoveries here), so the engine's
+	// watermark must equal the sum — a double-settle or a lost requeue
+	// would break the equality.
+	var settledSum int64
+	for _, w := range dist.Workers {
+		settledSum += w.JobsSettled
+	}
+	if got := ceng.Settled(); got != settledSum+dist.Recovered {
+		t.Errorf("engine settled %d, worker stats sum to %d (+%d recovered)", got, settledSum, dist.Recovered)
+	}
+
+	s1, _, err := ceng.Explore(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := survivorLabels(s1.Survivors); !equalStrings(got, want) {
+		t.Errorf("survivors after hedged expiry %v, want %v", got, want)
+	}
+}
+
+// TestQuarantineSurvivesCoordinatorRestart runs a campaign in which a
+// liar is quarantined, then rebuilds a coordinator from the same cache:
+// the trust state must ride the checkpoint — the new incarnation knows
+// the quarantine and refuses the worker at hello.
+func TestQuarantineSurvivesCoordinatorRestart(t *testing.T) {
+	a := app(t, "DRR")
+	cache := explore.NewCache()
+	opts := explore.Options{
+		TracePackets: 200, DominantK: 2, BoundPrune: true,
+		Cache: cache, CheckpointEvery: 10,
+	}
+	ceng := explore.NewEngine(a, opts)
+	coord := NewCoordinator(a, ceng, Options{ShardSize: 8, LeaseTTL: 2 * time.Second, VerifyRate: 1.0})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	runErr := make(chan error, 1)
+	go func() { runErr <- coord.Run(context.Background(), ln) }()
+
+	wopts := explore.Options{TracePackets: 200, DominantK: 2, BoundPrune: true}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		weng := explore.NewEngine(a, wopts)
+		var mut func(*explore.JobOutcome)
+		id := "honest"
+		if i == 1 {
+			id, mut = "liar", lieNearZero
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			RunWorker(context.Background(), weng, WorkerOptions{
+				ID: id,
+				Dial: func(ctx context.Context) (net.Conn, error) {
+					var d net.Dialer
+					return d.DialContext(ctx, "tcp", addr)
+				},
+				BackoffMin:    10 * time.Millisecond,
+				BackoffMax:    200 * time.Millisecond,
+				ReadTimeout:   5 * time.Second,
+				JobDelay:      time.Millisecond,
+				MutateOutcome: mut,
+			})
+		}()
+	}
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("coordinator: %v", err)
+		}
+	case <-time.After(3 * time.Minute):
+		t.Fatal("campaign never completed")
+	}
+	coord.Drain(20 * time.Second)
+	ln.Close()
+	wg.Wait()
+	if !coord.DistState().Workers["liar"].Quarantined {
+		t.Fatal("liar was not quarantined in the first incarnation")
+	}
+
+	// Second incarnation over the same cache: the checkpointed trust
+	// state must seed the new coordinator.
+	ceng2 := explore.NewEngine(a, opts)
+	coord2 := NewCoordinator(a, ceng2, Options{ShardSize: 8, LeaseTTL: 2 * time.Second, VerifyRate: 1.0})
+	if !coord2.DistState().Workers["liar"].Quarantined {
+		t.Fatal("quarantine did not survive the coordinator restart")
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	runErr2 := make(chan error, 1)
+	go func() { runErr2 <- coord2.Run(context.Background(), ln2) }()
+	select {
+	case err := <-runErr2:
+		if err != nil {
+			t.Fatalf("restarted coordinator: %v", err)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("warm restart never completed")
+	}
+
+	// The quarantined worker's hello is refused by the new incarnation.
+	conn, err := net.Dial("tcp", ln2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	writeMsg(conn, msgHello, hello{Worker: "liar", Proto: ProtoVersion, Campaign: ceng2.CampaignID()})
+	conn.SetReadDeadline(time.Now().Add(time.Minute))
+	id, payload, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != msgReject {
+		t.Fatalf("restarted coordinator answered the liar's hello with %s, want reject", msgName(id))
+	}
+	var rj reject
+	if err := decodeMsg(id, payload, &rj); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rj.Reason, "quarantin") {
+		t.Errorf("hello reject reason %q does not mention quarantine", rj.Reason)
+	}
+}

@@ -31,6 +31,15 @@ type WorkerOptions struct {
 	// JobDelay inserts a pause after each resolved job — test pacing,
 	// so fault scripts land mid-shard deterministically.
 	JobDelay time.Duration
+	// Token authenticates this worker to a coordinator running with a
+	// shared secret (empty: unauthenticated).
+	Token string
+	// MutateOutcome, when set, is applied to every outcome before it
+	// is reported — the chaos harness's lying-worker hook, modeling a
+	// worker whose computation (bad build, flaky RAM, hostile peer) is
+	// wrong while its transport is perfectly healthy. Production
+	// workers leave it nil.
+	MutateOutcome func(*explore.JobOutcome)
 }
 
 func (o WorkerOptions) backoffMin() time.Duration {
@@ -146,7 +155,7 @@ func session(ctx context.Context, eng *explore.Engine, o WorkerOptions, conn net
 		return readFrame(br)
 	}
 
-	if err := writeMsg(conn, msgHello, hello{Worker: o.ID, Proto: ProtoVersion, Campaign: eng.CampaignID()}); err != nil {
+	if err := writeMsg(conn, msgHello, hello{Worker: o.ID, Proto: ProtoVersion, Campaign: eng.CampaignID(), Token: o.Token}); err != nil {
 		return false, false, nil, err
 	}
 	id, payload, err := read()
@@ -251,7 +260,11 @@ func resolveShard(ctx context.Context, eng *explore.Engine, o WorkerOptions, l l
 		if ctx.Err() != nil {
 			break // report what settled; the rest re-leases
 		}
-		rm.Outcomes = append(rm.Outcomes, eng.ResolveJob(spec, rg))
+		out := eng.ResolveJob(spec, rg)
+		if o.MutateOutcome != nil {
+			o.MutateOutcome(&out)
+		}
+		rm.Outcomes = append(rm.Outcomes, out)
 		if o.JobDelay > 0 {
 			time.Sleep(o.JobDelay)
 		}

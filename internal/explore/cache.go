@@ -256,6 +256,24 @@ func (c *Cache) lookup(key string, acceptAborted bool, ctx string) (Result, bool
 	return cloneResult(e.Result), true
 }
 
+// invalidate drops the finished result or tombstone stored under key,
+// reporting whether an entry was present. The repair path of a
+// distributed quarantine: wiping an admitted result returns its job to
+// the unsettled space — the warm pre-pass and runJob both miss — so an
+// honest resolver recomputes it from scratch. Compositional entries
+// are untouched; the coordinator's verification oracle never trusts
+// them (it re-simulates live), so results are the only admitted state
+// a lie can occupy.
+func (c *Cache) invalidate(key string) bool {
+	c.mu.Lock()
+	_, ok := c.m[key]
+	if ok {
+		delete(c.m, key)
+	}
+	c.mu.Unlock()
+	return ok
+}
+
 // store saves a defensive copy of r under key, tagged with the storing
 // engine's exploration context.
 func (c *Cache) store(key string, r Result, ctx string) {

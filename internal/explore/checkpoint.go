@@ -61,6 +61,19 @@ type Checkpoint struct {
 type DistState struct {
 	// Workers maps worker IDs to their cumulative tallies.
 	Workers map[string]DistWorkerStats
+	// Unverified maps the cache identity keys of remotely settled
+	// results the coordinator never re-executed to the worker that
+	// reported them — the provenance a quarantine uses to find and
+	// invalidate everything a lying worker ever contributed. Persisted
+	// so the trust boundary survives coordinator restarts: a resumed
+	// campaign re-admits unverified results with their provenance
+	// intact, and wipes any that belong to a worker quarantined before
+	// the crash.
+	Unverified map[string]string
+	// Invalidated counts settled results wiped back into the queue by
+	// quarantines; Recovered counts jobs the coordinator settled from
+	// its own verification re-execution after catching a mismatch.
+	Invalidated, Recovered int64
 }
 
 // DistWorkerStats tallies one worker's participation in a distributed
@@ -74,6 +87,21 @@ type DistWorkerStats struct {
 	// entries (lanes, schedules, lane profiles) the worker shipped,
 	// split by whether the coordinator already held the identity.
 	EntriesReceived, EntriesDeduped int64
+	// JobsSettled counts individual jobs this worker's reports settled
+	// first; JobsRequeued counts jobs returned to the queue on its
+	// account — partial reports, expired leases, quarantine reaps.
+	JobsSettled, JobsRequeued int64
+	// Verified / Mismatched count this worker's results the coordinator
+	// re-executed locally: cross-checked bit-exact, or caught wrong.
+	Verified, Mismatched int64
+	// HedgesFired counts speculative re-leases placed against this
+	// worker's slow shards; HedgesWon counts hedged shards where this
+	// worker (holding the hedge) settled work first.
+	HedgesFired, HedgesWon int64
+	// Quarantined marks a worker caught reporting a wrong result: its
+	// leases were reaped, its unverified results invalidated, and it is
+	// refused further participation in the campaign.
+	Quarantined bool
 }
 
 // Clone returns a deep copy of the state (nil-safe).
@@ -81,9 +109,19 @@ func (d *DistState) Clone() *DistState {
 	if d == nil {
 		return nil
 	}
-	c := &DistState{Workers: make(map[string]DistWorkerStats, len(d.Workers))}
+	c := &DistState{
+		Workers:     make(map[string]DistWorkerStats, len(d.Workers)),
+		Invalidated: d.Invalidated,
+		Recovered:   d.Recovered,
+	}
 	for k, v := range d.Workers {
 		c.Workers[k] = v
+	}
+	if d.Unverified != nil {
+		c.Unverified = make(map[string]string, len(d.Unverified))
+		for k, v := range d.Unverified {
+			c.Unverified[k] = v
+		}
 	}
 	return c
 }

@@ -158,6 +158,85 @@ func (e *Engine) AdmitOutcome(o JobOutcome) {
 	e.cache.store(key, o.Result, e.exploreCtx)
 }
 
+// JobKey returns the cache identity key a job's result settles under —
+// the provenance handle a coordinator tracks unverified remote results
+// by, and the argument InvalidateCached takes to wipe one.
+func (e *Engine) JobKey(spec JobSpec) string {
+	return cacheKey(e.app.Name(), spec.Cfg, spec.Assign, e.opts.packets(), e.opts.platformConfig(), e.opts.Arenas)
+}
+
+// InvalidateCached wipes the settled result or tombstone under a job
+// identity key, reporting whether one was present — the repair a
+// quarantine applies to every result the lying worker reported that
+// was never verified.
+func (e *Engine) InvalidateCached(key string) bool {
+	if e.cache == nil {
+		return false
+	}
+	return e.cache.invalidate(key)
+}
+
+// OutcomeMatchesSpec reports whether a remote outcome claims the
+// identity of the job it was leased: same index, configuration and
+// assignment. AdmitOutcome files results under the identity the result
+// itself claims, so without this check a malicious report could poison
+// a different job's cache entry; a mismatch is proof of a broken or
+// lying worker with no re-execution needed.
+func OutcomeMatchesSpec(spec JobSpec, o JobOutcome) bool {
+	if o.Index != spec.Index {
+		return false
+	}
+	if o.Err != "" {
+		return true // a failure report carries no result identity to check
+	}
+	r := o.Result
+	if r.Config.String() != spec.Cfg.String() {
+		return false
+	}
+	if len(r.Assign) != len(spec.Assign) {
+		return false
+	}
+	for role, kind := range spec.Assign {
+		if got, ok := r.Assign[role]; !ok || got != kind {
+			return false
+		}
+	}
+	return true
+}
+
+// ResolveJobLive resolves a job by pure live simulation: no cache
+// lookup, no guard, no composition from cached lanes, no capture. This
+// is the coordinator's verification oracle — everything it consumes
+// (the built-in trace generator, the platform model) is local and
+// trusted, so the result is ground truth even while the cache holds
+// entries shipped by the very worker under suspicion. Replay and
+// composition are pinned bit-exact against live simulation, so an
+// honest remote exact result compares equal no matter which path the
+// worker resolved it through.
+func (e *Engine) ResolveJobLive(spec JobSpec) JobOutcome {
+	jo := JobOutcome{Index: spec.Index}
+	tr, err := loadTrace(spec.Cfg.TraceName, e.opts.packets())
+	if err != nil {
+		jo.Err = err.Error()
+		return jo
+	}
+	p := newPlatform(e.app, e.opts)
+	sum, aborted, err := runRecovering(e.app, tr, p, spec.Assign, spec.Cfg.Knobs)
+	if err != nil {
+		jo.Err = fmt.Sprintf("explore: %s on %s: %v", e.app.Name(), spec.Cfg, err)
+		return jo
+	}
+	jo.Result = Result{
+		App:     e.app.Name(),
+		Config:  spec.Cfg,
+		Assign:  spec.Assign,
+		Vec:     p.Metrics(),
+		Summary: sum,
+		Aborted: aborted,
+	}
+	return jo
+}
+
 // SettleExternal advances the settled-job watermark for n jobs settled
 // by an external campaign driver (a distributed coordinator merging
 // remote results), firing periodic checkpoints exactly as the engine's

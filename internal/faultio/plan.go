@@ -1,0 +1,114 @@
+package faultio
+
+// Plan composes the primitive fault injectors (Conn scripts, FS
+// faults, result corruption) into one seeded chaos scenario. Each
+// participant of a scenario — a worker's transport, a liar's
+// arithmetic — draws from its own RNG stream derived from the plan
+// seed and the participant's name, so adding a participant or
+// reordering construction never perturbs anyone else's draws and a
+// failing seed replays exactly.
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Plan derives deterministic per-participant fault scripts from one
+// seed.
+type Plan struct {
+	seed int64
+}
+
+// NewPlan builds a plan over the given seed.
+func NewPlan(seed int64) *Plan {
+	return &Plan{seed: seed}
+}
+
+// Rand returns the named participant's RNG stream: the same (seed,
+// name) pair always yields the same stream, and distinct names yield
+// independent streams. This is the composability seam — anything a
+// test wants randomized under the plan's seed draws from here.
+func (p *Plan) Rand(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(p.seed ^ int64(h.Sum64())))
+}
+
+// ConnScript describes the transport behavior of one participant:
+// fixed per-operation latency and a per-connection probability of
+// tearing the stream at a uniformly drawn byte offset.
+type ConnScript struct {
+	// Latency is added to every read and write (a slow link or a
+	// straggling host).
+	Latency time.Duration
+	// TearProb is the chance, per wrapped connection, that its stream
+	// tears somewhere in [TearMin, TearMax) bytes — read or write side
+	// chosen by coin flip.
+	TearProb float64
+	// TearMin and TearMax bound the tear offset (defaults 1 and 4096).
+	TearMin, TearMax int64
+}
+
+// WrapConn returns a dial/accept wrapper applying the named
+// participant's script. Each wrapped connection draws its own fate
+// from the participant's stream, so connection k of a given worker
+// tears (or not) identically across runs of the same seed.
+func (p *Plan) WrapConn(name string, s ConnScript) func(net.Conn) net.Conn {
+	rng := p.Rand(name)
+	var mu sync.Mutex
+	lo, hi := s.TearMin, s.TearMax
+	if lo <= 0 {
+		lo = 1
+	}
+	if hi <= lo {
+		hi = lo + 4096
+	}
+	return func(c net.Conn) net.Conn {
+		fc := NewConn(c)
+		if s.Latency > 0 {
+			fc.Delay(s.Latency)
+		}
+		mu.Lock()
+		tear := s.TearProb > 0 && rng.Float64() < s.TearProb
+		var at int64
+		var onRead bool
+		if tear {
+			at = lo + rng.Int63n(hi-lo)
+			onRead = rng.Intn(2) == 0
+		}
+		mu.Unlock()
+		if tear {
+			if onRead {
+				fc.TearReadAfter(at, nil)
+			} else {
+				fc.TearWriteAfter(at, nil)
+			}
+		}
+		return fc
+	}
+}
+
+// Mantissa returns a corruption function for the named participant:
+// it flips one low mantissa bit (0..19, drawn per call) of a float64.
+// The result stays finite and close to the truth — it defeats any
+// plausibility or magnitude check while breaking exact equality,
+// which is precisely the lie a verification layer must catch. Zero
+// inputs pass through (no mantissa to flip yields a denormal storm
+// instead of a near-miss).
+func (p *Plan) Mantissa(name string) func(float64) float64 {
+	rng := p.Rand(name)
+	var mu sync.Mutex
+	return func(v float64) float64 {
+		if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return v
+		}
+		mu.Lock()
+		bit := uint(rng.Intn(20))
+		mu.Unlock()
+		return math.Float64frombits(math.Float64bits(v) ^ (1 << bit))
+	}
+}

@@ -1,0 +1,136 @@
+package faultio
+
+import (
+	"math"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPlanStreamsAreDeterministicAndIndependent(t *testing.T) {
+	a1 := NewPlan(7).Rand("alice")
+	a2 := NewPlan(7).Rand("alice")
+	for i := 0; i < 100; i++ {
+		if a1.Int63() != a2.Int63() {
+			t.Fatalf("draw %d differs for the same (seed, name)", i)
+		}
+	}
+	b := NewPlan(7).Rand("bob")
+	a := NewPlan(7).Rand("alice")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("alice and bob streams collide on %d of 100 draws", same)
+	}
+	s1 := NewPlan(1).Rand("alice")
+	s2 := NewPlan(2).Rand("alice")
+	same = 0
+	for i := 0; i < 100; i++ {
+		if s1.Int63() == s2.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 collide on %d of 100 draws", same)
+	}
+}
+
+func TestPlanMantissaCloseButUnequal(t *testing.T) {
+	mut := NewPlan(42).Mantissa("liar")
+	for _, v := range []float64{1.0, 3.14159, 2.5e6, 1e-9, 123456.789} {
+		got := mut(v)
+		if got == v {
+			t.Fatalf("Mantissa(%v) returned the input unchanged", v)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("Mantissa(%v) = %v, want finite", v, got)
+		}
+		if rel := math.Abs(got-v) / math.Abs(v); rel > 1e-9 {
+			t.Fatalf("Mantissa(%v) = %v, relative error %g too large to pass a plausibility check", v, got, rel)
+		}
+	}
+	if got := mut(0); got != 0 {
+		t.Fatalf("Mantissa(0) = %v, want 0 passthrough", got)
+	}
+	m1 := NewPlan(42).Mantissa("liar")
+	m2 := NewPlan(42).Mantissa("liar")
+	for i := 0; i < 20; i++ {
+		v := 1.0 + float64(i)
+		if m1(v) != m2(v) {
+			t.Fatalf("Mantissa not deterministic at draw %d", i)
+		}
+	}
+}
+
+func TestPlanWrapConnTearsDeterministically(t *testing.T) {
+	runOnce := func() []bool {
+		wrap := NewPlan(11).WrapConn("w1", ConnScript{TearProb: 0.5, TearMin: 1, TearMax: 64})
+		var tears []bool
+		for i := 0; i < 12; i++ {
+			client, server := net.Pipe()
+			fc := wrap(client).(*Conn)
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				buf := make([]byte, 256)
+				for {
+					if _, err := server.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+			payload := make([]byte, 256)
+			var failed bool
+			for k := 0; k < 4 && !failed; k++ {
+				if _, err := fc.Write(payload); err != nil {
+					failed = true
+				}
+			}
+			tears = append(tears, failed)
+			fc.Close()
+			server.Close()
+			<-done
+			if failed && fc.Injected() == 0 {
+				t.Fatalf("connection %d failed without an injected fault", i)
+			}
+		}
+		return tears
+	}
+	first := runOnce()
+	second := runOnce()
+	torn := 0
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("connection %d fate differs between identical runs", i)
+		}
+		if first[i] {
+			torn++
+		}
+	}
+	if torn == 0 || torn == len(first) {
+		t.Fatalf("want a mix of torn and clean connections at p=0.5, got %d/%d torn", torn, len(first))
+	}
+}
+
+func TestPlanWrapConnLatency(t *testing.T) {
+	wrap := NewPlan(3).WrapConn("slow", ConnScript{Latency: 20 * time.Millisecond})
+	client, server := net.Pipe()
+	defer server.Close()
+	fc := wrap(client)
+	defer fc.Close()
+	go func() {
+		buf := make([]byte, 8)
+		server.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := fc.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Fatalf("write completed in %v, want >= 20ms injected latency", el)
+	}
+}
